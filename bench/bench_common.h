@@ -1,0 +1,85 @@
+// Shared measurement harness for the experiment binaries (E1-E11).
+//
+// Protocol: build the structure through the buffer pool, flush, evict
+// everything (cold cache), reset counters, run one query, read the miss
+// counter — misses are exactly the I/O operations of the paper's cost
+// model. Each experiment averages over a query batch and prints one table
+// row per parameter point; EXPERIMENTS.md records the expected shapes.
+#ifndef SEGDB_BENCH_BENCH_COMMON_H_
+#define SEGDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "core/segment_index.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/table_printer.h"
+#include "workload/queries.h"
+
+namespace segdb::bench {
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct QueryCost {
+  double avg_ios = 0;     // cold buffer-pool misses per query
+  double max_ios = 0;
+  double avg_output = 0;  // reported segments per query
+};
+
+// Cold-cache cost of a query batch against any SegmentIndex.
+inline QueryCost MeasureQueries(io::BufferPool* pool,
+                                const core::SegmentIndex& index,
+                                std::span<const workload::VsQuery> queries) {
+  QueryCost cost;
+  Check(pool->FlushAll(), "flush");
+  for (const workload::VsQuery& q : queries) {
+    Check(pool->EvictAll(), "evict");
+    pool->ResetStats();
+    std::vector<geom::Segment> out;
+    Check(index.Query(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out),
+          "query");
+    const double ios = static_cast<double>(pool->stats().misses);
+    cost.avg_ios += ios;
+    cost.max_ios = std::max(cost.max_ios, ios);
+    cost.avg_output += static_cast<double>(out.size());
+  }
+  if (!queries.empty()) {
+    cost.avg_ios /= static_cast<double>(queries.size());
+    cost.avg_output /= static_cast<double>(queries.size());
+  }
+  return cost;
+}
+
+// Repeats rows with a standard experiment banner.
+inline void PrintHeader(const char* id, const char* claim) {
+  std::printf("==== %s ====\n%s\n\n", id, claim);
+}
+
+inline void PrintTable(const TablePrinter& table) {
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+// Benchmarks honor SEGDB_BENCH_SCALE (e.g. 0.1 for smoke runs).
+inline double Scale() {
+  const char* s = std::getenv("SEGDB_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t n) {
+  const double v = static_cast<double>(n) * Scale();
+  return v < 64 ? 64 : static_cast<uint64_t>(v);
+}
+
+}  // namespace segdb::bench
+
+#endif  // SEGDB_BENCH_BENCH_COMMON_H_

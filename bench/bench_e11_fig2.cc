@@ -1,0 +1,92 @@
+// E11 — Figure 2, quantified: the 3-sided endpoint query is NOT the
+// segment query. Counts false positives (endpoint in the region, segment
+// misses the query — the paper's segment 3) and false negatives (segment
+// hit, endpoint outside — segment 2) of the endpoint-PST reduction across
+// workloads and query extents.
+
+#include <algorithm>
+
+#include "baseline/endpoint_pst_index.h"
+#include "bench/bench_common.h"
+#include "geom/predicates.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void RunWorkload(const char* name, const std::vector<geom::Segment>& segs,
+                 TablePrinter* table) {
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 14);
+  baseline::EndpointPstIndex reduction(&pool, 0);
+  bench::Check(reduction.BulkLoad(segs), "build");
+
+  for (double frac : {0.01, 0.1, 0.4}) {
+    Rng qrng(53);
+    uint64_t fp = 0, fn = 0, exact_total = 0;
+    const int kQ = 200;
+    for (int i = 0; i < kQ; ++i) {
+      const int64_t qx = qrng.UniformInt(1, 1 << 16);
+      const int64_t span =
+          static_cast<int64_t>(frac * 8 * static_cast<double>(segs.size()));
+      const int64_t ylo =
+          qrng.UniformInt(0, 14 * static_cast<int64_t>(segs.size()));
+      const int64_t yhi = ylo + std::max<int64_t>(1, span);
+      std::vector<geom::Segment> approx;
+      bench::Check(reduction.QueryViaEndpoints(qx, ylo, yhi, &approx),
+                   "approx");
+      std::vector<uint64_t> got;
+      for (const auto& s : approx) got.push_back(s.id);
+      std::sort(got.begin(), got.end());
+      std::vector<uint64_t> exact;
+      for (const auto& s : segs) {
+        if (geom::IntersectsVerticalSegment(s, qx, ylo, yhi)) {
+          exact.push_back(s.id);
+        }
+      }
+      std::sort(exact.begin(), exact.end());
+      exact_total += exact.size();
+      for (uint64_t id : got) {
+        if (!std::binary_search(exact.begin(), exact.end(), id)) ++fp;
+      }
+      for (uint64_t id : exact) {
+        if (!std::binary_search(got.begin(), got.end(), id)) ++fn;
+      }
+    }
+    table->AddRow(
+        {name, TablePrinter::Fmt(frac, 2), TablePrinter::Fmt(exact_total),
+         TablePrinter::Fmt(fp), TablePrinter::Fmt(fn),
+         TablePrinter::Fmt(
+             100.0 * static_cast<double>(fp + fn) /
+                 std::max<uint64_t>(1, exact_total),
+             1)});
+  }
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E11 Figure 2: endpoint 3-sided query vs exact segment query",
+      "false positives = paper's segment 3; false negatives = segment 2");
+  TablePrinter table({"workload", "height_frac", "exact_answers",
+                      "false_pos", "false_neg", "error_pct"});
+  Rng rng(1014);
+  const uint64_t N = bench::Scaled(20000);
+  RunWorkload("repaired-random",
+              workload::GenLineBasedRepaired(rng, std::min<uint64_t>(N, 3000),
+                                             0, 1 << 16),
+              &table);
+  RunWorkload("sorted-slopes",
+              workload::GenLineBasedSorted(rng, N, 0, 1 << 16), &table);
+  RunWorkload("fans", workload::GenLineBasedFan(rng, N / 2, 0, 1 << 16),
+              &table);
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

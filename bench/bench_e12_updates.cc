@@ -1,0 +1,76 @@
+// E12 (extension) — full update workloads: the paper's Theorem 1 claims
+// deletions too; segdb implements them across the stack (lazy removal +
+// amortized repacking; tombstoned delta for the cascaded G). This
+// experiment measures amortized deletion cost and steady-state mixed
+// churn (insert+delete at constant size), and verifies space comes back.
+
+#include "baseline/oracle.h"
+#include "bench/bench_common.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+template <typename Index>
+void MeasureChurn(const char* label, TablePrinter* table, uint64_t N) {
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 256);
+  Rng rng(1015);
+  auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+  Index index(&pool);
+  bench::Check(index.BulkLoad(segs), "bulk");
+  const uint64_t pages_full = index.page_count();
+
+  // Phase 1: delete half, one by one.
+  pool.ResetStats();
+  for (size_t i = 0; i < segs.size(); i += 2) {
+    bench::Check(index.Erase(segs[i]), "erase");
+  }
+  const double deletes = static_cast<double>((segs.size() + 1) / 2);
+  const double del_ios =
+      static_cast<double>(pool.stats().misses + pool.stats().writebacks) /
+      deletes;
+  const uint64_t pages_half = index.page_count();
+
+  // Phase 2: steady-state churn — re-insert one, delete one.
+  pool.ResetStats();
+  uint64_t churn_ops = 0;
+  for (size_t i = 0; i < segs.size() / 4; ++i) {
+    bench::Check(index.Insert(segs[2 * i]), "churn insert");
+    bench::Check(index.Erase(segs[2 * i]), "churn erase");
+    churn_ops += 2;
+  }
+  const double churn_ios =
+      static_cast<double>(pool.stats().misses + pool.stats().writebacks) /
+      static_cast<double>(churn_ops);
+
+  table->AddRow({label, TablePrinter::Fmt(N), TablePrinter::Fmt(del_ios),
+                 TablePrinter::Fmt(churn_ios),
+                 TablePrinter::Fmt(pages_full),
+                 TablePrinter::Fmt(pages_half)});
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E12 deletions and mixed churn (update extension of Theorem 1)",
+      "amortized I/Os per delete / per churn op; space after deleting half");
+  TablePrinter table({"index", "N", "del_ios", "churn_ios", "pages_full",
+                      "pages_half"});
+  for (uint64_t n : {uint64_t{1} << 13, uint64_t{1} << 15}) {
+    const uint64_t N = bench::Scaled(n);
+    MeasureChurn<core::TwoLevelBinaryIndex>("A(binary)", &table, N);
+    MeasureChurn<core::TwoLevelIntervalIndex>("B(interval)", &table, N);
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E13 (extension) — fixed-direction queries via the integer shear
+// (paper's footnote 1 / concluding remark): the shear is a bijection, so
+// directed queries should cost the same I/Os as native vertical queries
+// on the sheared data, plus nothing. This experiment measures that
+// overhead directly across directions.
+
+#include "bench/bench_common.h"
+#include "core/sheared_index.h"
+#include "core/two_level_interval_index.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E13 fixed-direction queries (ShearedIndex)",
+                     "directed query I/Os vs the native vertical baseline");
+  TablePrinter table({"direction", "avg_ios", "avg_out", "pages"});
+  const uint64_t N = bench::Scaled(uint64_t{1} << 15);
+  Rng rng(1016);
+  auto segs = workload::GenMonotoneChains(rng, N / 40, 41, 1 << 20);
+
+  struct Dir {
+    const char* label;
+    int64_t dx, dy;
+  };
+  for (const Dir d : {Dir{"(0,1) vertical", 0, 1}, Dir{"(1,0) horizontal", 1, 0},
+                      Dir{"(1,1)", 1, 1}, Dir{"(3,-2)", 3, -2},
+                      Dir{"(7,5)", 7, 5}}) {
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    core::ShearedIndex index(
+        std::make_unique<core::TwoLevelIntervalIndex>(&pool), d.dx, d.dy);
+    bench::Check(index.BulkLoad(segs), "build");
+    bench::Check(pool.FlushAll(), "flush");
+
+    Rng qrng(61);
+    double total_ios = 0, total_out = 0;
+    const int kQ = 25;
+    for (int q = 0; q < kQ; ++q) {
+      const geom::Point anchor{qrng.UniformInt(0, 1 << 20),
+                               qrng.UniformInt(0, (int64_t)N * 26)};
+      bench::Check(pool.EvictAll(), "evict");
+      pool.ResetStats();
+      std::vector<geom::Segment> out;
+      bench::Check(index.QuerySegment(anchor, 2000, &out), "query");
+      total_ios += static_cast<double>(pool.stats().misses);
+      total_out += static_cast<double>(out.size());
+    }
+    table.AddRow({d.label, TablePrinter::Fmt(total_ios / kQ),
+                  TablePrinter::Fmt(total_out / kQ, 1),
+                  TablePrinter::Fmt(index.page_count())});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

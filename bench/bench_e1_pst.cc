@@ -1,0 +1,74 @@
+// E1 — Lemmas 1-2: the external PST for line-based segments answers a
+// parallel segment query in O(log2 n + t) I/Os using O(n) blocks.
+// Expectation: "ios" grows ~ +const per doubling of N (logarithmic), and
+// "pages" stays within a small constant of n = N/B.
+
+#include "bench/bench_common.h"
+#include "pst/line_pst.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E1 line-based PST (binary, Lemma 2)",
+                     "query I/Os ~ O(log2 n + t), space O(n) blocks");
+  TablePrinter table({"N", "pages", "n=N/B", "avg_ios", "max_ios",
+                      "avg_out", "log2(n)"});
+  Rng rng(1001);
+  for (uint64_t n : {uint64_t{1} << 13, uint64_t{1} << 14, uint64_t{1} << 15,
+                     uint64_t{1} << 16, uint64_t{1} << 17,
+                     uint64_t{1} << 18}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenLineBasedSorted(rng, N, 0, 1 << 20);
+    pst::LinePstOptions opts;
+    opts.fanout = 2;
+    pst::LinePst pst(&pool, 0, pst::Direction::kRight, opts);
+    bench::Check(pst.BulkLoad(segs), "build");
+
+    Rng qrng(7);
+    std::vector<workload::VsQuery> queries;
+    for (int i = 0; i < 40; ++i) {
+      workload::VsQuery q;
+      q.x0 = qrng.UniformInt(1, 1 << 20);
+      q.ylo = qrng.UniformInt(-2 * static_cast<int64_t>(N),
+                              2 * static_cast<int64_t>(N));
+      q.yhi = q.ylo + qrng.UniformInt(0, 1 << 12);
+      queries.push_back(q);
+    }
+    // Measure via the PST's own query (not a SegmentIndex).
+    bench::Check(pool.FlushAll(), "flush");
+    double total = 0, mx = 0, outsz = 0;
+    for (const auto& q : queries) {
+      bench::Check(pool.EvictAll(), "evict");
+      pool.ResetStats();
+      std::vector<geom::Segment> out;
+      bench::Check(pst.Query(q.x0, q.ylo, q.yhi, &out), "query");
+      total += static_cast<double>(pool.stats().misses);
+      mx = std::max(mx, static_cast<double>(pool.stats().misses));
+      outsz += static_cast<double>(out.size());
+    }
+    const double blocks = static_cast<double>(
+        CeilDiv(N * sizeof(geom::Segment), 4096));
+    table.AddRow({TablePrinter::Fmt(N), TablePrinter::Fmt(pst.page_count()),
+                  TablePrinter::Fmt(blocks, 0),
+                  TablePrinter::Fmt(total / queries.size()),
+                  TablePrinter::Fmt(mx, 0),
+                  TablePrinter::Fmt(outsz / queries.size(), 1),
+                  TablePrinter::Fmt(static_cast<double>(CeilLog2(
+                      1 + N / pst.node_capacity())), 0)});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E2 — Lemma 3: replacing the binary PST with the level-packed (B-ary)
+// PST — our stand-in for the P-range tree — drops the query cost from
+// O(log2 n + t) to O(log_B n + IL*(B) + t).
+// Expectation: the packed column grows much slower than the binary one;
+// the ratio approaches log2(B)-ish at large N.
+
+#include "bench/bench_common.h"
+#include "pst/line_pst.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+double Measure(io::BufferPool* pool, const pst::LinePst& pst,
+               std::span<const workload::VsQuery> queries) {
+  bench::Check(pool->FlushAll(), "flush");
+  double total = 0;
+  for (const auto& q : queries) {
+    bench::Check(pool->EvictAll(), "evict");
+    pool->ResetStats();
+    std::vector<geom::Segment> out;
+    bench::Check(pst.Query(q.x0, q.ylo, q.yhi, &out), "query");
+    total += static_cast<double>(pool->stats().misses);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E2 packed PST vs binary PST (Lemma 3 / P-range substitution)",
+      "packed query I/Os ~ O(log_B n + IL*(B) + t) vs binary O(log2 n + t)");
+  TablePrinter table({"N", "binary_ios", "packed_ios", "ratio", "log2B",
+                      "IL*(B)"});
+  Rng rng(1002);
+  for (uint64_t n : {uint64_t{1} << 14, uint64_t{1} << 16, uint64_t{1} << 18,
+                     uint64_t{1} << 19}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenLineBasedSorted(rng, N, 0, 1 << 20);
+
+    Rng qrng(9);
+    std::vector<workload::VsQuery> queries;
+    for (int i = 0; i < 30; ++i) {
+      workload::VsQuery q;
+      q.x0 = qrng.UniformInt(1, 1 << 20);
+      q.ylo = qrng.UniformInt(-2 * static_cast<int64_t>(N),
+                              2 * static_cast<int64_t>(N));
+      q.yhi = q.ylo + qrng.UniformInt(0, 1 << 10);
+      queries.push_back(q);
+    }
+
+    pst::LinePstOptions binary_opts;
+    binary_opts.fanout = 2;
+    pst::LinePst binary(&pool, 0, pst::Direction::kRight, binary_opts);
+    bench::Check(binary.BulkLoad(segs), "build binary");
+    const double b_ios = Measure(&pool, binary, queries);
+    bench::Check(binary.Clear(), "clear");
+
+    pst::LinePst packed(&pool, 0, pst::Direction::kRight, {});
+    bench::Check(packed.BulkLoad(segs), "build packed");
+    const double p_ios = Measure(&pool, packed, queries);
+
+    const uint64_t B = 4096 / sizeof(geom::Segment);
+    table.AddRow({TablePrinter::Fmt(N), TablePrinter::Fmt(b_ios),
+                  TablePrinter::Fmt(p_ios),
+                  TablePrinter::Fmt(b_ios / p_ios),
+                  TablePrinter::Fmt(static_cast<double>(FloorLog2(B)), 0),
+                  TablePrinter::Fmt(static_cast<double>(IlStar(B)), 0)});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

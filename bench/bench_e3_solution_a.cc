@@ -1,0 +1,59 @@
+// E3 — Theorem 1: Solution A (binary first level + PST/C second level)
+// stores N NCT segments in O(n) blocks and answers a VS query in
+// O(log2 n (log_B n + IL*(B)) + t) I/Os.
+// Expectation: "pages" tracks n linearly; "avg_ios" grows ~ log2(n) *
+// log_B(n) + t/B (compare the theory column).
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/two_level_binary_index.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E3 Solution A (Theorem 1)",
+                     "space O(n); VS query O(log2 n (log_B n + IL*(B)) + t)");
+  TablePrinter table({"N", "pages", "n=N/B", "pages/n", "avg_ios", "avg_out",
+                      "theory_log2n*logBn"});
+  Rng rng(1003);
+  for (uint64_t n :
+       {uint64_t{1} << 13, uint64_t{1} << 15, uint64_t{1} << 17,
+        uint64_t{262144}}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+    core::TwoLevelBinaryIndex index(&pool);
+    bench::Check(index.BulkLoad(segs), "build");
+
+    Rng qrng(11);
+    auto box = workload::ComputeBoundingBox(segs);
+    auto queries = workload::GenVsQueries(qrng, 30, box, 0.01);
+    const auto cost = bench::MeasureQueries(&pool, index, queries);
+
+    const double B = 4096.0 / sizeof(geom::Segment);
+    const double blocks = static_cast<double>(N) / B;
+    const double theory =
+        std::log2(blocks) * (std::log(blocks) / std::log(B) + 1);
+    table.AddRow({TablePrinter::Fmt(N), TablePrinter::Fmt(index.page_count()),
+                  TablePrinter::Fmt(blocks, 0),
+                  TablePrinter::Fmt(index.page_count() / blocks),
+                  TablePrinter::Fmt(cost.avg_ios),
+                  TablePrinter::Fmt(cost.avg_output, 1),
+                  TablePrinter::Fmt(theory, 1)});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

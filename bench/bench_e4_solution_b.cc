@@ -1,0 +1,62 @@
+// E4 — Lemma 4 + Theorem 2: Solution B (interval-tree first level +
+// short-fragment PSTs + cascaded multislab tree G) uses O(n log2 B)
+// blocks and answers a VS query in
+// O(log_B n (log_B n + log2 B + IL*(B)) + t) I/Os.
+// Expectation: "pages/n" stays below ~log2(B); "avg_ios" grows far slower
+// than Solution A's (E3) at the same N.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/two_level_interval_index.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E4 Solution B (Theorem 2)",
+      "space O(n log2 B); VS query O(log_B n (log_B n + log2 B) + t)");
+  TablePrinter table({"N", "pages", "n=N/B", "pages/n", "avg_ios", "avg_out",
+                      "theory_logBn*(logBn+log2B)", "height"});
+  Rng rng(1004);
+  for (uint64_t n :
+       {uint64_t{1} << 13, uint64_t{1} << 15, uint64_t{1} << 17,
+        uint64_t{262144}}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+    core::TwoLevelIntervalIndex index(&pool);
+    bench::Check(index.BulkLoad(segs), "build");
+
+    Rng qrng(13);
+    auto box = workload::ComputeBoundingBox(segs);
+    auto queries = workload::GenVsQueries(qrng, 30, box, 0.01);
+    const auto cost = bench::MeasureQueries(&pool, index, queries);
+
+    const double B = 4096.0 / sizeof(geom::Segment);
+    const double blocks = static_cast<double>(N) / B;
+    const double logB_n = std::log(blocks) / std::log(B) + 1;
+    const double theory = logB_n * (logB_n + std::log2(B));
+    table.AddRow({TablePrinter::Fmt(N), TablePrinter::Fmt(index.page_count()),
+                  TablePrinter::Fmt(blocks, 0),
+                  TablePrinter::Fmt(index.page_count() / blocks),
+                  TablePrinter::Fmt(cost.avg_ios),
+                  TablePrinter::Fmt(cost.avg_output, 1),
+                  TablePrinter::Fmt(theory, 1),
+                  TablePrinter::Fmt(uint64_t{index.height()})});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

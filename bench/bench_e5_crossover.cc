@@ -1,0 +1,60 @@
+// E5 — Theorem 1 vs Theorem 2 trade-off: Solution B buys its faster query
+// (log_B n outer factor instead of log2 n) with O(n log2 B) space instead
+// of O(n).
+// Expectation: B's query I/Os beat A's increasingly with N, while its
+// pages exceed A's by a factor bounded by ~log2(B).
+
+#include "bench/bench_common.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E5 Solution A vs Solution B",
+                     "query speed vs space across N (Theorems 1 and 2)");
+  TablePrinter table({"N", "A_pages", "B_pages", "B/A_space", "A_ios",
+                      "B_ios", "A/B_speedup"});
+  Rng rng(1005);
+  for (uint64_t n :
+       {uint64_t{1} << 13, uint64_t{1} << 15, uint64_t{1} << 17,
+        uint64_t{262144}}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+
+    Rng qrng(17);
+    auto box = workload::ComputeBoundingBox(segs);
+    auto queries = workload::GenVsQueries(qrng, 25, box, 0.005);
+
+    core::TwoLevelBinaryIndex a(&pool);
+    bench::Check(a.BulkLoad(segs), "build A");
+    const auto ca = bench::MeasureQueries(&pool, a, queries);
+    const uint64_t a_pages = a.page_count();
+
+    core::TwoLevelIntervalIndex b(&pool);
+    bench::Check(b.BulkLoad(segs), "build B");
+    const auto cb = bench::MeasureQueries(&pool, b, queries);
+
+    table.AddRow(
+        {TablePrinter::Fmt(N), TablePrinter::Fmt(a_pages),
+         TablePrinter::Fmt(b.page_count()),
+         TablePrinter::Fmt(static_cast<double>(b.page_count()) /
+                           static_cast<double>(a_pages)),
+         TablePrinter::Fmt(ca.avg_ios), TablePrinter::Fmt(cb.avg_ios),
+         TablePrinter::Fmt(ca.avg_ios / cb.avg_ios)});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E6 — Section 4.3 ablation: fractional cascading replaces a B+-tree
+// descent per G level (O(log_B n) each, Lemma 4) with one bridge hop
+// (O(1) amortized, Theorem 2).
+// Expectation: on long-fragment-heavy workloads, the cascaded G costs
+// fewer I/Os per query than the plain one, growing with the number of
+// boundaries b; the cascaded structure pays a modest space premium for
+// augmented bridge fragments.
+
+#include "bench/bench_common.h"
+#include "core/two_level_interval_index.h"
+#include "segtree/multislab_segment_tree.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+// Direct G-structure measurement: nested spans crossing many boundaries.
+void RunRawG() {
+  std::printf("-- raw multislab tree G: plain vs cascaded --\n");
+  TablePrinter table({"boundaries", "frags", "plain_ios", "casc_ios",
+                      "plain_pages", "casc_pages"});
+  Rng rng(1006);
+  for (uint32_t b : {8u, 16u, 32u, 64u}) {
+    const uint64_t N = bench::Scaled(40000);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    auto segs = workload::GenNestedSpans(rng, N, 1 << 20);
+    std::vector<int64_t> bounds;
+    for (uint32_t i = 0; i < b; ++i) {
+      bounds.push_back(-(int64_t{1} << 19) +
+                       (int64_t{1} << 20) * i / (b - 1));
+    }
+    // Keep only fragments with a long part.
+    std::vector<geom::Segment> longs;
+    for (const auto& s : segs) {
+      auto lo = std::lower_bound(bounds.begin(), bounds.end(), s.x1);
+      auto hi = std::upper_bound(bounds.begin(), bounds.end(), s.x2);
+      if (lo < hi && hi - lo >= 2) longs.push_back(s);
+    }
+
+    auto measure = [&](bool cascading, uint64_t* pages) {
+      segtree::MultislabOptions opts;
+      opts.fractional_cascading = cascading;
+      segtree::MultislabSegmentTree g(&pool, bounds, opts);
+      bench::Check(g.Build(longs), "build G");
+      *pages = g.page_count();
+      bench::Check(pool.FlushAll(), "flush");
+      Rng qrng(19);
+      double total = 0;
+      const int kQ = 40;
+      for (int i = 0; i < kQ; ++i) {
+        const int64_t x0 = qrng.UniformInt(bounds.front(), bounds.back());
+        const int64_t ylo = qrng.UniformInt(0, 2 * (int64_t)N);
+        bench::Check(pool.EvictAll(), "evict");
+        pool.ResetStats();
+        std::vector<geom::Segment> out;
+        bench::Check(g.Query(x0, ylo, ylo + 64, &out), "query");
+        total += static_cast<double>(pool.stats().misses);
+      }
+      return total / kQ;
+    };
+    uint64_t plain_pages = 0, casc_pages = 0;
+    const double plain = measure(false, &plain_pages);
+    const double casc = measure(true, &casc_pages);
+    table.AddRow({TablePrinter::Fmt(uint64_t{b}),
+                  TablePrinter::Fmt(uint64_t{longs.size()}),
+                  TablePrinter::Fmt(plain), TablePrinter::Fmt(casc),
+                  TablePrinter::Fmt(plain_pages),
+                  TablePrinter::Fmt(casc_pages)});
+  }
+  bench::PrintTable(table);
+}
+
+// End-to-end: Solution B with cascading on/off.
+void RunEndToEnd() {
+  std::printf("-- Solution B end-to-end: cascading on/off --\n");
+  TablePrinter table({"N", "plain_ios", "casc_ios", "plain_pages",
+                      "casc_pages"});
+  Rng rng(1007);
+  for (uint64_t n : {uint64_t{1} << 14, uint64_t{1} << 16,
+                     uint64_t{1} << 17}) {
+    const uint64_t N = bench::Scaled(n);
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 15);
+    // Nested spans maximize long fragments (the G-heavy regime).
+    auto segs = workload::GenNestedSpans(rng, N, 1 << 20);
+
+    Rng qrng(23);
+    auto box = workload::ComputeBoundingBox(segs);
+    auto queries = workload::GenVsQueries(qrng, 25, box, 0.002);
+
+    core::TwoLevelIntervalOptions plain_opts;
+    plain_opts.fractional_cascading = false;
+    core::TwoLevelIntervalIndex plain(&pool, plain_opts);
+    bench::Check(plain.BulkLoad(segs), "build plain");
+    const auto cp = bench::MeasureQueries(&pool, plain, queries);
+    const uint64_t plain_pages = plain.page_count();
+
+    core::TwoLevelIntervalIndex casc(&pool);
+    bench::Check(casc.BulkLoad(segs), "build cascaded");
+    const auto cc = bench::MeasureQueries(&pool, casc, queries);
+
+    table.AddRow({TablePrinter::Fmt(N), TablePrinter::Fmt(cp.avg_ios),
+                  TablePrinter::Fmt(cc.avg_ios),
+                  TablePrinter::Fmt(plain_pages),
+                  TablePrinter::Fmt(casc.page_count())});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::bench::PrintHeader("E6 fractional cascading ablation (Section 4.3)",
+                            "bridge navigation vs per-level B+-tree search");
+  segdb::RunRawG();
+  segdb::RunEndToEnd();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E9 — output sensitivity: every bound in the paper ends in "+ t"
+// (output blocks). Sweeping the query's vertical extent at fixed N must
+// show I/Os growing linearly with the answer size on top of a flat
+// logarithmic base term.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E9 selectivity sweep (the '+t' terms)",
+                     "query I/Os vs output size at fixed N");
+  const uint64_t N = bench::Scaled(uint64_t{1} << 17);
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 15);
+  Rng rng(1010);
+  auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+
+  core::TwoLevelBinaryIndex a(&pool);
+  bench::Check(a.BulkLoad(segs), "build A");
+  core::TwoLevelIntervalIndex b(&pool);
+  bench::Check(b.BulkLoad(segs), "build B");
+
+  TablePrinter table({"height_frac", "avg_out", "t=out/B", "A_ios", "B_ios",
+                      "A_ios-out/B", "B_ios-out/B"});
+  auto box = workload::ComputeBoundingBox(segs);
+  for (double frac : {0.0, 0.001, 0.005, 0.02, 0.08, 0.2, 0.5}) {
+    Rng qrng(37);
+    auto queries = workload::GenVsQueries(qrng, 25, box, frac);
+    const auto ca = bench::MeasureQueries(&pool, a, queries);
+    const auto cb = bench::MeasureQueries(&pool, b, queries);
+    const double B = 4096.0 / sizeof(geom::Segment);
+    table.AddRow({TablePrinter::Fmt(frac, 3),
+                  TablePrinter::Fmt(ca.avg_output, 1),
+                  TablePrinter::Fmt(ca.avg_output / B, 1),
+                  TablePrinter::Fmt(ca.avg_ios),
+                  TablePrinter::Fmt(cb.avg_ios),
+                  TablePrinter::Fmt(ca.avg_ios - ca.avg_output / B),
+                  TablePrinter::Fmt(cb.avg_ios - cb.avg_output / B)});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main() {
+  segdb::Run();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// CPU microbenchmarks (google-benchmark): exact predicates, page
+// serialization, index build throughput and in-memory query latency.
+// These complement the I/O-count experiments (E1-E11): the paper's model
+// charges only block transfers, but a practical release should also show
+// the constant factors are sane.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "geom/predicates.h"
+#include "geom/sweep.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "itree/interval_set.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb {
+namespace {
+
+void BM_Orientation(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 3 * 1024; ++i) {
+    pts.push_back({rng.UniformInt(-geom::kMaxCoord, geom::kMaxCoord),
+                   rng.UniformInt(-geom::kMaxCoord, geom::kMaxCoord)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geom::Orientation(pts[i], pts[i + 1], pts[i + 2]));
+    i = (i + 3) % (pts.size() - 3);
+  }
+}
+BENCHMARK(BM_Orientation);
+
+void BM_IntersectsVerticalSegment(benchmark::State& state) {
+  Rng rng(2);
+  auto segs = workload::GenMapLayer(rng, 1024, 1 << 20);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::IntersectsVerticalSegment(
+        segs[i], 1 << 19, -1000, 1000));
+    i = (i + 1) % segs.size();
+  }
+}
+BENCHMARK(BM_IntersectsVerticalSegment);
+
+void BM_PageRoundTrip(benchmark::State& state) {
+  io::DiskManager disk(4096);
+  auto id = disk.AllocatePage();
+  io::Page page(4096);
+  Rng rng(3);
+  for (uint32_t i = 0; i < 4096 / 8; ++i) {
+    page.WriteAt<uint64_t>(i * 8, rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.WritePage(id.value(), page).ok());
+    benchmark::DoNotOptimize(disk.ReadPage(id.value(), &page).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_PageRoundTrip);
+
+void BM_BuildSolutionA(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Rng rng(4);
+  auto segs = workload::GenMapLayer(rng, n, 1 << 22);
+  for (auto _ : state) {
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 14);
+    core::TwoLevelBinaryIndex index(&pool);
+    benchmark::DoNotOptimize(index.BulkLoad(segs).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BuildSolutionA)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_BuildSolutionB(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Rng rng(5);
+  auto segs = workload::GenMapLayer(rng, n, 1 << 22);
+  for (auto _ : state) {
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 1 << 14);
+    core::TwoLevelIntervalIndex index(&pool);
+    benchmark::DoNotOptimize(index.BulkLoad(segs).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BuildSolutionB)->Arg(1 << 12)->Arg(1 << 14);
+
+template <typename Index>
+void QueryLatency(benchmark::State& state) {
+  const uint64_t n = 1 << 15;
+  Rng rng(6);
+  auto segs = workload::GenMapLayer(rng, n, 1 << 22);
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 14);
+  Index index(&pool);
+  if (!index.BulkLoad(segs).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng qrng(7);
+  auto box = workload::ComputeBoundingBox(segs);
+  auto queries = workload::GenVsQueries(qrng, 256, box, 0.01);
+  size_t i = 0;
+  for (auto _ : state) {
+    std::vector<geom::Segment> out;
+    const auto& q = queries[i];
+    benchmark::DoNotOptimize(
+        index.Query({q.x0, q.ylo, q.yhi}, &out).ok());
+    benchmark::DoNotOptimize(out.size());
+    i = (i + 1) % queries.size();
+  }
+}
+
+void BM_QuerySolutionA(benchmark::State& state) {
+  QueryLatency<core::TwoLevelBinaryIndex>(state);
+}
+BENCHMARK(BM_QuerySolutionA);
+
+void BM_QuerySolutionB(benchmark::State& state) {
+  QueryLatency<core::TwoLevelIntervalIndex>(state);
+}
+BENCHMARK(BM_QuerySolutionB);
+
+void BM_SweepValidate(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Rng rng(8);
+  auto segs = workload::GenMapLayer(rng, n, 1 << 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::FindProperCrossing(segs).has_value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(segs.size()));
+}
+BENCHMARK(BM_SweepValidate)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_IntervalStab(benchmark::State& state) {
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 14);
+  itree::IntervalSet set(&pool);
+  Rng rng(9);
+  std::vector<itree::Interval> ivs;
+  for (uint64_t i = 0; i < (1u << 15); ++i) {
+    const int64_t lo = rng.UniformInt(0, 1 << 20);
+    ivs.push_back(itree::Interval{lo, lo + rng.UniformInt(0, 500), i});
+  }
+  if (!set.BulkLoad(ivs).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<itree::Interval> out;
+    benchmark::DoNotOptimize(
+        set.Stab(rng.UniformInt(0, 1 << 20), &out).ok());
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_IntervalStab);
+
+}  // namespace
+}  // namespace segdb
+
+BENCHMARK_MAIN();

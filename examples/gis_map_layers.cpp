@@ -1,0 +1,107 @@
+// GIS scenario — the paper's primary motivation: map layers stored as
+// collections of non-crossing segments (contours, roads, utilities).
+//
+// Task: corridor profiling. A planner sweeps candidate vertical transects
+// (x = x0, elevation band [lo, hi]) across a large map and asks which
+// features each transect intersects. We build both of the paper's
+// structures plus a full-scan baseline over the same simulated disk and
+// report answers, I/O per query, and space — a small live version of
+// experiments E5/E8.
+//
+//   ./build/examples/gis_map_layers [num_segments]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baseline/full_scan_index.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace {
+
+using segdb::core::SegmentIndex;
+using segdb::core::VerticalSegmentQuery;
+using segdb::geom::Segment;
+
+struct Measured {
+  double ios = 0;
+  size_t results = 0;
+};
+
+Measured RunQuery(segdb::io::BufferPool* pool, const SegmentIndex& index,
+                  const VerticalSegmentQuery& q) {
+  pool->FlushAll().ok();
+  pool->EvictAll().ok();
+  pool->ResetStats();
+  std::vector<Segment> out;
+  auto status = index.Query(q, &out);
+  if (!status.ok()) {
+    std::printf("query failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return Measured{static_cast<double>(pool->stats().misses), out.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60000;
+  segdb::Rng rng(2024);
+  // A mixed map layer: contour chains, labels/strips, long arterials.
+  auto map = segdb::workload::GenMapLayer(rng, n, 1 << 22);
+  std::printf("map layer: %zu NCT segments\n", map.size());
+
+  segdb::io::DiskManager disk(4096);
+  segdb::io::BufferPool pool(&disk, 1 << 14);
+
+  segdb::core::TwoLevelBinaryIndex solution_a(&pool);
+  segdb::core::TwoLevelIntervalIndex solution_b(&pool);
+  segdb::baseline::FullScanIndex scan(&pool);
+  struct Entry {
+    const char* name;
+    SegmentIndex* index;
+  };
+  std::vector<Entry> indexes = {{"Solution A (Thm 1)", &solution_a},
+                                {"Solution B (Thm 2)", &solution_b},
+                                {"full scan", &scan}};
+  for (auto& e : indexes) {
+    auto status = e.index->BulkLoad(map);
+    if (!status.ok()) {
+      std::printf("build %s failed: %s\n", e.name, status.ToString().c_str());
+      return 1;
+    }
+    std::printf("built %-20s: %8llu pages\n", e.name,
+                static_cast<unsigned long long>(e.index->page_count()));
+  }
+
+  // Candidate transects across the map at a fixed elevation band.
+  auto box = segdb::workload::ComputeBoundingBox(map);
+  segdb::Rng qrng(7);
+  auto transects = segdb::workload::GenVsQueries(qrng, 8, box, 0.02);
+
+  std::printf("\n%-10s %-26s %10s %8s\n", "transect", "index", "results",
+              "I/Os");
+  for (size_t t = 0; t < transects.size(); ++t) {
+    const auto& q = transects[t];
+    for (auto& e : indexes) {
+      const Measured m = RunQuery(
+          &pool, *e.index, VerticalSegmentQuery::Segment(q.x0, q.ylo, q.yhi));
+      std::printf("x=%-8lld %-26s %10zu %8.0f\n",
+                  static_cast<long long>(q.x0), e.name, m.results, m.ios);
+    }
+  }
+
+  std::printf(
+      "\nNote: both of the paper's structures answer each transect in a\n"
+      "handful of I/Os regardless of map size; the scan pays the whole\n"
+      "map every time. Solution B trades ~log2(B)x space for the faster\n"
+      "first level (Theorem 2 vs Theorem 1).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "baseline/endpoint_pst_index.h"
+
+#include <string>
+
+namespace segdb::baseline {
+
+Status EndpointPstIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  std::vector<pst::PointRecord> points;
+  points.reserve(segments.size());
+  payload_.clear();
+  for (const geom::Segment& s : segments) {
+    if (!(s.x1 <= base_x_ && base_x_ < s.x2)) {
+      return Status::InvalidArgument("segment " + std::to_string(s.id) +
+                                     " is not line-based for this base");
+    }
+    // Point = (far-endpoint ordinate, reach); the 3-sided query keys.
+    points.push_back(pst::PointRecord{s.y2, s.x2, s.id});
+    payload_.emplace(s.id, s);
+  }
+  return pst_.BulkLoad(points);
+}
+
+Status EndpointPstIndex::QueryViaEndpoints(
+    int64_t qx, int64_t ylo, int64_t yhi,
+    std::vector<geom::Segment>* out) const {
+  std::vector<pst::PointRecord> hits;
+  SEGDB_RETURN_IF_ERROR(pst_.Query3Sided(ylo, yhi, qx, &hits));
+  out->reserve(out->size() + hits.size());
+  for (const auto& p : hits) {
+    out->push_back(payload_.at(p.id));
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::baseline

@@ -1,0 +1,48 @@
+// Baseline: the *incorrect* reduction of Figure 2 — index the top
+// endpoints of line-based segments in a priority search tree and answer a
+// segment query with the corresponding 3-sided point query. The paper
+// shows (segments 2 and 3 of its Figure 2) that this both misses answers
+// and reports non-answers; experiment E11 quantifies the divergence.
+#ifndef SEGDB_BASELINE_ENDPOINT_PST_INDEX_H_
+#define SEGDB_BASELINE_ENDPOINT_PST_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geom/segment.h"
+#include "io/buffer_pool.h"
+#include "pst/point_pst.h"
+#include "util/status.h"
+
+namespace segdb::baseline {
+
+// Operates on a canonical line-based set (segments crossing a vertical
+// base line and extending right, like pst::LinePst with Direction::kRight).
+class EndpointPstIndex {
+ public:
+  EndpointPstIndex(io::BufferPool* pool, int64_t base_x)
+      : base_x_(base_x), pst_(pool) {}
+
+  // Stores each segment's far ("top") endpoint as the point (y2', x2)
+  // keyed for 3-sided queries; the payload table maps ids back to
+  // segments for reporting.
+  Status BulkLoad(std::span<const geom::Segment> segments);
+
+  // The Figure 2 reduction: a query segment at abscissa qx spanning
+  // [ylo, yhi] becomes the 3-sided query "far-endpoint y in [ylo, yhi],
+  // reach >= qx". Returns whatever the reduction yields — deliberately
+  // not the exact VS answer.
+  Status QueryViaEndpoints(int64_t qx, int64_t ylo, int64_t yhi,
+                           std::vector<geom::Segment>* out) const;
+
+  uint64_t size() const { return pst_.size(); }
+
+ private:
+  int64_t base_x_;
+  pst::PointPst pst_;
+  std::unordered_map<uint64_t, geom::Segment> payload_;
+};
+
+}  // namespace segdb::baseline
+
+#endif  // SEGDB_BASELINE_ENDPOINT_PST_INDEX_H_

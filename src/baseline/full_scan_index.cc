@@ -1,0 +1,117 @@
+#include "baseline/full_scan_index.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace segdb::baseline {
+
+namespace {
+constexpr uint32_t kHeader = 8;  // [u32 count][pad]
+}  // namespace
+
+FullScanIndex::~FullScanIndex() { Clear().ok(); }
+
+uint32_t FullScanIndex::PerPage() const {
+  return (pool_->page_size() - kHeader) / sizeof(geom::Segment);
+}
+
+Status FullScanIndex::Clear() {
+  for (io::PageId id : pages_) SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  pages_.clear();
+  size_ = 0;
+  return Status::OK();
+}
+
+Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  SEGDB_RETURN_IF_ERROR(Clear());
+  size_t i = 0;
+  while (i < segments.size()) {
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<size_t>(PerPage(), segments.size() - i));
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    p.WriteAt<uint32_t>(0, take);
+    p.WriteArray<geom::Segment>(kHeader, segments.data() + i, take);
+    ref.value().MarkDirty();
+    pages_.push_back(ref.value().page_id());
+    i += take;
+  }
+  size_ = segments.size();
+  return Status::OK();
+}
+
+Status FullScanIndex::Insert(const geom::Segment& segment) {
+  if (!pages_.empty()) {
+    auto ref = pool_->Fetch(pages_.back());
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    const uint32_t count = p.ReadAt<uint32_t>(0);
+    if (count < PerPage()) {
+      p.WriteAt<geom::Segment>(kHeader + count * sizeof(geom::Segment),
+                               segment);
+      p.WriteAt<uint32_t>(0, count + 1);
+      ref.value().MarkDirty();
+      ++size_;
+      return Status::OK();
+    }
+  }
+  auto ref = pool_->NewPage();
+  if (!ref.ok()) return ref.status();
+  io::Page& p = ref.value().page();
+  p.WriteAt<uint32_t>(0, 1);
+  p.WriteAt<geom::Segment>(kHeader, segment);
+  ref.value().MarkDirty();
+  pages_.push_back(ref.value().page_id());
+  ++size_;
+  return Status::OK();
+}
+
+Status FullScanIndex::Erase(const geom::Segment& segment) {
+  for (io::PageId id : pages_) {
+    auto ref = pool_->Fetch(id);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    const uint32_t count = p.ReadAt<uint32_t>(0);
+    for (uint32_t i = 0; i < count; ++i) {
+      const geom::Segment s =
+          p.ReadAt<geom::Segment>(kHeader + i * sizeof(geom::Segment));
+      if (s == segment) {
+        // Shift the tail left by one slot (pages may underfill).
+        for (uint32_t k = i + 1; k < count; ++k) {
+          const geom::Segment t =
+              p.ReadAt<geom::Segment>(kHeader + k * sizeof(geom::Segment));
+          p.WriteAt<geom::Segment>(kHeader + (k - 1) * sizeof(geom::Segment),
+                                   t);
+        }
+        p.WriteAt<uint32_t>(0, count - 1);
+        ref.value().MarkDirty();
+        --size_;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("segment not stored");
+}
+
+Status FullScanIndex::Query(const core::VerticalSegmentQuery& q,
+                            std::vector<geom::Segment>* out) const {
+  if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
+  for (io::PageId id : pages_) {
+    auto ref = pool_->Fetch(id);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    const uint32_t count = p.ReadAt<uint32_t>(0);
+    for (uint32_t i = 0; i < count; ++i) {
+      const geom::Segment s =
+          p.ReadAt<geom::Segment>(kHeader + i * sizeof(geom::Segment));
+      if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+        out->push_back(s);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::baseline

@@ -1,0 +1,41 @@
+// Baseline: linear scan over packed segment pages. O(n) I/Os per query,
+// O(n) blocks — the floor every index must beat (experiment E8).
+#ifndef SEGDB_BASELINE_FULL_SCAN_INDEX_H_
+#define SEGDB_BASELINE_FULL_SCAN_INDEX_H_
+
+#include <vector>
+
+#include "core/segment_index.h"
+#include "io/buffer_pool.h"
+
+namespace segdb::baseline {
+
+class FullScanIndex final : public core::SegmentIndex {
+ public:
+  explicit FullScanIndex(io::BufferPool* pool) : pool_(pool) {}
+  ~FullScanIndex() override;
+
+  FullScanIndex(const FullScanIndex&) = delete;
+  FullScanIndex& operator=(const FullScanIndex&) = delete;
+
+  Status BulkLoad(std::span<const geom::Segment> segments) override;
+  Status Insert(const geom::Segment& segment) override;
+  Status Erase(const geom::Segment& segment) override;
+  Status Query(const core::VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t page_count() const override { return pages_.size(); }
+  std::string name() const override { return "full-scan"; }
+
+ private:
+  uint32_t PerPage() const;
+  Status Clear();
+
+  io::BufferPool* pool_;
+  std::vector<io::PageId> pages_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace segdb::baseline
+
+#endif  // SEGDB_BASELINE_FULL_SCAN_INDEX_H_

@@ -1,0 +1,20 @@
+#include "baseline/interval_stab_index.h"
+
+#include "geom/predicates.h"
+
+namespace segdb::baseline {
+
+Status IntervalStabIndex::Query(const core::VerticalSegmentQuery& q,
+                                std::vector<geom::Segment>* out) const {
+  if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
+  std::vector<geom::Segment> stabbed;
+  SEGDB_RETURN_IF_ERROR(tree_.Stab(q.x0, &stabbed));
+  for (const geom::Segment& s : stabbed) {
+    if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+      out->push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::baseline

@@ -1,0 +1,52 @@
+#include "baseline/oracle.h"
+
+#include "geom/predicates.h"
+
+namespace segdb::baseline {
+
+Status OracleIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  segments_.assign(segments.begin(), segments.end());
+  return Status::OK();
+}
+
+Status OracleIndex::Insert(const geom::Segment& segment) {
+  segments_.push_back(segment);
+  return Status::OK();
+}
+
+Status OracleIndex::Erase(const geom::Segment& segment) {
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (*it == segment) {
+      segments_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("segment not stored");
+}
+
+Status OracleIndex::Query(const core::VerticalSegmentQuery& q,
+                          std::vector<geom::Segment>* out) const {
+  if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
+  for (const geom::Segment& s : segments_) {
+    if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+      out->push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+Status StabFilterIndex::Query(const core::VerticalSegmentQuery& q,
+                              std::vector<geom::Segment>* out) const {
+  if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
+  std::vector<geom::Segment> stabbed;
+  SEGDB_RETURN_IF_ERROR(
+      inner_->Query(core::VerticalSegmentQuery::Line(q.x0), &stabbed));
+  for (const geom::Segment& s : stabbed) {
+    if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+      out->push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::baseline

@@ -1,0 +1,62 @@
+// Reference implementations used by tests and experiments:
+//  * OracleIndex — in-memory brute force, the ground truth every other
+//    SegmentIndex is differentially tested against (no I/O accounted).
+//  * StabFilterIndex — answers a VS query by delegating a full stabbing
+//    query (vertical *line*) to an inner index and filtering the y-range
+//    client-side. This is what "use a stabbing structure" (Figure 1 left)
+//    costs on VS workloads: I/O proportional to the stabbing output, not
+//    the VS output.
+#ifndef SEGDB_BASELINE_ORACLE_H_
+#define SEGDB_BASELINE_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/segment_index.h"
+
+namespace segdb::baseline {
+
+class OracleIndex final : public core::SegmentIndex {
+ public:
+  OracleIndex() = default;
+
+  Status BulkLoad(std::span<const geom::Segment> segments) override;
+  Status Insert(const geom::Segment& segment) override;
+  Status Erase(const geom::Segment& segment) override;
+  Status Query(const core::VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out) const override;
+  uint64_t size() const override { return segments_.size(); }
+  uint64_t page_count() const override { return 0; }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::vector<geom::Segment> segments_;
+};
+
+class StabFilterIndex final : public core::SegmentIndex {
+ public:
+  // Wraps (and owns) the index used to answer the stabbing query.
+  explicit StabFilterIndex(std::unique_ptr<core::SegmentIndex> inner)
+      : inner_(std::move(inner)) {}
+
+  Status BulkLoad(std::span<const geom::Segment> segments) override {
+    return inner_->BulkLoad(segments);
+  }
+  Status Insert(const geom::Segment& segment) override {
+    return inner_->Insert(segment);
+  }
+  Status Query(const core::VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out) const override;
+  uint64_t size() const override { return inner_->size(); }
+  uint64_t page_count() const override { return inner_->page_count(); }
+  std::string name() const override {
+    return "stab-filter(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<core::SegmentIndex> inner_;
+};
+
+}  // namespace segdb::baseline
+
+#endif  // SEGDB_BASELINE_ORACLE_H_

@@ -1,0 +1,814 @@
+// An external-memory B+-tree over trivially-copyable records with a
+// caller-supplied (possibly stateful) ordering. Every node occupies one
+// disk page; all access goes through the buffer pool, so tree operations
+// cost exactly their page-fetch count in the paper's I/O model.
+//
+// Uses in segdb:
+//  * multislab lists of the segment tree G (records = Segment, ordered by
+//    their intersection with a slab boundary — Section 4.2 of the paper);
+//  * 1-D key/value indexing for baselines and bookkeeping.
+//
+// Supported operations: BulkLoad (from sorted input), Insert (with node
+// splits), point/lower-bound search, ordered leaf scans, Erase (lazy: no
+// node merging — segdb only requires the paper's semi-dynamic insert path,
+// deletions exist for completeness and tests).
+#ifndef SEGDB_BTREE_BPLUS_TREE_H_
+#define SEGDB_BTREE_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "util/status.h"
+
+namespace segdb::btree {
+
+// Compare is a stateful strict-weak-order: int operator()(a, b) returning
+// <0, 0, >0. Records equal under Compare may coexist (duplicates allowed).
+template <typename Record, typename Compare>
+class BPlusTree {
+ public:
+  static_assert(std::is_trivially_copyable_v<Record>);
+
+  BPlusTree(io::BufferPool* pool, Compare cmp)
+      : pool_(pool), cmp_(std::move(cmp)) {
+    const uint32_t ps = pool_->page_size();
+    leaf_capacity_ = (ps - kLeafHeaderBytes) / sizeof(Record);
+    internal_capacity_ =
+        (ps - kInternalHeaderBytes - sizeof(io::PageId)) /
+        (sizeof(Record) + sizeof(io::PageId));
+    assert(leaf_capacity_ >= 2 && internal_capacity_ >= 2 &&
+           "page size too small for this record type");
+  }
+
+  ~BPlusTree() { Clear().ok(); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  uint64_t page_count() const { return page_count_; }
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  io::PageId root() const { return root_; }
+
+  // Replaces the contents with `sorted` (must be ordered by cmp). Builds
+  // packed leaves bottom-up: O(n) I/Os.
+  Status BulkLoad(std::span<const Record> sorted);
+
+
+  // Inserts one record, splitting nodes on overflow. O(height) I/Os.
+  Status Insert(const Record& record);
+
+  // Removes one record bitwise-equal to `record` (and cmp-equal, used to
+  // locate it). Lazy: leaves may underflow; pages are freed only when a
+  // leaf empties completely and the tree is a single leaf.
+  // Returns NotFound when no such record exists.
+  Status Erase(const Record& record);
+
+  // Calls fn(record) for each record r with cmp(r, key) >= 0 in ascending
+  // order until fn returns false or the scan ends.
+  template <typename Fn>
+  Status ScanFrom(const Record& key, Fn fn) const;
+
+  // Calls fn(record) for every record in ascending order until fn returns
+  // false.
+  template <typename Fn>
+  Status ScanAll(Fn fn) const;
+
+  // True when a cmp-equal record exists.
+  Result<bool> Contains(const Record& key) const;
+
+  // Frees every page. The tree becomes empty.
+  Status Clear();
+
+  // Collects every record (test helper; O(n) memory).
+  Result<std::vector<Record>> CollectAll() const;
+
+  // Identifies the leaf page and slot of the first record with
+  // cmp(r, key) >= 0, for structures that keep stable positions into a
+  // static tree (fractional-cascading bridges). Invalidated by any update.
+  struct Position {
+    io::PageId leaf = io::kInvalidPageId;
+    uint32_t slot = 0;
+    bool found = false;  // false: key is past the last record
+  };
+  Result<Position> LowerBoundPosition(const Record& key) const;
+
+  // Scans forward from an explicit position (bridge landing).
+  template <typename Fn>
+  Status ScanFromPosition(const Position& pos, Fn fn) const;
+
+  // Like BulkLoad, additionally reporting where each input record landed
+  // (positions->at(i) for sorted[i]). Positions stay valid until the next
+  // mutation; used by structures that point into a static tree
+  // (fractional-cascading bridges).
+  Status BulkLoadWithPositions(std::span<const Record> sorted,
+                               std::vector<Position>* positions);
+
+  // Finds the first record satisfying a *suffix-monotone* predicate (false
+  // ... false true ... true in tree order); separator copies are real
+  // records, so the predicate steers the descent. Returns the position of
+  // the first satisfying record and, when one exists, the record
+  // immediately before it (*pred_valid false when the match is the very
+  // first record). Used for order-consistent searches whose comparison
+  // key exists only at query time (e.g. "y at the query abscissa").
+  template <typename Pred>
+  Status FindFirstWhere(Pred pred, Position* pos, Record* pred_record,
+                        bool* pred_valid) const;
+
+  // Position of the first record in tree order (found=false when empty).
+  Result<Position> HeadPosition() const;
+
+  // Reads one leaf page's records plus its neighbor links — the low-level
+  // access used by cursors that walk leaves in both directions
+  // (fractional-cascading bridge landings).
+  struct LeafView {
+    std::vector<Record> records;
+    io::PageId next = io::kInvalidPageId;
+    io::PageId prev = io::kInvalidPageId;
+  };
+  Result<LeafView> ReadLeaf(io::PageId leaf) const;
+
+ private:
+  static constexpr uint32_t kLeafHeaderBytes = 16;
+  static constexpr uint32_t kInternalHeaderBytes = 8;
+
+  // -- Node views ---------------------------------------------------------
+  // Leaf layout:   [u8 is_leaf][u8 pad3][u32 count][PageId next][PageId prev]
+  //                [Record x count]
+  // Internal:      [u8 is_leaf][u8 pad3][u32 count]
+  //                [PageId child x (count+1)][Record sep x count]
+  // Separator semantics: sep[i] is a copy of the smallest record in
+  // child[i+1]'s subtree; search descends into the first child i with
+  // key < sep[i] (or the last child).
+
+  static bool IsLeaf(const io::Page& p) { return p.ReadAt<uint8_t>(0) != 0; }
+  static void SetLeaf(io::Page& p, bool leaf) {
+    p.WriteAt<uint8_t>(0, leaf ? 1 : 0);
+  }
+  static uint32_t Count(const io::Page& p) { return p.ReadAt<uint32_t>(4); }
+  static void SetCount(io::Page& p, uint32_t c) { p.WriteAt<uint32_t>(4, c); }
+
+  static io::PageId LeafNext(const io::Page& p) {
+    return p.ReadAt<io::PageId>(8);
+  }
+  static void SetLeafNext(io::Page& p, io::PageId id) {
+    p.WriteAt<io::PageId>(8, id);
+  }
+  static io::PageId LeafPrev(const io::Page& p) {
+    return p.ReadAt<io::PageId>(12);
+  }
+  static void SetLeafPrev(io::Page& p, io::PageId id) {
+    p.WriteAt<io::PageId>(12, id);
+  }
+
+  static uint32_t LeafRecordOff(uint32_t i) {
+    return kLeafHeaderBytes + i * static_cast<uint32_t>(sizeof(Record));
+  }
+  uint32_t ChildOff(uint32_t i) const {
+    return kInternalHeaderBytes + i * sizeof(io::PageId);
+  }
+  uint32_t SepOff(uint32_t i) const {
+    return kInternalHeaderBytes + (internal_capacity_ + 1) * sizeof(io::PageId) +
+           i * static_cast<uint32_t>(sizeof(Record));
+  }
+
+  static Record LeafRecord(const io::Page& p, uint32_t i) {
+    return p.ReadAt<Record>(LeafRecordOff(i));
+  }
+  io::PageId Child(const io::Page& p, uint32_t i) const {
+    return p.ReadAt<io::PageId>(ChildOff(i));
+  }
+  Record Separator(const io::Page& p, uint32_t i) const {
+    return p.ReadAt<Record>(SepOff(i));
+  }
+
+  // First slot in leaf with record >= key.
+  uint32_t LeafLowerBound(const io::Page& leaf, const Record& key) const {
+    uint32_t lo = 0, hi = Count(leaf);
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (cmp_(LeafRecord(leaf, mid), key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child index for inserting `key`: right of all cmp-equal separators, so
+  // duplicates append after existing equals.
+  uint32_t PickChildUpper(const io::Page& node, const Record& key) const {
+    uint32_t lo = 0, hi = Count(node);
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (cmp_(Separator(node, mid), key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child index for lower-bound search: left of cmp-equal separators, so
+  // no cmp-equal record in an earlier leaf is skipped. Landing too far left
+  // is corrected by following leaf next-pointers.
+  uint32_t PickChildLower(const io::Page& node, const Record& key) const {
+    uint32_t lo = 0, hi = Count(node);
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (cmp_(Separator(node, mid), key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  Status FreeSubtree(io::PageId id);
+
+  io::BufferPool* pool_;
+  Compare cmp_;
+  uint32_t leaf_capacity_ = 0;
+  uint32_t internal_capacity_ = 0;
+  io::PageId root_ = io::kInvalidPageId;
+  uint32_t height_ = 0;  // 0 = empty, 1 = single leaf
+  uint64_t size_ = 0;
+  uint64_t page_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::Clear() {
+  if (root_ != io::kInvalidPageId) {
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+    root_ = io::kInvalidPageId;
+  }
+  height_ = 0;
+  size_ = 0;
+  page_count_ = 0;
+  return Status::OK();
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::FreeSubtree(io::PageId id) {
+  {
+    auto ref = pool_->Fetch(id);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    if (!IsLeaf(p)) {
+      const uint32_t count = Count(p);
+      std::vector<io::PageId> children(count + 1);
+      for (uint32_t i = 0; i <= count; ++i) children[i] = Child(p, i);
+      ref.value().Release();
+      for (io::PageId c : children) SEGDB_RETURN_IF_ERROR(FreeSubtree(c));
+    }
+  }
+  return pool_->FreePage(id);
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::BulkLoad(std::span<const Record> sorted) {
+  return BulkLoadWithPositions(sorted, nullptr);
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
+    std::span<const Record> sorted, std::vector<Position>* positions) {
+  SEGDB_RETURN_IF_ERROR(Clear());
+  if (positions != nullptr) {
+    positions->clear();
+    positions->reserve(sorted.size());
+  }
+  if (sorted.empty()) return Status::OK();
+#ifndef NDEBUG
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    assert(cmp_(sorted[i - 1], sorted[i]) <= 0 && "BulkLoad input not sorted");
+  }
+#endif
+
+  // Level 0: packed leaves.
+  struct Entry {
+    Record first;
+    io::PageId id;
+  };
+  std::vector<Entry> level;
+  io::PageId prev = io::kInvalidPageId;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<size_t>(leaf_capacity_, sorted.size() - i));
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    SetLeaf(p, true);
+    SetCount(p, take);
+    SetLeafPrev(p, prev);
+    SetLeafNext(p, io::kInvalidPageId);
+    p.WriteArray<Record>(LeafRecordOff(0), sorted.data() + i, take);
+    ref.value().MarkDirty();
+    const io::PageId id = ref.value().page_id();
+    if (positions != nullptr) {
+      for (uint32_t k = 0; k < take; ++k) {
+        positions->push_back(Position{id, k, true});
+      }
+    }
+    if (prev != io::kInvalidPageId) {
+      ref.value().Release();
+      auto prev_ref = pool_->Fetch(prev);
+      if (!prev_ref.ok()) return prev_ref.status();
+      SetLeafNext(prev_ref.value().page(), id);
+      prev_ref.value().MarkDirty();
+    }
+    level.push_back(Entry{sorted[i], id});
+    prev = id;
+    ++page_count_;
+    i += take;
+  }
+  height_ = 1;
+
+  // Upper levels.
+  while (level.size() > 1) {
+    std::vector<Entry> next_level;
+    size_t j = 0;
+    while (j < level.size()) {
+      uint32_t take = static_cast<uint32_t>(
+          std::min<size_t>(internal_capacity_ + 1, level.size() - j));
+      // Avoid leaving a single orphan child for the last node.
+      if (level.size() - j - take == 1) --take;
+      auto ref = pool_->NewPage();
+      if (!ref.ok()) return ref.status();
+      io::Page& p = ref.value().page();
+      SetLeaf(p, false);
+      SetCount(p, take - 1);
+      for (uint32_t k = 0; k < take; ++k) {
+        p.WriteAt<io::PageId>(ChildOff(k), level[j + k].id);
+        if (k > 0) p.WriteAt<Record>(SepOff(k - 1), level[j + k].first);
+      }
+      ref.value().MarkDirty();
+      next_level.push_back(Entry{level[j].first, ref.value().page_id()});
+      ++page_count_;
+      j += take;
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = level[0].id;
+  size_ = sorted.size();
+  return Status::OK();
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::Insert(const Record& record) {
+  if (root_ == io::kInvalidPageId) {
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    SetLeaf(p, true);
+    SetCount(p, 1);
+    SetLeafNext(p, io::kInvalidPageId);
+    SetLeafPrev(p, io::kInvalidPageId);
+    p.WriteAt<Record>(LeafRecordOff(0), record);
+    ref.value().MarkDirty();
+    root_ = ref.value().page_id();
+    height_ = 1;
+    size_ = 1;
+    page_count_ = 1;
+    return Status::OK();
+  }
+
+  // Descend, remembering the path for splits.
+  struct PathEntry {
+    io::PageId id;
+    uint32_t child_index;
+  };
+  std::vector<PathEntry> path;
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    if (IsLeaf(p)) break;
+    const uint32_t ci = PickChildUpper(p, record);
+    path.push_back(PathEntry{cur, ci});
+    cur = Child(p, ci);
+  }
+
+  // Insert into the leaf; on overflow split and propagate.
+  Record carry_sep{};
+  io::PageId carry_child = io::kInvalidPageId;
+  {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    const uint32_t count = Count(p);
+    // Insert after equal records (stable for duplicates).
+    uint32_t pos = count;
+    {
+      uint32_t lo = 0, hi = count;
+      while (lo < hi) {
+        uint32_t mid = (lo + hi) / 2;
+        if (cmp_(LeafRecord(p, mid), record) <= 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos = lo;
+    }
+    pos = std::min(pos, count);
+    // Assemble prefix + record + suffix directly (avoids vector::insert,
+    // which trips a GCC-12 -Wstringop-overflow false positive here).
+    std::vector<Record> recs(count + 1);
+    p.ReadArray<Record>(LeafRecordOff(0), recs.data(), pos);
+    recs[pos] = record;
+    if (pos < count) {
+      p.ReadArray<Record>(LeafRecordOff(pos), recs.data() + pos + 1,
+                          count - pos);
+    }
+    if (count + 1 <= leaf_capacity_) {
+      p.WriteArray<Record>(LeafRecordOff(0), recs.data(), count + 1);
+      SetCount(p, count + 1);
+      ref.value().MarkDirty();
+      ++size_;
+      return Status::OK();
+    }
+    // Split the leaf.
+    const uint32_t left_n = (count + 1) / 2;
+    const uint32_t right_n = count + 1 - left_n;
+    auto right = pool_->NewPage();
+    if (!right.ok()) return right.status();
+    io::Page& rp = right.value().page();
+    SetLeaf(rp, true);
+    SetCount(rp, right_n);
+    rp.WriteArray<Record>(LeafRecordOff(0), recs.data() + left_n, right_n);
+    SetLeafPrev(rp, cur);
+    SetLeafNext(rp, LeafNext(p));
+    right.value().MarkDirty();
+    const io::PageId right_id = right.value().page_id();
+    const io::PageId old_next = LeafNext(p);
+    p.WriteArray<Record>(LeafRecordOff(0), recs.data(), left_n);
+    SetCount(p, left_n);
+    SetLeafNext(p, right_id);
+    ref.value().MarkDirty();
+    ref.value().Release();
+    right.value().Release();
+    if (old_next != io::kInvalidPageId) {
+      auto nref = pool_->Fetch(old_next);
+      if (!nref.ok()) return nref.status();
+      SetLeafPrev(nref.value().page(), right_id);
+      nref.value().MarkDirty();
+    }
+    carry_sep = recs[left_n];
+    carry_child = right_id;
+    ++page_count_;
+  }
+
+  // Propagate the split upward.
+  while (carry_child != io::kInvalidPageId && !path.empty()) {
+    const PathEntry pe = path.back();
+    path.pop_back();
+    auto ref = pool_->Fetch(pe.id);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    const uint32_t count = Count(p);
+    std::vector<Record> seps(count);
+    std::vector<io::PageId> kids(count + 1);
+    for (uint32_t k = 0; k < count; ++k) seps[k] = Separator(p, k);
+    for (uint32_t k = 0; k <= count; ++k) kids[k] = Child(p, k);
+    seps.insert(seps.begin() + pe.child_index, carry_sep);
+    kids.insert(kids.begin() + pe.child_index + 1, carry_child);
+    if (count + 1 <= internal_capacity_) {
+      SetCount(p, count + 1);
+      for (uint32_t k = 0; k < count + 1; ++k) {
+        p.WriteAt<Record>(SepOff(k), seps[k]);
+      }
+      for (uint32_t k = 0; k <= count + 1; ++k) {
+        p.WriteAt<io::PageId>(ChildOff(k), kids[k]);
+      }
+      ref.value().MarkDirty();
+      carry_child = io::kInvalidPageId;
+      break;
+    }
+    // Split the internal node: middle separator moves up.
+    const uint32_t total = count + 1;              // separators
+    const uint32_t mid = total / 2;                // promoted index
+    auto right = pool_->NewPage();
+    if (!right.ok()) return right.status();
+    io::Page& rp = right.value().page();
+    SetLeaf(rp, false);
+    const uint32_t right_seps = total - mid - 1;
+    SetCount(rp, right_seps);
+    for (uint32_t k = 0; k < right_seps; ++k) {
+      rp.WriteAt<Record>(SepOff(k), seps[mid + 1 + k]);
+    }
+    for (uint32_t k = 0; k <= right_seps; ++k) {
+      rp.WriteAt<io::PageId>(ChildOff(k), kids[mid + 1 + k]);
+    }
+    right.value().MarkDirty();
+    SetCount(p, mid);
+    for (uint32_t k = 0; k < mid; ++k) p.WriteAt<Record>(SepOff(k), seps[k]);
+    for (uint32_t k = 0; k <= mid; ++k) {
+      p.WriteAt<io::PageId>(ChildOff(k), kids[k]);
+    }
+    ref.value().MarkDirty();
+    carry_sep = seps[mid];
+    carry_child = right.value().page_id();
+    ++page_count_;
+  }
+
+  if (carry_child != io::kInvalidPageId) {
+    // Grow a new root.
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    SetLeaf(p, false);
+    SetCount(p, 1);
+    p.WriteAt<io::PageId>(ChildOff(0), root_);
+    p.WriteAt<io::PageId>(ChildOff(1), carry_child);
+    p.WriteAt<Record>(SepOff(0), carry_sep);
+    ref.value().MarkDirty();
+    root_ = ref.value().page_id();
+    ++height_;
+    ++page_count_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::Erase(const Record& record) {
+  if (root_ == io::kInvalidPageId) return Status::NotFound("empty tree");
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    if (!IsLeaf(p)) {
+      cur = Child(p, PickChildLower(p, record));
+      continue;
+    }
+    // Walk cmp-equal records (possibly across leaves) looking for a
+    // bitwise match.
+    uint32_t slot = LeafLowerBound(p, record);
+    io::PageRef leaf_ref = std::move(ref.value());
+    for (;;) {
+      io::Page& lp = leaf_ref.page();
+      const uint32_t count = Count(lp);
+      if (slot >= count) {
+        const io::PageId next = LeafNext(lp);
+        if (next == io::kInvalidPageId) return Status::NotFound("no match");
+        auto nref = pool_->Fetch(next);
+        if (!nref.ok()) return nref.status();
+        leaf_ref = std::move(nref.value());
+        slot = 0;
+        continue;
+      }
+      const Record r = LeafRecord(lp, slot);
+      if (cmp_(r, record) > 0) return Status::NotFound("no match");
+      if (std::memcmp(&r, &record, sizeof(Record)) == 0) {
+        std::vector<Record> recs(count);
+        lp.ReadArray<Record>(LeafRecordOff(0), recs.data(), count);
+        recs.erase(recs.begin() + slot);
+        lp.WriteArray<Record>(LeafRecordOff(0), recs.data(), count - 1);
+        SetCount(lp, count - 1);
+        leaf_ref.MarkDirty();
+        --size_;
+        return Status::OK();
+      }
+      ++slot;
+    }
+  }
+}
+
+template <typename Record, typename Compare>
+Result<typename BPlusTree<Record, Compare>::Position>
+BPlusTree<Record, Compare>::LowerBoundPosition(const Record& key) const {
+  Position pos;
+  if (root_ == io::kInvalidPageId) return pos;
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    if (!IsLeaf(p)) {
+      cur = Child(p, PickChildLower(p, key));
+      continue;
+    }
+    uint32_t slot = LeafLowerBound(p, key);
+    if (slot >= Count(p)) {
+      const io::PageId next = LeafNext(p);
+      if (next == io::kInvalidPageId) return pos;  // past the end
+      pos.leaf = next;
+      pos.slot = 0;
+      pos.found = true;
+      return pos;
+    }
+    pos.leaf = cur;
+    pos.slot = slot;
+    pos.found = true;
+    return pos;
+  }
+}
+
+template <typename Record, typename Compare>
+template <typename Pred>
+Status BPlusTree<Record, Compare>::FindFirstWhere(Pred pred, Position* pos,
+                                                  Record* pred_record,
+                                                  bool* pred_valid) const {
+  *pos = Position{};
+  *pred_valid = false;
+  if (root_ == io::kInvalidPageId) return Status::OK();
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    if (!IsLeaf(p)) {
+      // First separator satisfying pred: the first match is in the child
+      // left of it (or is that separator itself, reached via leaf links).
+      uint32_t lo = 0, hi = Count(p);
+      while (lo < hi) {
+        const uint32_t mid = (lo + hi) / 2;
+        if (pred(Separator(p, mid))) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      cur = Child(p, lo);
+      continue;
+    }
+    // First satisfying slot in this leaf.
+    uint32_t lo = 0, hi = Count(p);
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (pred(LeafRecord(p, mid))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo < Count(p)) {
+      pos->leaf = cur;
+      pos->slot = lo;
+      pos->found = true;
+      if (lo > 0) {
+        *pred_record = LeafRecord(p, lo - 1);
+        *pred_valid = true;
+      } else {
+        const io::PageId prev = LeafPrev(p);
+        if (prev != io::kInvalidPageId) {
+          ref.value().Release();
+          auto pref = pool_->Fetch(prev);
+          if (!pref.ok()) return pref.status();
+          const io::Page& pp = pref.value().page();
+          if (Count(pp) > 0) {
+            *pred_record = LeafRecord(pp, Count(pp) - 1);
+            *pred_valid = true;
+          }
+        }
+      }
+      return Status::OK();
+    }
+    // Descent may land one leaf early; hop once. If the next leaf's first
+    // record still fails the predicate, no record satisfies it.
+    if (Count(p) > 0) {
+      *pred_record = LeafRecord(p, Count(p) - 1);
+      *pred_valid = true;
+    }
+    const io::PageId next = LeafNext(p);
+    if (next == io::kInvalidPageId) return Status::OK();
+    ref.value().Release();
+    auto nref = pool_->Fetch(next);
+    if (!nref.ok()) return nref.status();
+    const io::Page& np = nref.value().page();
+    if (Count(np) > 0 && pred(LeafRecord(np, 0))) {
+      pos->leaf = next;
+      pos->slot = 0;
+      pos->found = true;
+    }
+    return Status::OK();
+  }
+}
+
+template <typename Record, typename Compare>
+template <typename Fn>
+Status BPlusTree<Record, Compare>::ScanFromPosition(const Position& pos,
+                                                    Fn fn) const {
+  if (!pos.found) return Status::OK();
+  io::PageId cur = pos.leaf;
+  uint32_t slot = pos.slot;
+  while (cur != io::kInvalidPageId) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    const uint32_t count = Count(p);
+    for (uint32_t i = slot; i < count; ++i) {
+      if (!fn(LeafRecord(p, i))) return Status::OK();
+    }
+    cur = LeafNext(p);
+    slot = 0;
+  }
+  return Status::OK();
+}
+
+template <typename Record, typename Compare>
+template <typename Fn>
+Status BPlusTree<Record, Compare>::ScanFrom(const Record& key, Fn fn) const {
+  Result<Position> pos = LowerBoundPosition(key);
+  if (!pos.ok()) return pos.status();
+  return ScanFromPosition(pos.value(), fn);
+}
+
+template <typename Record, typename Compare>
+Result<typename BPlusTree<Record, Compare>::Position>
+BPlusTree<Record, Compare>::HeadPosition() const {
+  Position pos;
+  if (root_ == io::kInvalidPageId) return pos;
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    if (IsLeaf(p)) {
+      if (Count(p) == 0) return pos;
+      pos.leaf = cur;
+      pos.slot = 0;
+      pos.found = true;
+      return pos;
+    }
+    cur = Child(p, 0);
+  }
+}
+
+template <typename Record, typename Compare>
+Result<typename BPlusTree<Record, Compare>::LeafView>
+BPlusTree<Record, Compare>::ReadLeaf(io::PageId leaf) const {
+  auto ref = pool_->Fetch(leaf);
+  if (!ref.ok()) return ref.status();
+  const io::Page& p = ref.value().page();
+  if (!IsLeaf(p)) return Status::InvalidArgument("ReadLeaf: not a leaf page");
+  LeafView view;
+  view.records.resize(Count(p));
+  p.ReadArray<Record>(LeafRecordOff(0), view.records.data(), Count(p));
+  view.next = LeafNext(p);
+  view.prev = LeafPrev(p);
+  return view;
+}
+
+template <typename Record, typename Compare>
+template <typename Fn>
+Status BPlusTree<Record, Compare>::ScanAll(Fn fn) const {
+  if (root_ == io::kInvalidPageId) return Status::OK();
+  io::PageId cur = root_;
+  for (;;) {
+    auto ref = pool_->Fetch(cur);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    if (IsLeaf(p)) break;
+    cur = Child(p, 0);
+  }
+  Position pos;
+  pos.leaf = cur;
+  pos.slot = 0;
+  pos.found = true;
+  return ScanFromPosition(pos, fn);
+}
+
+template <typename Record, typename Compare>
+Result<bool> BPlusTree<Record, Compare>::Contains(const Record& key) const {
+  bool found = false;
+  Status s = ScanFrom(key, [&](const Record& r) {
+    found = (cmp_(r, key) == 0);
+    return false;  // only need the first record
+  });
+  if (!s.ok()) return s;
+  return found;
+}
+
+template <typename Record, typename Compare>
+Result<std::vector<Record>> BPlusTree<Record, Compare>::CollectAll() const {
+  std::vector<Record> out;
+  out.reserve(size_);
+  Status s = ScanAll([&](const Record& r) {
+    out.push_back(r);
+    return true;
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace segdb::btree
+
+#endif  // SEGDB_BTREE_BPLUS_TREE_H_

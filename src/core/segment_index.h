@@ -1,0 +1,76 @@
+// The public query interface of segdb: generalized vertical-segment (VS)
+// queries over an NCT segment database, as defined in the paper's
+// introduction. Both two-level data structures (Sections 3 and 4) and all
+// baselines implement this interface, so experiments and examples swap
+// implementations freely.
+#ifndef SEGDB_CORE_SEGMENT_INDEX_H_
+#define SEGDB_CORE_SEGMENT_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/segment.h"
+#include "util/status.h"
+
+namespace segdb::core {
+
+// A generalized vertical query segment x = x0, ylo <= y <= yhi. Rays and
+// lines are expressed through the factories below (coordinates are bounded
+// by geom::kMaxCoord, so the sentinels cover every dataset). Non-vertical
+// fixed-direction queries are handled by rotating the data at load time
+// (paper, footnote 1).
+struct VerticalSegmentQuery {
+  int64_t x0 = 0;
+  int64_t ylo = 0;
+  int64_t yhi = 0;
+
+  static VerticalSegmentQuery Segment(int64_t x0, int64_t ylo, int64_t yhi) {
+    return {x0, ylo, yhi};
+  }
+  static VerticalSegmentQuery UpRay(int64_t x0, int64_t ylo) {
+    return {x0, ylo, geom::kMaxCoord + 1};
+  }
+  static VerticalSegmentQuery DownRay(int64_t x0, int64_t yhi) {
+    return {x0, -(geom::kMaxCoord + 1), yhi};
+  }
+  static VerticalSegmentQuery Line(int64_t x0) {
+    return {x0, -(geom::kMaxCoord + 1), geom::kMaxCoord + 1};
+  }
+};
+
+// Interface implemented by the paper's structures and the baselines.
+class SegmentIndex {
+ public:
+  virtual ~SegmentIndex() = default;
+
+  // Replaces the contents with an NCT segment set (static build).
+  virtual Status BulkLoad(std::span<const geom::Segment> segments) = 0;
+
+  // Semi-dynamic insertion: the new segment must not properly cross any
+  // stored segment.
+  virtual Status Insert(const geom::Segment& segment) = 0;
+
+  // Deletion of a stored segment (matched by id and coordinates). The
+  // paper's Theorem 1 supports full updates; structures without a
+  // deletion path keep the default.
+  virtual Status Erase(const geom::Segment& /*segment*/) {
+    return Status::Unimplemented(name() + " does not support deletion");
+  }
+
+  // Appends every stored segment intersecting the query to *out.
+  virtual Status Query(const VerticalSegmentQuery& query,
+                       std::vector<geom::Segment>* out) const = 0;
+
+  virtual uint64_t size() const = 0;
+
+  // Disk pages currently owned (space experiments).
+  virtual uint64_t page_count() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_SEGMENT_INDEX_H_

@@ -1,0 +1,565 @@
+#include "core/two_level_binary_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "geom/predicates.h"
+
+namespace segdb::core {
+
+namespace {
+
+using geom::Segment;
+
+// Leaf page layout: [u32 count][Segment x count].
+constexpr uint32_t kLeafHeader = 8;
+
+// Routing classes of a segment relative to a base line x = blx.
+enum class Route { kOnLine, kCrossing, kLeft, kRight };
+
+Route Classify(const Segment& s, int64_t blx) {
+  if (s.x2 < blx) return Route::kLeft;
+  if (s.x1 > blx) return Route::kRight;
+  if (s.is_vertical()) return Route::kOnLine;  // x1 == x2 == blx here
+  return Route::kCrossing;
+}
+
+}  // namespace
+
+TwoLevelBinaryIndex::TwoLevelBinaryIndex(io::BufferPool* pool,
+                                         TwoLevelBinaryOptions options)
+    : pool_(pool), options_(options) {}
+
+TwoLevelBinaryIndex::~TwoLevelBinaryIndex() {
+  if (root_ >= 0) FreeSubtree(root_).ok();
+}
+
+uint32_t TwoLevelBinaryIndex::LeafCapacity() const {
+  if (options_.leaf_capacity != 0) return options_.leaf_capacity;
+  return (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+}
+
+pst::LinePstOptions TwoLevelBinaryIndex::PstOptions() const {
+  pst::LinePstOptions o;
+  o.fanout = options_.pst_fanout;
+  return o;
+}
+
+Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
+  for (io::PageId id : node->leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  node->leaf_pages.clear();
+  const uint32_t per_page = LeafCapacity() < ((pool_->page_size() - kLeafHeader) /
+                                              sizeof(Segment))
+                                ? LeafCapacity()
+                                : (pool_->page_size() - kLeafHeader) /
+                                      sizeof(Segment);
+  size_t i = 0;
+  while (i < node->leaf_segments.size()) {
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<size_t>(per_page, node->leaf_segments.size() - i));
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    p.WriteAt<uint32_t>(0, take);
+    p.WriteArray<Segment>(kLeafHeader, node->leaf_segments.data() + i, take);
+    ref.value().MarkDirty();
+    node->leaf_pages.push_back(ref.value().page_id());
+    i += take;
+  }
+  return Status::OK();
+}
+
+Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
+    std::vector<Segment> segments) {
+  assert(!segments.empty());
+  int32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[idx] = Node{};
+  } else {
+    idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  {
+    auto meta = pool_->NewPage();
+    if (!meta.ok()) return meta.status();
+    meta.value().MarkDirty();
+    nodes_[idx].meta_page = meta.value().page_id();
+  }
+  nodes_[idx].subtree_size = segments.size();
+
+  if (segments.size() <= LeafCapacity()) {
+    nodes_[idx].is_leaf = true;
+    nodes_[idx].leaf_segments = std::move(segments);
+    SEGDB_RETURN_IF_ERROR(WriteLeafPages(&nodes_[idx]));
+    return idx;
+  }
+
+  // Median endpoint x as the base line (paper: the vertical line splitting
+  // the endpoint multiset in half; guarantees each side receives at most
+  // half the segments).
+  std::vector<int64_t> xs;
+  xs.reserve(2 * segments.size());
+  for (const Segment& s : segments) {
+    xs.push_back(s.x1);
+    xs.push_back(s.x2);
+  }
+  const size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  const int64_t blx = xs[mid];
+  nodes_[idx].is_leaf = false;
+  nodes_[idx].bl_x = blx;
+
+  std::vector<Segment> on_line, crossing, left, right;
+  for (const Segment& s : segments) {
+    switch (Classify(s, blx)) {
+      case Route::kOnLine: on_line.push_back(s); break;
+      case Route::kCrossing: crossing.push_back(s); break;
+      case Route::kLeft: left.push_back(s); break;
+      case Route::kRight: right.push_back(s); break;
+    }
+  }
+  segments.clear();
+  assert(left.size() < nodes_[idx].subtree_size);
+  assert(right.size() < nodes_[idx].subtree_size);
+
+  if (!on_line.empty()) {
+    std::vector<pst::PointRecord> points;
+    points.reserve(on_line.size());
+    for (const Segment& s : on_line) {
+      points.push_back(pst::PointRecord{s.y1, s.y2, s.id});
+    }
+    auto c = std::make_unique<pst::PointPst>(pool_, PstOptions());
+    SEGDB_RETURN_IF_ERROR(c->BulkLoad(points));
+    nodes_[idx].c = std::move(c);
+  }
+  std::vector<Segment> lefts, rights;
+  for (const Segment& s : crossing) {
+    if (s.x1 < blx) lefts.push_back(s);   // non-degenerate left part
+    if (s.x2 > blx) rights.push_back(s);  // non-degenerate right part
+  }
+  if (!lefts.empty()) {
+    auto l = std::make_unique<pst::LinePst>(pool_, blx, pst::Direction::kLeft,
+                                            PstOptions());
+    SEGDB_RETURN_IF_ERROR(l->BulkLoad(lefts));
+    nodes_[idx].l = std::move(l);
+  }
+  if (!rights.empty()) {
+    auto r = std::make_unique<pst::LinePst>(pool_, blx, pst::Direction::kRight,
+                                            PstOptions());
+    SEGDB_RETURN_IF_ERROR(r->BulkLoad(rights));
+    nodes_[idx].r = std::move(r);
+  }
+  if (!left.empty()) {
+    Result<int32_t> child = BuildSubtree(std::move(left));
+    if (!child.ok()) return child.status();
+    nodes_[idx].left = child.value();
+  }
+  if (!right.empty()) {
+    Result<int32_t> child = BuildSubtree(std::move(right));
+    if (!child.ok()) return child.status();
+    nodes_[idx].right = child.value();
+  }
+  return idx;
+}
+
+Status TwoLevelBinaryIndex::FreeSubtree(int32_t idx) {
+  Node& node = nodes_[idx];
+  if (node.left >= 0) SEGDB_RETURN_IF_ERROR(FreeSubtree(node.left));
+  if (node.right >= 0) SEGDB_RETURN_IF_ERROR(FreeSubtree(node.right));
+  if (node.c) SEGDB_RETURN_IF_ERROR(node.c->Clear());
+  if (node.l) SEGDB_RETURN_IF_ERROR(node.l->Clear());
+  if (node.r) SEGDB_RETURN_IF_ERROR(node.r->Clear());
+  for (io::PageId id : node.leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  if (node.meta_page != io::kInvalidPageId) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(node.meta_page));
+  }
+  nodes_[idx] = Node{};
+  free_nodes_.push_back(idx);
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::CollectSubtree(int32_t idx,
+                                           std::vector<Segment>* out) const {
+  const Node& node = nodes_[idx];
+  if (node.is_leaf) {
+    out->insert(out->end(), node.leaf_segments.begin(),
+                node.leaf_segments.end());
+    return Status::OK();
+  }
+  if (node.c) {
+    std::vector<pst::PointRecord> points;
+    SEGDB_RETURN_IF_ERROR(node.c->CollectAll(&points));
+    for (const auto& p : points) {
+      out->push_back(Segment::Make({node.bl_x, p.x}, {node.bl_x, p.y}, p.id));
+    }
+  }
+  // Crossing segments live in L and/or R; collect without duplicates:
+  // everything in L, plus R entries whose left part is degenerate.
+  if (node.l) SEGDB_RETURN_IF_ERROR(node.l->CollectAll(out));
+  if (node.r) {
+    std::vector<Segment> rs;
+    SEGDB_RETURN_IF_ERROR(node.r->CollectAll(&rs));
+    for (const Segment& s : rs) {
+      if (s.x1 == node.bl_x) out->push_back(s);
+    }
+  }
+  if (node.left >= 0) SEGDB_RETURN_IF_ERROR(CollectSubtree(node.left, out));
+  if (node.right >= 0) SEGDB_RETURN_IF_ERROR(CollectSubtree(node.right, out));
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::BulkLoad(std::span<const Segment> segments) {
+  if (root_ >= 0) {
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+    root_ = -1;
+  }
+  size_ = segments.size();
+  if (segments.empty()) return Status::OK();
+  Result<int32_t> root =
+      BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
+  if (!root.ok()) return root.status();
+  root_ = root.value();
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::InsertAtNode(int32_t idx, const Segment& s) {
+  Node& node = nodes_[idx];
+  switch (Classify(s, node.bl_x)) {
+    case Route::kOnLine: {
+      if (!node.c) node.c = std::make_unique<pst::PointPst>(pool_, PstOptions());
+      return node.c->Insert(pst::PointRecord{s.y1, s.y2, s.id});
+    }
+    case Route::kCrossing: {
+      if (s.x1 < node.bl_x) {
+        if (!node.l) {
+          node.l = std::make_unique<pst::LinePst>(
+              pool_, node.bl_x, pst::Direction::kLeft, PstOptions());
+        }
+        SEGDB_RETURN_IF_ERROR(node.l->Insert(s));
+      }
+      if (s.x2 > node.bl_x) {
+        if (!node.r) {
+          node.r = std::make_unique<pst::LinePst>(
+              pool_, node.bl_x, pst::Direction::kRight, PstOptions());
+        }
+        SEGDB_RETURN_IF_ERROR(node.r->Insert(s));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("InsertAtNode: segment does not touch bl(v)");
+  }
+}
+
+Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
+  ++size_;
+  if (root_ < 0) {
+    Result<int32_t> root = BuildSubtree({segment});
+    if (!root.ok()) return root.status();
+    root_ = root.value();
+    return Status::OK();
+  }
+  int32_t cur = root_;
+  int32_t parent = -1;
+  bool parent_left = false;
+  for (;;) {
+    Node& node = nodes_[cur];
+    ++node.subtree_size;
+    ++node.inserts_since_rebuild;
+
+    // BB[alpha]-style partial rebuilding, checked top-down; the
+    // inserts_since_rebuild guard keeps rebuilds amortized.
+    const uint64_t ls =
+        node.left >= 0 ? nodes_[node.left].subtree_size : 0;
+    const uint64_t rs =
+        node.right >= 0 ? nodes_[node.right].subtree_size : 0;
+    const uint64_t below = ls + rs;
+    const double limit =
+        options_.rebuild_fraction * static_cast<double>(below) +
+        LeafCapacity();
+    if (below > 2 * static_cast<uint64_t>(LeafCapacity()) &&
+        node.inserts_since_rebuild * 8 > node.subtree_size &&
+        (static_cast<double>(ls) > limit ||
+         static_cast<double>(rs) > limit)) {
+      std::vector<Segment> all;
+      all.reserve(node.subtree_size);
+      SEGDB_RETURN_IF_ERROR(CollectSubtree(cur, &all));
+      all.push_back(segment);
+      SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+      Result<int32_t> rebuilt = BuildSubtree(std::move(all));
+      if (!rebuilt.ok()) return rebuilt.status();
+      if (parent < 0) {
+        root_ = rebuilt.value();
+      } else if (parent_left) {
+        nodes_[parent].left = rebuilt.value();
+      } else {
+        nodes_[parent].right = rebuilt.value();
+      }
+      return Status::OK();
+    }
+
+    if (node.is_leaf) {
+      node.leaf_segments.push_back(segment);
+      if (node.leaf_segments.size() > 2 * LeafCapacity()) {
+        // Split the leaf by rebuilding it as a (small) subtree.
+        std::vector<Segment> all = std::move(node.leaf_segments);
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        Result<int32_t> rebuilt = BuildSubtree(std::move(all));
+        if (!rebuilt.ok()) return rebuilt.status();
+        if (parent < 0) {
+          root_ = rebuilt.value();
+        } else if (parent_left) {
+          nodes_[parent].left = rebuilt.value();
+        } else {
+          nodes_[parent].right = rebuilt.value();
+        }
+        return Status::OK();
+      }
+      return WriteLeafPages(&node);
+    }
+
+    const Route route = Classify(segment, node.bl_x);
+    if (route == Route::kOnLine || route == Route::kCrossing) {
+      return InsertAtNode(cur, segment);
+    }
+    const bool go_left = route == Route::kLeft;
+    int32_t child = go_left ? node.left : node.right;
+    if (child < 0) {
+      Result<int32_t> fresh = BuildSubtree({segment});
+      if (!fresh.ok()) return fresh.status();
+      if (go_left) {
+        nodes_[cur].left = fresh.value();
+      } else {
+        nodes_[cur].right = fresh.value();
+      }
+      return Status::OK();
+    }
+    parent = cur;
+    parent_left = go_left;
+    cur = child;
+  }
+}
+
+Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
+  // Pass 1: locate and remove from the owning structure (no bookkeeping
+  // yet, so a NotFound leaves the index untouched).
+  std::vector<int32_t> path;
+  int32_t cur = root_;
+  Status removed = Status::NotFound("segment not stored");
+  while (cur >= 0) {
+    path.push_back(cur);
+    Node& node = nodes_[cur];
+    {
+      auto meta = pool_->Fetch(node.meta_page);
+      if (!meta.ok()) return meta.status();
+    }
+    if (node.is_leaf) {
+      auto it = std::find(node.leaf_segments.begin(),
+                          node.leaf_segments.end(), segment);
+      if (it == node.leaf_segments.end()) return removed;
+      node.leaf_segments.erase(it);
+      SEGDB_RETURN_IF_ERROR(WriteLeafPages(&node));
+      removed = Status::OK();
+      break;
+    }
+    const Route route = Classify(segment, node.bl_x);
+    if (route == Route::kOnLine) {
+      if (node.c == nullptr) return removed;
+      SEGDB_RETURN_IF_ERROR(
+          node.c->Erase(pst::PointRecord{segment.y1, segment.y2, segment.id}));
+      removed = Status::OK();
+      break;
+    }
+    if (route == Route::kCrossing) {
+      if (segment.x1 < node.bl_x) {
+        if (node.l == nullptr) return removed;
+        SEGDB_RETURN_IF_ERROR(node.l->Erase(segment));
+        removed = Status::OK();
+      }
+      if (segment.x2 > node.bl_x) {
+        if (node.r == nullptr) {
+          return removed.ok()
+                     ? Status::Corruption("crossing segment missing in R")
+                     : removed;
+        }
+        SEGDB_RETURN_IF_ERROR(node.r->Erase(segment));
+        removed = Status::OK();
+      }
+      break;
+    }
+    cur = route == Route::kLeft ? node.left : node.right;
+  }
+  if (!removed.ok()) return removed;
+  for (int32_t idx : path) --nodes_[idx].subtree_size;
+  --size_;
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::QueryNode(const Node& node,
+                                      const VerticalSegmentQuery& q,
+                                      std::vector<Segment>* out) const {
+  if (q.x0 == node.bl_x) {
+    if (node.c) {
+      std::vector<pst::PointRecord> points;
+      SEGDB_RETURN_IF_ERROR(node.c->Query3Sided(
+          -(geom::kMaxCoord + 1), q.yhi, q.ylo, &points));
+      for (const auto& p : points) {
+        out->push_back(
+            Segment::Make({node.bl_x, p.x}, {node.bl_x, p.y}, p.id));
+      }
+    }
+    if (node.l) SEGDB_RETURN_IF_ERROR(node.l->Query(q.x0, q.ylo, q.yhi, out));
+    if (node.r) {
+      // L already reported every segment with x1 < bl(v); R adds only the
+      // ones whose left part is degenerate.
+      std::vector<Segment> rs;
+      SEGDB_RETURN_IF_ERROR(node.r->Query(q.x0, q.ylo, q.yhi, &rs));
+      for (const Segment& s : rs) {
+        if (s.x1 == node.bl_x) out->push_back(s);
+      }
+    }
+    return Status::OK();
+  }
+  if (q.x0 < node.bl_x) {
+    if (node.l) return node.l->Query(q.x0, q.ylo, q.yhi, out);
+    return Status::OK();
+  }
+  if (node.r) return node.r->Query(q.x0, q.ylo, q.yhi, out);
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::Query(const VerticalSegmentQuery& q,
+                                  std::vector<Segment>* out) const {
+  if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
+  int32_t cur = root_;
+  while (cur >= 0) {
+    const Node& node = nodes_[cur];
+    {
+      // One I/O per visited first-level node (its metadata block).
+      auto meta = pool_->Fetch(node.meta_page);
+      if (!meta.ok()) return meta.status();
+    }
+    if (node.is_leaf) {
+      for (io::PageId id : node.leaf_pages) {
+        auto ref = pool_->Fetch(id);
+        if (!ref.ok()) return ref.status();
+        const io::Page& p = ref.value().page();
+        const uint32_t count = p.ReadAt<uint32_t>(0);
+        for (uint32_t i = 0; i < count; ++i) {
+          const Segment s = p.ReadAt<Segment>(kLeafHeader + i * sizeof(Segment));
+          if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+            out->push_back(s);
+          }
+        }
+      }
+      return Status::OK();
+    }
+    SEGDB_RETURN_IF_ERROR(QueryNode(node, q, out));
+    if (q.x0 == node.bl_x) return Status::OK();
+    cur = q.x0 < node.bl_x ? node.left : node.right;
+  }
+  return Status::OK();
+}
+
+uint64_t TwoLevelBinaryIndex::page_count() const {
+  uint64_t total = 0;
+  // Walk live nodes only.
+  std::vector<int32_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    total += 1 + node.leaf_pages.size();
+    if (node.c) total += node.c->page_count();
+    if (node.l) total += node.l->page_count();
+    if (node.r) total += node.r->page_count();
+    if (node.left >= 0) stack.push_back(node.left);
+    if (node.right >= 0) stack.push_back(node.right);
+  }
+  return total;
+}
+
+uint32_t TwoLevelBinaryIndex::SubtreeHeight(int32_t idx) const {
+  if (idx < 0) return 0;
+  const Node& node = nodes_[idx];
+  return 1 + std::max(SubtreeHeight(node.left), SubtreeHeight(node.right));
+}
+
+uint32_t TwoLevelBinaryIndex::height() const { return SubtreeHeight(root_); }
+
+Status TwoLevelBinaryIndex::CheckSubtree(int32_t idx, const int64_t* lo,
+                                         const int64_t* hi,
+                                         uint64_t* total) const {
+  const Node& node = nodes_[idx];
+  uint64_t count = 0;
+  if (node.is_leaf) {
+    count = node.leaf_segments.size();
+    for (const Segment& s : node.leaf_segments) {
+      if (lo != nullptr && s.x1 <= *lo) {
+        return Status::Corruption("leaf segment crosses an ancestor line");
+      }
+      if (hi != nullptr && s.x2 >= *hi) {
+        return Status::Corruption("leaf segment crosses an ancestor line");
+      }
+    }
+  } else {
+    if (lo != nullptr && node.bl_x <= *lo) {
+      return Status::Corruption("base line outside ancestor slab");
+    }
+    if (hi != nullptr && node.bl_x >= *hi) {
+      return Status::Corruption("base line outside ancestor slab");
+    }
+    if (node.c) {
+      SEGDB_RETURN_IF_ERROR(node.c->CheckInvariants());
+      count += node.c->size();
+    }
+    uint64_t crossing = 0;
+    if (node.l) {
+      SEGDB_RETURN_IF_ERROR(node.l->CheckInvariants());
+      crossing += node.l->size();
+    }
+    if (node.r) {
+      SEGDB_RETURN_IF_ERROR(node.r->CheckInvariants());
+      std::vector<Segment> rs;
+      SEGDB_RETURN_IF_ERROR(node.r->CollectAll(&rs));
+      for (const Segment& s : rs) {
+        if (s.x1 == node.bl_x) ++crossing;  // only in R
+      }
+    }
+    count += crossing;
+    if (node.left >= 0) {
+      uint64_t sub = 0;
+      SEGDB_RETURN_IF_ERROR(CheckSubtree(node.left, lo, &node.bl_x, &sub));
+      count += sub;
+    }
+    if (node.right >= 0) {
+      uint64_t sub = 0;
+      SEGDB_RETURN_IF_ERROR(CheckSubtree(node.right, &node.bl_x, hi, &sub));
+      count += sub;
+    }
+  }
+  if (count != node.subtree_size) {
+    return Status::Corruption("subtree_size bookkeeping mismatch");
+  }
+  *total = count;
+  return Status::OK();
+}
+
+Status TwoLevelBinaryIndex::CheckInvariants() const {
+  if (root_ < 0) {
+    return size_ == 0 ? Status::OK() : Status::Corruption("size_ mismatch");
+  }
+  uint64_t total = 0;
+  SEGDB_RETURN_IF_ERROR(CheckSubtree(root_, nullptr, nullptr, &total));
+  if (total != size_) return Status::Corruption("size_ mismatch");
+  return Status::OK();
+}
+
+}  // namespace segdb::core

@@ -1,0 +1,124 @@
+// Solution A — Section 3 of the paper (Theorem 1).
+//
+// First level: a balanced binary tree over vertical base lines. The root's
+// base line bl(r) is the median of all segment-endpoint x-coordinates;
+// segments intersecting bl(r) stay at the root, the rest recurse left /
+// right. Each internal node v owns three second-level structures:
+//
+//   C(v) — segments lying ON bl(v) (vertical, x == bl(v)): 1-D intervals
+//          indexed as points (lo, hi) in a PointPst; a VS query on the
+//          line is the 3-sided query lo <= yhi, hi >= ylo.
+//   L(v) — left parts of segments crossing bl(v): a LinePst with base
+//          bl(v) extending left. Segments are stored whole (splitting at
+//          the crossing point would need rational coordinates); the PST's
+//          half-plane query semantics make that equivalent.
+//   R(v) — right parts, symmetric.
+//
+// A query x = x0 descends the unique root-to-leaf path: at each node it
+// searches L(v) (x0 left of bl(v)) or R(v) (right), or, when x0 hits
+// bl(v) exactly, C(v) plus both PSTs and stops. Leaves hold <= B segments
+// in raw pages and are scanned.
+//
+// Costs (Theorem 1): O(n) blocks; query O(log2 n (log_B n + IL*(B)) + t);
+// update O(log2 n + log_B^2 n / B) amortized. Updates here use
+// BB[alpha]-style partial rebuilding of first-level subtrees (the paper's
+// BB[alpha] rotations realized by whole-subtree rebuilds, which amortize
+// to the same bound and keep the second-level structures packed).
+//
+// First-level nodes are mirrored to one disk page each and that page is
+// fetched on every visit, so buffer-pool misses equal the paper's I/O
+// count even though the directory also lives in memory.
+#ifndef SEGDB_CORE_TWO_LEVEL_BINARY_INDEX_H_
+#define SEGDB_CORE_TWO_LEVEL_BINARY_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/segment_index.h"
+#include "io/buffer_pool.h"
+#include "pst/line_pst.h"
+#include "pst/point_pst.h"
+#include "util/status.h"
+
+namespace segdb::core {
+
+struct TwoLevelBinaryOptions {
+  // Second-level PST fan-out: 0 = packed/auto (Lemma 3 behaviour, the
+  // default), 2 = the paper's plain binary PSTs (Lemma 2).
+  uint32_t pst_fanout = 0;
+  // Leaf capacity in segments: 0 = one page's worth.
+  uint32_t leaf_capacity = 0;
+  // First-level partial-rebuild trigger: a child subtree may hold at most
+  // this fraction of its parent's segments before the subtree is rebuilt.
+  double rebuild_fraction = 0.7;
+};
+
+class TwoLevelBinaryIndex final : public SegmentIndex {
+ public:
+  TwoLevelBinaryIndex(io::BufferPool* pool,
+                      TwoLevelBinaryOptions options = {});
+  ~TwoLevelBinaryIndex() override;
+
+  TwoLevelBinaryIndex(const TwoLevelBinaryIndex&) = delete;
+  TwoLevelBinaryIndex& operator=(const TwoLevelBinaryIndex&) = delete;
+
+  Status BulkLoad(std::span<const geom::Segment> segments) override;
+  Status Insert(const geom::Segment& segment) override;
+  Status Erase(const geom::Segment& segment) override;
+  Status Query(const VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t page_count() const override;
+  std::string name() const override { return "two-level-binary"; }
+
+  // First-level height (experiment instrumentation).
+  uint32_t height() const;
+
+  // Structural self-check (tests): balance bookkeeping, segment routing,
+  // substructure invariants.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    int64_t bl_x = 0;  // base line (internal nodes)
+    int32_t left = -1;
+    int32_t right = -1;
+    uint64_t subtree_size = 0;
+    uint64_t inserts_since_rebuild = 0;  // amortization guard (see B)
+    io::PageId meta_page = io::kInvalidPageId;
+    std::unique_ptr<pst::PointPst> c;  // segments on the base line
+    std::unique_ptr<pst::LinePst> l;   // crossing, left parts
+    std::unique_ptr<pst::LinePst> r;   // crossing, right parts
+    std::vector<io::PageId> leaf_pages;
+    std::vector<geom::Segment> leaf_segments;  // mirror of leaf pages
+  };
+
+  uint32_t LeafCapacity() const;
+  pst::LinePstOptions PstOptions() const;
+
+  Result<int32_t> BuildSubtree(std::vector<geom::Segment> segments);
+  Status FreeSubtree(int32_t idx);
+  Status CollectSubtree(int32_t idx, std::vector<geom::Segment>* out) const;
+  Status WriteLeafPages(Node* node);
+  // Inserts into the second-level structures of internal node `idx`;
+  // the segment must intersect the node's base line.
+  Status InsertAtNode(int32_t idx, const geom::Segment& s);
+  Status QueryNode(const Node& node, const VerticalSegmentQuery& q,
+                   std::vector<geom::Segment>* out) const;
+  Status CheckSubtree(int32_t idx, const int64_t* lo, const int64_t* hi,
+                      uint64_t* total) const;
+  uint32_t SubtreeHeight(int32_t idx) const;
+
+  io::BufferPool* pool_;
+  TwoLevelBinaryOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_nodes_;
+  int32_t root_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_TWO_LEVEL_BINARY_INDEX_H_

@@ -1,0 +1,137 @@
+// Solution B — Section 4 of the paper (Theorem 2).
+//
+// First level: an external interval tree with fan-out b (default B/4, the
+// paper's choice). Each internal node picks b slab-boundary lines s_0 <
+// ... < s_{b-1} (endpoint quantiles of its segment set); a segment stays
+// at the highest node where it touches or crosses a boundary, otherwise
+// it falls into the child of the slab that strictly contains it. Leaves
+// hold <= B segments in raw pages.
+//
+// Per internal node (Section 4.2), segments are organized as:
+//   C_i  — segments lying ON boundary s_i: a PointPst over their y-extents.
+//   L_i  — segments whose *first* crossed boundary is s_i with a
+//          non-degenerate left part (x1 < s_i): a left-extending LinePst
+//          based at s_i (the paper's short left fragments, stored uncut).
+//   R_i  — symmetric: last crossed boundary s_i, x2 > s_i.
+//   G    — long parts (segments crossing >= 2 boundaries): the multislab
+//          segment tree with fractional cascading (Section 4.3).
+//
+// A query x = x0 walks the root-to-leaf path. In a node, if x0 hits
+// boundary s_i the query searches C_i, L_i, R_i and G and stops (segments
+// below cross no boundary, hence cannot meet x0); otherwise x0 lies in
+// slab k and the query searches R_{k-1}, L_k and G, then descends. The
+// three sources partition the answers at the node (proof sketch in
+// DESIGN.md), so nothing is reported twice.
+//
+// Costs (Theorem 2): O(n log2 B) blocks; query
+// O(log_B n (log_B n + log2 B + IL*(B)) + t) — the log_B n inner term
+// drops to O(1) amortized per level via G's bridges; insertion
+// O(log_B n + log2 B + log_B^2 n / B) amortized, realized here by
+// partial rebuilding (weight-balanced first level) plus G's delta buffer.
+#ifndef SEGDB_CORE_TWO_LEVEL_INTERVAL_INDEX_H_
+#define SEGDB_CORE_TWO_LEVEL_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/segment_index.h"
+#include "io/buffer_pool.h"
+#include "pst/line_pst.h"
+#include "pst/point_pst.h"
+#include "segtree/multislab_segment_tree.h"
+#include "util/status.h"
+
+namespace segdb::core {
+
+struct TwoLevelIntervalOptions {
+  // First-level fan-out: number of boundaries per node. 0 = auto (B/4).
+  uint32_t fanout = 0;
+  // Second-level PST fan-out (0 = packed/auto).
+  uint32_t pst_fanout = 0;
+  // Leaf capacity in segments: 0 = one page's worth.
+  uint32_t leaf_capacity = 0;
+  // Use fractional cascading in G (Section 4.3). Off reproduces Lemma 4.
+  bool fractional_cascading = true;
+  // G bridge density (paper's d).
+  uint32_t bridge_d = 2;
+  // Partial-rebuild trigger for first-level children.
+  double rebuild_factor = 2.0;
+};
+
+class TwoLevelIntervalIndex final : public SegmentIndex {
+ public:
+  TwoLevelIntervalIndex(io::BufferPool* pool,
+                        TwoLevelIntervalOptions options = {});
+  ~TwoLevelIntervalIndex() override;
+
+  TwoLevelIntervalIndex(const TwoLevelIntervalIndex&) = delete;
+  TwoLevelIntervalIndex& operator=(const TwoLevelIntervalIndex&) = delete;
+
+  Status BulkLoad(std::span<const geom::Segment> segments) override;
+  Status Insert(const geom::Segment& segment) override;
+  Status Erase(const geom::Segment& segment) override;
+  Status Query(const VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t page_count() const override;
+  std::string name() const override { return "two-level-interval"; }
+
+  uint32_t fanout() const { return fanout_; }
+  uint32_t height() const;
+  Status CheckInvariants() const;
+
+ private:
+  struct BoundaryStructs {
+    std::unique_ptr<pst::PointPst> c;
+    std::unique_ptr<pst::LinePst> l;
+    std::unique_ptr<pst::LinePst> r;
+  };
+
+  struct Node {
+    bool is_leaf = false;
+    std::vector<int64_t> boundaries;        // internal nodes
+    std::vector<BoundaryStructs> per_boundary;
+    std::unique_ptr<segtree::MultislabSegmentTree> g;
+    std::vector<int32_t> children;          // children[k] = slab k, -1 none
+    uint64_t subtree_size = 0;
+    // Inserts absorbed since this subtree was last (re)built: a rebuild
+    // is allowed only after enough inserts to pay for it, which keeps
+    // partial rebuilding amortized even when re-quantiled boundaries
+    // cannot improve balance (duplicate-heavy x distributions).
+    uint64_t inserts_since_rebuild = 0;
+    io::PageId meta_page = io::kInvalidPageId;
+    std::vector<io::PageId> leaf_pages;
+    std::vector<geom::Segment> leaf_segments;
+  };
+
+  uint32_t LeafCapacity() const;
+  pst::LinePstOptions PstOptions() const;
+
+  // First (lowest-index) and last boundary of `node` touched by s;
+  // returns false when s crosses none.
+  static bool TouchedRange(const std::vector<int64_t>& boundaries,
+                           const geom::Segment& s, uint32_t* first,
+                           uint32_t* last);
+
+  Result<int32_t> BuildSubtree(std::vector<geom::Segment> segments);
+  Status FreeSubtree(int32_t idx);
+  Status CollectSubtree(int32_t idx, std::vector<geom::Segment>* out) const;
+  Status WriteLeafPages(Node* node);
+  Status InsertAtNode(int32_t idx, const geom::Segment& s);
+  Status CheckSubtree(int32_t idx, const int64_t* lo, const int64_t* hi,
+                      uint64_t* total) const;
+  uint32_t SubtreeHeight(int32_t idx) const;
+
+  io::BufferPool* pool_;
+  TwoLevelIntervalOptions options_;
+  uint32_t fanout_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_nodes_;
+  int32_t root_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_TWO_LEVEL_INTERVAL_INDEX_H_

@@ -1,0 +1,33 @@
+#include "core/validate.h"
+
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+#include "geom/sweep.h"
+
+namespace segdb::core {
+
+Status ValidateForIndexing(std::span<const geom::Segment> segments) {
+  std::unordered_set<uint64_t> ids;
+  ids.reserve(segments.size());
+  for (const geom::Segment& s : segments) {
+    if (s.x1 > s.x2 || (s.x1 == s.x2 && s.y1 > s.y2)) {
+      return Status::InvalidArgument("segment " + std::to_string(s.id) +
+                                     " is not in canonical form (use "
+                                     "Segment::Make)");
+    }
+    if (std::abs(s.x1) > geom::kMaxCoord || std::abs(s.x2) > geom::kMaxCoord ||
+        std::abs(s.y1) > geom::kMaxCoord || std::abs(s.y2) > geom::kMaxCoord) {
+      return Status::InvalidArgument("segment " + std::to_string(s.id) +
+                                     " exceeds the coordinate bound");
+    }
+    if (!ids.insert(s.id).second) {
+      return Status::InvalidArgument("duplicate segment id " +
+                                     std::to_string(s.id));
+    }
+  }
+  return geom::ValidateNctSweep(segments);
+}
+
+}  // namespace segdb::core

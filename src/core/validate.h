@@ -1,0 +1,22 @@
+// Pre-indexing validation: everything a segment set must satisfy before
+// being handed to a SegmentIndex, checked in O(n log n):
+//   * canonical form and coordinate bounds (geom::kMaxCoord),
+//   * unique ids,
+//   * the NCT invariant (no proper crossings), via the plane sweep.
+// Index BulkLoad/Insert do not re-validate (the checks cost more than the
+// build); call this at ingestion boundaries, as the examples do.
+#ifndef SEGDB_CORE_VALIDATE_H_
+#define SEGDB_CORE_VALIDATE_H_
+
+#include <span>
+
+#include "geom/segment.h"
+#include "util/status.h"
+
+namespace segdb::core {
+
+Status ValidateForIndexing(std::span<const geom::Segment> segments);
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_VALIDATE_H_

@@ -1,0 +1,30 @@
+// Validation helpers for the NCT invariant: segment sets must be pairwise
+// non-crossing (touching allowed). Index structures assume it; generators
+// and tests verify it here.
+#ifndef SEGDB_GEOM_NCT_H_
+#define SEGDB_GEOM_NCT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/segment.h"
+#include "util/status.h"
+
+namespace segdb::geom {
+
+// Returns OK when no two segments properly cross and no two segments share
+// an id. O(N^2); intended for tests and generator self-checks.
+Status ValidateNct(std::span<const Segment> segments);
+
+// Counts proper crossings (diagnostics for generators).
+uint64_t CountProperCrossings(std::span<const Segment> segments);
+
+// Reference answer for a VS query by exhaustive scan; the oracle for every
+// property test.
+std::vector<Segment> BruteForceVerticalSegmentQuery(
+    std::span<const Segment> segments, int64_t x0, int64_t ylo, int64_t yhi);
+
+}  // namespace segdb::geom
+
+#endif  // SEGDB_GEOM_NCT_H_

@@ -1,0 +1,99 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace segdb::geom {
+
+int Orientation(Point p, Point q, Point r) {
+  const __int128 lhs =
+      static_cast<__int128>(q.x - p.x) * static_cast<__int128>(r.y - p.y);
+  const __int128 rhs =
+      static_cast<__int128>(q.y - p.y) * static_cast<__int128>(r.x - p.x);
+  return Sign(lhs - rhs);
+}
+
+bool OnSegment(const Segment& s, Point p) {
+  if (Orientation(s.lo(), s.hi(), p) != 0) return false;
+  return std::min(s.x1, s.x2) <= p.x && p.x <= std::max(s.x1, s.x2) &&
+         s.min_y() <= p.y && p.y <= s.max_y();
+}
+
+bool SegmentsIntersect(const Segment& a, const Segment& b) {
+  const Point p1 = a.lo(), p2 = a.hi(), p3 = b.lo(), p4 = b.hi();
+  const int o1 = Orientation(p1, p2, p3);
+  const int o2 = Orientation(p1, p2, p4);
+  const int o3 = Orientation(p3, p4, p1);
+  const int o4 = Orientation(p3, p4, p2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a, p3)) return true;
+  if (o2 == 0 && OnSegment(a, p4)) return true;
+  if (o3 == 0 && OnSegment(b, p1)) return true;
+  if (o4 == 0 && OnSegment(b, p2)) return true;
+  return false;
+}
+
+bool SegmentsProperlyCross(const Segment& a, const Segment& b) {
+  const Point p1 = a.lo(), p2 = a.hi(), p3 = b.lo(), p4 = b.hi();
+  const int o1 = Orientation(p1, p2, p3);
+  const int o2 = Orientation(p1, p2, p4);
+  const int o3 = Orientation(p3, p4, p1);
+  const int o4 = Orientation(p3, p4, p2);
+  // A proper crossing requires each segment's endpoints to lie strictly on
+  // opposite sides of the other's supporting line.
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+int CompareYAtX(const Segment& s, int64_t x0, int64_t y) {
+  assert(!s.is_vertical());
+  assert(s.x1 <= x0 && x0 <= s.x2);
+  // y_s(x0) = y1 + (y2 - y1) * (x0 - x1) / (x2 - x1), with x2 - x1 > 0.
+  const __int128 dx = s.x2 - s.x1;
+  const __int128 num = static_cast<__int128>(s.y1) * dx +
+                       static_cast<__int128>(s.y2 - s.y1) * (x0 - s.x1);
+  return Sign(num - static_cast<__int128>(y) * dx);
+}
+
+int CompareSegmentsAtX(const Segment& a, const Segment& b, int64_t x0) {
+  assert(!a.is_vertical() && !b.is_vertical());
+  assert(a.x1 <= x0 && x0 <= a.x2);
+  assert(b.x1 <= x0 && x0 <= b.x2);
+  const __int128 dxa = a.x2 - a.x1;
+  const __int128 dxb = b.x2 - b.x1;
+  const __int128 num_a = static_cast<__int128>(a.y1) * dxa +
+                         static_cast<__int128>(a.y2 - a.y1) * (x0 - a.x1);
+  const __int128 num_b = static_cast<__int128>(b.y1) * dxb +
+                         static_cast<__int128>(b.y2 - b.y1) * (x0 - b.x1);
+  // Both denominators are positive, so cross-multiplication preserves sign.
+  return Sign(num_a * dxb - num_b * dxa);
+}
+
+bool IntersectsVerticalSegment(const Segment& s, int64_t x0, int64_t ylo,
+                               int64_t yhi) {
+  assert(ylo <= yhi);
+  if (x0 < s.x1 || x0 > s.x2) return false;
+  if (s.is_vertical()) {
+    // Vertical-on-vertical: y-ranges must overlap.
+    return s.y1 <= yhi && ylo <= s.y2;
+  }
+  return CompareYAtX(s, x0, ylo) >= 0 && CompareYAtX(s, x0, yhi) <= 0;
+}
+
+bool IntersectsVerticalLine(const Segment& s, int64_t x0) {
+  return s.x1 <= x0 && x0 <= s.x2;
+}
+
+int CompareCrossingOrder(const Segment& a, const Segment& b, int64_t cx) {
+  int c = CompareSegmentsAtX(a, b, cx);
+  if (c != 0) return c;
+  const int64_t xr = std::min(a.x2, b.x2);
+  if (xr > cx) {
+    c = CompareSegmentsAtX(a, b, xr);
+    if (c != 0) return c;
+  }
+  if (a.x2 != b.x2) return a.x2 < b.x2 ? -1 : 1;
+  if (a.id != b.id) return a.id < b.id ? -1 : 1;
+  return 0;
+}
+
+}  // namespace segdb::geom

@@ -1,0 +1,59 @@
+// Exact geometric predicates over integer coordinates. All comparisons are
+// sign evaluations of polynomial expressions in __int128, so results are
+// exact for |coords| <= kMaxCoord.
+#ifndef SEGDB_GEOM_PREDICATES_H_
+#define SEGDB_GEOM_PREDICATES_H_
+
+#include <cstdint>
+
+#include "geom/segment.h"
+
+namespace segdb::geom {
+
+inline int Sign(__int128 v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+// Orientation of the triple (p, q, r): +1 counter-clockwise, -1 clockwise,
+// 0 collinear.
+int Orientation(Point p, Point q, Point r);
+
+// True when p lies on segment s (including endpoints).
+bool OnSegment(const Segment& s, Point p);
+
+// True when segments a and b intersect in at least one point (touching
+// counts).
+bool SegmentsIntersect(const Segment& a, const Segment& b);
+
+// True when the interiors of a and b cross (a "proper" crossing: the
+// segments intersect at a single point interior to both). Touching at
+// endpoints, endpoint-on-interior contact, and collinear overlap are all
+// allowed in NCT sets and return false here.
+bool SegmentsProperlyCross(const Segment& a, const Segment& b);
+
+// Compares s's y-value at abscissa x0 with y. Requires s non-vertical and
+// s.x1 <= x0 <= s.x2. Returns sign(y_s(x0) - y).
+int CompareYAtX(const Segment& s, int64_t x0, int64_t y);
+
+// Compares the y-values of two non-vertical segments at abscissa x0; both
+// must span x0. Returns sign(y_a(x0) - y_b(x0)).
+int CompareSegmentsAtX(const Segment& a, const Segment& b, int64_t x0);
+
+// True when s intersects the vertical query segment x = x0, ylo <= y <= yhi.
+// This is the paper's VS-query predicate. Works for every segment shape
+// including vertical and degenerate ones.
+bool IntersectsVerticalSegment(const Segment& s, int64_t x0, int64_t ylo,
+                               int64_t yhi);
+
+// True when s intersects the vertical line x = x0 (stabbing predicate).
+bool IntersectsVerticalLine(const Segment& s, int64_t x0);
+
+// Total order for non-vertical segments that all cross the vertical line
+// x = cx: primarily by the y-value at cx, with ties (segments touching at
+// cx) broken by the order just right of cx, then by (x2, id). For an NCT
+// set this order is weakly consistent with the y-order at every abscissa
+// >= cx that both segments span, which is what PST base ordering and
+// multislab-list ordering rely on.
+int CompareCrossingOrder(const Segment& a, const Segment& b, int64_t cx);
+
+}  // namespace segdb::geom
+
+#endif  // SEGDB_GEOM_PREDICATES_H_

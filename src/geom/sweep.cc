@@ -1,0 +1,140 @@
+#include "geom/sweep.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geom/predicates.h"
+
+namespace segdb::geom {
+
+namespace {
+
+// Sweep status: non-vertical segments currently spanning the sweep line,
+// ordered by their y-value there (ties broken like every other ordered
+// structure in segdb: CompareCrossingOrder). The comparator reads the
+// sweep abscissa through a shared pointer; the order of an NCT set is
+// invariant as the sweep advances, which is exactly what std::set needs.
+struct StatusCompare {
+  const int64_t* sweep_x;
+
+  using is_transparent = void;
+
+  bool operator()(const Segment& a, const Segment& b) const {
+    return CompareCrossingOrder(a, b, *sweep_x) < 0;
+  }
+
+  // Heterogeneous probes: locate a y-value on the sweep line.
+  struct YProbe {
+    int64_t y;
+  };
+  bool operator()(const Segment& a, const YProbe& p) const {
+    return CompareYAtX(a, *sweep_x, p.y) < 0;
+  }
+  bool operator()(const YProbe& p, const Segment& a) const {
+    return CompareYAtX(a, *sweep_x, p.y) > 0;
+  }
+};
+
+using StatusSet = std::set<Segment, StatusCompare>;
+
+enum class EventKind : uint8_t {
+  kRemove = 0,    // right endpoint: drop from the status
+  kVertical = 1,  // vertical segment: probe the status
+  kInsert = 2,    // left endpoint: add to the status
+};
+
+struct Event {
+  int64_t x;
+  EventKind kind;
+  uint32_t index;  // into the input span
+};
+
+}  // namespace
+
+std::optional<std::pair<uint64_t, uint64_t>> FindProperCrossing(
+    std::span<const Segment> segments) {
+  std::vector<Event> events;
+  events.reserve(2 * segments.size());
+  for (uint32_t i = 0; i < segments.size(); ++i) {
+    const Segment& s = segments[i];
+    if (s.is_vertical()) {
+      events.push_back(Event{s.x1, EventKind::kVertical, i});
+    } else {
+      events.push_back(Event{s.x1, EventKind::kInsert, i});
+      events.push_back(Event{s.x2, EventKind::kRemove, i});
+    }
+  }
+  // At equal x: removals first (their interiors lie left of x), then
+  // vertical probes, then insertions (their interiors lie right of x) —
+  // endpoint contacts at the sweep line are touching, never crossing.
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+  });
+
+  int64_t sweep_x = 0;
+  StatusSet status(StatusCompare{&sweep_x});
+  std::optional<std::pair<uint64_t, uint64_t>> found;
+
+  auto check = [&](const Segment& a, const Segment& b) {
+    if (!found && SegmentsProperlyCross(a, b)) {
+      found = std::make_pair(a.id, b.id);
+    }
+    return found.has_value();
+  };
+
+  for (const Event& ev : events) {
+    sweep_x = ev.x;
+    const Segment& s = segments[ev.index];
+    switch (ev.kind) {
+      case EventKind::kInsert: {
+        auto [it, inserted] = status.insert(s);
+        if (!inserted) {
+          // Bitwise-identical duplicate; nothing new to check.
+          break;
+        }
+        if (it != status.begin() && check(*std::prev(it), s)) return found;
+        if (std::next(it) != status.end() && check(s, *std::next(it))) {
+          return found;
+        }
+        break;
+      }
+      case EventKind::kRemove: {
+        auto it = status.find(s);
+        if (it == status.end()) break;  // duplicate input
+        auto next = status.erase(it);
+        if (next != status.begin() && next != status.end() &&
+            check(*std::prev(next), *next)) {
+          return found;
+        }
+        break;
+      }
+      case EventKind::kVertical: {
+        // Any active segment whose y at the sweep line falls strictly
+        // inside the vertical's extent is a candidate; ones touching the
+        // ends are caught by the exact predicate anyway.
+        auto lo = status.lower_bound(StatusCompare::YProbe{s.min_y()});
+        auto hi = status.upper_bound(StatusCompare::YProbe{s.max_y()});
+        for (auto it = lo; it != hi; ++it) {
+          if (check(*it, s)) return found;
+        }
+        // Vertical vs vertical on the same line is collinear overlap at
+        // most — never a proper crossing.
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+Status ValidateNctSweep(std::span<const Segment> segments) {
+  const auto crossing = FindProperCrossing(segments);
+  if (!crossing) return Status::OK();
+  return Status::InvalidArgument(
+      "segments " + std::to_string(crossing->first) + " and " +
+      std::to_string(crossing->second) + " properly cross");
+}
+
+}  // namespace segdb::geom

@@ -1,0 +1,37 @@
+// Plane-sweep detection of proper crossings (Shamos–Hoey style),
+// O(n log n): validates the NCT invariant for sets far beyond what the
+// quadratic checker in nct.h can handle. Touching configurations (shared
+// endpoints, T-junctions, collinear overlap) are permitted, exactly as
+// the paper's segment databases allow.
+//
+// Every neighbor test uses the exact SegmentsProperlyCross predicate, so
+// a reported crossing is never spurious; completeness follows from the
+// classical sweep argument (some crossing pair becomes status-adjacent
+// before its crossing point).
+#ifndef SEGDB_GEOM_SWEEP_H_
+#define SEGDB_GEOM_SWEEP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "geom/segment.h"
+#include "util/status.h"
+
+namespace segdb::geom {
+
+// Returns the ids of some properly-crossing pair, or nullopt when the set
+// is NCT. O(n log n) time, O(n) memory.
+std::optional<std::pair<uint64_t, uint64_t>> FindProperCrossing(
+    std::span<const Segment> segments);
+
+// Status-flavored wrapper mirroring ValidateNct (nct.h): OK when the set
+// is pairwise non-crossing; InvalidArgument naming a crossing pair
+// otherwise. Unlike ValidateNct it does not check ids or coordinate
+// bounds — combine with those checks where needed.
+Status ValidateNctSweep(std::span<const Segment> segments);
+
+}  // namespace segdb::geom
+
+#endif  // SEGDB_GEOM_SWEEP_H_

@@ -1,0 +1,160 @@
+#include "io/buffer_pool.h"
+
+#include <cassert>
+
+namespace segdb::io {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Page& PageRef::page() {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+const Page& PageRef::page() const {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+void PageRef::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t frame_count) : disk_(disk) {
+  assert(frame_count > 0);
+  frames_.reserve(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    frames_.emplace_back(disk_->page_size());
+  }
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+  f.lru_tick = ++tick_;
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  size_t victim = frames_.size();
+  uint64_t best_tick = ~0ULL;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.id == kInvalidPageId) return i;  // free frame
+    if (f.pin_count == 0 && f.lru_tick < best_tick) {
+      best_tick = f.lru_tick;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+    ++stats_.writebacks;
+  }
+  page_table_.erase(f.id);
+  f.id = kInvalidPageId;
+  f.dirty = false;
+  return victim;
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.lru_tick = ++tick_;
+    return PageRef(this, it->second, id);
+  }
+  ++stats_.misses;
+  Result<size_t> frame = GrabFrame();
+  if (!frame.ok()) return frame.status();
+  Frame& f = frames_[frame.value()];
+  SEGDB_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.lru_tick = ++tick_;
+  page_table_[id] = frame.value();
+  return PageRef(this, frame.value(), id);
+}
+
+Result<PageRef> BufferPool::NewPage() {
+  Result<PageId> id = disk_->AllocatePage();
+  if (!id.ok()) return id.status();
+  Result<size_t> frame = GrabFrame();
+  if (!frame.ok()) return frame.status();
+  Frame& f = frames_[frame.value()];
+  f.page.Zero();
+  f.id = id.value();
+  f.pin_count = 1;
+  f.dirty = true;
+  f.lru_tick = ++tick_;
+  page_table_[id.value()] = frame.value();
+  return PageRef(this, frame.value(), id.value());
+}
+
+Status BufferPool::FreePage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::FailedPrecondition("FreePage: page is pinned");
+    }
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    page_table_.erase(it);
+  }
+  return disk_->FreePage(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId) continue;
+    if (f.pin_count > 0) {
+      return Status::FailedPrecondition("EvictAll: page is pinned");
+    }
+    if (f.dirty) {
+      SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+      ++stats_.writebacks;
+    }
+    page_table_.erase(f.id);
+    f.id = kInvalidPageId;
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::io

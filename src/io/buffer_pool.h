@@ -1,0 +1,120 @@
+// An LRU buffer pool over the simulated disk. All index structures access
+// pages through PageRef pins obtained here, so the pool's miss counter is
+// exactly the number of I/O operations in the paper's cost model.
+//
+// Measurement protocol used by tests and benchmarks:
+//   build structure -> pool.FlushAll() -> pool.EvictAll() -> pool.ResetStats()
+//   -> run query -> pool.stats().misses  == cold-cache query I/Os.
+#ifndef SEGDB_IO_BUFFER_POOL_H_
+#define SEGDB_IO_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "io/disk_manager.h"
+#include "io/page.h"
+#include "util/status.h"
+
+namespace segdb::io {
+
+class BufferPool;
+
+// RAII pin on a buffered page. While a PageRef is live the frame cannot be
+// evicted. Move-only; releases the pin on destruction.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  Page& page();
+  const Page& page() const;
+
+  // Marks the frame dirty so eviction/flush writes it back to disk.
+  void MarkDirty();
+
+  // Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), page_id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+struct BufferPoolStats {
+  uint64_t fetches = 0;     // logical page requests
+  uint64_t hits = 0;        // served from a resident frame
+  uint64_t misses = 0;      // required a physical read
+  uint64_t writebacks = 0;  // dirty evictions / flushes
+};
+
+class BufferPool {
+ public:
+  // `frame_count` bounds resident pages; fetching past it evicts LRU
+  // unpinned frames.
+  BufferPool(DiskManager* disk, size_t frame_count);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  DiskManager* disk() { return disk_; }
+  uint32_t page_size() const { return disk_->page_size(); }
+  size_t frame_count() const { return frames_.size(); }
+
+  // Pins the page, reading it from disk on a miss.
+  Result<PageRef> Fetch(PageId id);
+
+  // Allocates a fresh zeroed page on disk and pins it (dirty).
+  Result<PageRef> NewPage();
+
+  // Frees a disk page. The page must not be pinned.
+  Status FreePage(PageId id);
+
+  // Writes back all dirty frames (pages stay resident).
+  Status FlushAll();
+
+  // Writes back and drops every unpinned frame — simulates a cold cache.
+  // Fails if any page is still pinned.
+  Status EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    explicit Frame(uint32_t page_size) : page(page_size) {}
+    Page page;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+  };
+
+  void Unpin(size_t frame);
+  // Finds a free or evictable frame; writes back the victim if dirty.
+  Result<size_t> GrabFrame();
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t tick_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_BUFFER_POOL_H_

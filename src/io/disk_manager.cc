@@ -1,0 +1,71 @@
+#include "io/disk_manager.h"
+
+#include <cstring>
+
+namespace segdb::io {
+
+DiskManager::DiskManager(uint32_t page_size_bytes)
+    : page_size_(page_size_bytes) {}
+
+bool DiskManager::IsLive(PageId id) const {
+  return id < store_.size() && live_[id];
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    std::memset(store_[id].get(), 0, page_size_);
+  } else {
+    if (store_.size() >= kInvalidPageId) {
+      return Status::ResourceExhausted("disk page-id space exhausted");
+    }
+    id = static_cast<PageId>(store_.size());
+    store_.push_back(std::make_unique<uint8_t[]>(page_size_));
+    std::memset(store_.back().get(), 0, page_size_);
+    live_.push_back(true);
+  }
+  ++stats_.allocations;
+  ++pages_in_use_;
+  if (pages_in_use_ > high_water_) high_water_ = pages_in_use_;
+  return id;
+}
+
+Status DiskManager::FreePage(PageId id) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("FreePage: page not allocated");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  ++stats_.frees;
+  --pages_in_use_;
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("ReadPage: page not allocated");
+  }
+  if (out->size() != page_size_) {
+    return Status::InvalidArgument("ReadPage: page buffer size mismatch");
+  }
+  std::memcpy(out->data(), store_[id].get(), page_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("WritePage: page not allocated");
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("WritePage: page buffer size mismatch");
+  }
+  std::memcpy(store_[id].get(), page.data(), page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace segdb::io

@@ -1,0 +1,70 @@
+// Simulated secondary storage. The paper's cost model counts I/O
+// operations — block reads/writes of B records each. DiskManager provides
+// exactly that abstraction: an addressable array of fixed-size pages with
+// read/write/allocate/free and per-operation counters. Backing memory is
+// RAM, which is irrelevant to the measured quantity (page transfers).
+#ifndef SEGDB_IO_DISK_MANAGER_H_
+#define SEGDB_IO_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "io/page.h"
+#include "util/status.h"
+
+namespace segdb::io {
+
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+};
+
+class DiskManager {
+ public:
+  // `page_size_bytes` is the simulated block size; it determines B (records
+  // per block) for every structure built on this disk.
+  explicit DiskManager(uint32_t page_size_bytes);
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  // Allocates a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  // Returns a page to the free list. The caller must not use the id again.
+  Status FreePage(PageId id);
+
+  // Copies the page contents into `out` (which must have matching size).
+  // Counts one physical read.
+  Status ReadPage(PageId id, Page* out);
+
+  // Stores the page contents. Counts one physical write.
+  Status WritePage(PageId id, const Page& page);
+
+  // Number of pages currently allocated (space-usage experiments).
+  uint64_t pages_in_use() const { return pages_in_use_; }
+  uint64_t high_water_pages() const { return high_water_; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats(); }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  const uint32_t page_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> store_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  uint64_t pages_in_use_ = 0;
+  uint64_t high_water_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_DISK_MANAGER_H_

@@ -1,0 +1,74 @@
+// A disk page: a raw byte buffer of the DiskManager's configured size.
+// Index structures lay out typed records inside pages with the ReadAt /
+// WriteAt helpers (memcpy-based, so layouts stay trivially serializable).
+#ifndef SEGDB_IO_PAGE_H_
+#define SEGDB_IO_PAGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+namespace segdb::io {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+class Page {
+ public:
+  explicit Page(uint32_t size_bytes) : data_(size_bytes) {}
+
+  Page(const Page&) = default;
+  Page& operator=(const Page&) = default;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+
+  // Reads a trivially-copyable T stored at byte offset `off`.
+  template <typename T>
+  T ReadAt(uint32_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) <= data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + off, sizeof(T));
+    return value;
+  }
+
+  // Writes a trivially-copyable T at byte offset `off`.
+  template <typename T>
+  void WriteAt(uint32_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + off, &value, sizeof(T));
+  }
+
+  // Reads `count` consecutive T records starting at byte offset `off`.
+  template <typename T>
+  void ReadArray(uint32_t off, T* out, uint32_t count) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) * count <= data_.size());
+    std::memcpy(out, data_.data() + off, sizeof(T) * count);
+  }
+
+  // Writes `count` consecutive T records starting at byte offset `off`.
+  template <typename T>
+  void WriteArray(uint32_t off, const T* values, uint32_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) * count <= data_.size());
+    std::memcpy(data_.data() + off, values, sizeof(T) * count);
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_PAGE_H_

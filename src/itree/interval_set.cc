@@ -1,0 +1,51 @@
+#include "itree/interval_set.h"
+
+#include <string>
+
+namespace segdb::itree {
+
+Status IntervalSet::Validate(const Interval& iv) {
+  if (iv.lo > iv.hi) {
+    return Status::InvalidArgument("interval " + std::to_string(iv.id) +
+                                   " has lo > hi");
+  }
+  return Status::OK();
+}
+
+Status IntervalSet::BulkLoad(std::span<const Interval> intervals) {
+  std::vector<pst::PointRecord> points;
+  points.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    SEGDB_RETURN_IF_ERROR(Validate(iv));
+    points.push_back(Encode(iv));
+  }
+  return impl_.BulkLoad(points);
+}
+
+Status IntervalSet::Insert(const Interval& interval) {
+  SEGDB_RETURN_IF_ERROR(Validate(interval));
+  return impl_.Insert(Encode(interval));
+}
+
+Status IntervalSet::Erase(const Interval& interval) {
+  SEGDB_RETURN_IF_ERROR(Validate(interval));
+  return impl_.Erase(Encode(interval));
+}
+
+Status IntervalSet::Stab(int64_t q, std::vector<Interval>* out) const {
+  return Intersect(q, q, out);
+}
+
+Status IntervalSet::Intersect(int64_t a, int64_t b,
+                              std::vector<Interval>* out) const {
+  if (a > b) return Status::InvalidArgument("a > b");
+  std::vector<pst::PointRecord> hits;
+  // lo <= b and hi >= a.
+  SEGDB_RETURN_IF_ERROR(
+      impl_.Query3Sided(-(geom::kMaxCoord + 1), b, a, &hits));
+  out->reserve(out->size() + hits.size());
+  for (const auto& p : hits) out->push_back(Decode(p));
+  return Status::OK();
+}
+
+}  // namespace segdb::itree

@@ -1,0 +1,69 @@
+// External 1-D interval index: stabbing and interval-intersection queries
+// over N intervals in O(log_B n + t) I/Os with O(n) blocks — the role the
+// paper's reference [3] (Arge–Vitter external interval tree) plays as a
+// substrate.
+//
+// Representation: interval [lo, hi] <-> point (lo, hi). Then
+//   stab(q)          = { lo <= q <= hi }  = 3-sided query x <= q, y >= q;
+//   intersect([a,b]) = { lo <= b, hi >= a } = 3-sided query x <= b, y >= a,
+// both answered by the external priority search tree (pst::PointPst),
+// which meets the same optimal bounds. The C structures of both two-level
+// indexes use this encoding directly; IntervalSet packages it as a public
+// standalone index with typed records.
+#ifndef SEGDB_ITREE_INTERVAL_SET_H_
+#define SEGDB_ITREE_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "pst/point_pst.h"
+#include "util/status.h"
+
+namespace segdb::itree {
+
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;  // inclusive; lo <= hi
+  uint64_t id = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  explicit IntervalSet(io::BufferPool* pool, pst::LinePstOptions options = {})
+      : impl_(pool, options) {}
+
+  uint64_t size() const { return impl_.size(); }
+  uint64_t page_count() const { return impl_.page_count(); }
+
+  Status BulkLoad(std::span<const Interval> intervals);
+  Status Insert(const Interval& interval);
+  Status Erase(const Interval& interval);
+
+  // Appends every stored interval containing q.
+  Status Stab(int64_t q, std::vector<Interval>* out) const;
+
+  // Appends every stored interval intersecting [a, b] (a <= b).
+  Status Intersect(int64_t a, int64_t b, std::vector<Interval>* out) const;
+
+  Status Clear() { return impl_.Clear(); }
+  Status CheckInvariants() const { return impl_.CheckInvariants(); }
+
+ private:
+  static Status Validate(const Interval& iv);
+  static pst::PointRecord Encode(const Interval& iv) {
+    return pst::PointRecord{iv.lo, iv.hi, iv.id};
+  }
+  static Interval Decode(const pst::PointRecord& p) {
+    return Interval{p.x, p.y, p.id};
+  }
+
+  pst::PointPst impl_;
+};
+
+}  // namespace segdb::itree
+
+#endif  // SEGDB_ITREE_INTERVAL_SET_H_

@@ -1,0 +1,584 @@
+#include "itree/interval_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_set>
+
+namespace segdb::itree {
+
+namespace {
+using geom::Segment;
+constexpr uint32_t kLeafHeader = 8;
+}  // namespace
+
+IntervalTree::IntervalTree(io::BufferPool* pool, IntervalTreeOptions options)
+    : pool_(pool), options_(options) {
+  if (options_.fanout != 0) {
+    fanout_ = std::max<uint32_t>(2, options_.fanout);
+  } else {
+    const uint32_t records =
+        pool_->page_size() / static_cast<uint32_t>(sizeof(Segment));
+    fanout_ = std::max<uint32_t>(2, records / 4);
+  }
+}
+
+IntervalTree::~IntervalTree() {
+  if (root_ >= 0) FreeSubtree(root_).ok();
+}
+
+uint32_t IntervalTree::LeafCapacity() const {
+  if (options_.leaf_capacity != 0) return options_.leaf_capacity;
+  return (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+}
+
+bool IntervalTree::TouchedRange(const std::vector<int64_t>& boundaries,
+                                const Segment& s, uint32_t* first,
+                                uint32_t* last) {
+  auto lo = std::lower_bound(boundaries.begin(), boundaries.end(), s.x1);
+  auto hi = std::upper_bound(boundaries.begin(), boundaries.end(), s.x2);
+  if (lo >= hi) return false;
+  *first = static_cast<uint32_t>(lo - boundaries.begin());
+  *last = static_cast<uint32_t>(hi - boundaries.begin()) - 1;
+  return true;
+}
+
+int32_t IntervalTree::BuildMultislabDirectory(Node* node, uint32_t lo,
+                                              uint32_t hi) {
+  MultislabNode m;
+  m.slab_lo = lo;
+  m.slab_hi = hi;
+  if (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    m.left = BuildMultislabDirectory(node, lo, mid);
+    m.right = BuildMultislabDirectory(node, mid + 1, hi);
+  }
+  m.list = std::make_unique<IdTree>(pool_, ById{});
+  node->mtree.push_back(std::move(m));
+  return static_cast<int32_t>(node->mtree.size()) - 1;
+}
+
+void IntervalTree::AllocateMultislab(const Node& node, int32_t mnode,
+                                     uint32_t lo, uint32_t hi,
+                                     std::vector<int32_t>* out) const {
+  const MultislabNode& m = node.mtree[mnode];
+  if (lo <= m.slab_lo && m.slab_hi <= hi) {
+    out->push_back(mnode);
+    return;
+  }
+  if (m.left < 0) return;
+  const uint32_t mid = (m.slab_lo + m.slab_hi) / 2;
+  if (lo <= mid) AllocateMultislab(node, m.left, lo, hi, out);
+  if (hi > mid) AllocateMultislab(node, m.right, lo, hi, out);
+}
+
+Status IntervalTree::WriteLeafPages(Node* node) {
+  for (io::PageId id : node->leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  node->leaf_pages.clear();
+  const uint32_t per_page =
+      (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+  size_t i = 0;
+  while (i < node->leaf_segments.size()) {
+    const uint32_t take = static_cast<uint32_t>(
+        std::min<size_t>(per_page, node->leaf_segments.size() - i));
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) return ref.status();
+    io::Page& p = ref.value().page();
+    p.WriteAt<uint32_t>(0, take);
+    p.WriteArray<Segment>(kLeafHeader, node->leaf_segments.data() + i, take);
+    ref.value().MarkDirty();
+    node->leaf_pages.push_back(ref.value().page_id());
+    i += take;
+  }
+  return Status::OK();
+}
+
+Status IntervalTree::InsertAtNode(Node* node, const Segment& s) {
+  uint32_t first, last;
+  if (!TouchedRange(node->boundaries, s, &first, &last)) {
+    return Status::Internal("InsertAtNode: touches no boundary");
+  }
+  if (s.x1 == s.x2) {  // point extent exactly on a boundary
+    BoundaryLists& bl = node->per_boundary[first];
+    if (!bl.c) bl.c = std::make_unique<IdTree>(pool_, ById{});
+    return bl.c->Insert(s);
+  }
+  if (s.x1 < node->boundaries[first]) {
+    BoundaryLists& bl = node->per_boundary[first];
+    if (!bl.l) bl.l = std::make_unique<LoTree>(pool_, ByLoAsc{});
+    SEGDB_RETURN_IF_ERROR(bl.l->Insert(s));
+  }
+  if (s.x2 > node->boundaries[last]) {
+    BoundaryLists& bl = node->per_boundary[last];
+    if (!bl.r) bl.r = std::make_unique<HiTree>(pool_, ByHiDesc{});
+    SEGDB_RETURN_IF_ERROR(bl.r->Insert(s));
+  }
+  if (last > first && node->mroot >= 0) {
+    std::vector<int32_t> alloc;
+    AllocateMultislab(*node, node->mroot, first + 1, last, &alloc);
+    for (int32_t mi : alloc) {
+      SEGDB_RETURN_IF_ERROR(node->mtree[mi].list->Insert(s));
+    }
+  }
+  return Status::OK();
+}
+
+Status IntervalTree::EraseAtNode(Node* node, const Segment& s) {
+  uint32_t first, last;
+  if (!TouchedRange(node->boundaries, s, &first, &last)) {
+    return Status::Internal("EraseAtNode: touches no boundary");
+  }
+  if (s.x1 == s.x2) {
+    BoundaryLists& bl = node->per_boundary[first];
+    if (!bl.c) return Status::NotFound("segment not stored");
+    return bl.c->Erase(s);
+  }
+  Status removed = Status::NotFound("segment not stored");
+  if (s.x1 < node->boundaries[first]) {
+    BoundaryLists& bl = node->per_boundary[first];
+    if (!bl.l) return removed;
+    SEGDB_RETURN_IF_ERROR(bl.l->Erase(s));
+    removed = Status::OK();
+  }
+  if (s.x2 > node->boundaries[last]) {
+    BoundaryLists& bl = node->per_boundary[last];
+    if (!bl.r) {
+      return removed.ok() ? Status::Corruption("missing R entry") : removed;
+    }
+    SEGDB_RETURN_IF_ERROR(bl.r->Erase(s));
+    removed = Status::OK();
+  }
+  if (last > first && node->mroot >= 0) {
+    std::vector<int32_t> alloc;
+    AllocateMultislab(*node, node->mroot, first + 1, last, &alloc);
+    for (int32_t mi : alloc) {
+      const Status st = node->mtree[mi].list->Erase(s);
+      if (!st.ok()) {
+        return removed.ok() ? Status::Corruption("partial multislab entry")
+                            : st;
+      }
+      removed = Status::OK();
+    }
+  }
+  return removed;
+}
+
+Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
+  assert(!segments.empty());
+  int32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[idx] = Node{};
+  } else {
+    idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  {
+    auto meta = pool_->NewPage();
+    if (!meta.ok()) return meta.status();
+    meta.value().MarkDirty();
+    nodes_[idx].meta_page = meta.value().page_id();
+  }
+  nodes_[idx].subtree_size = segments.size();
+
+  if (segments.size() <= LeafCapacity()) {
+    nodes_[idx].is_leaf = true;
+    nodes_[idx].leaf_segments = std::move(segments);
+    SEGDB_RETURN_IF_ERROR(WriteLeafPages(&nodes_[idx]));
+    return idx;
+  }
+
+  std::vector<int64_t> xs;
+  xs.reserve(2 * segments.size());
+  for (const Segment& s : segments) {
+    xs.push_back(s.x1);
+    xs.push_back(s.x2);
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<int64_t> boundaries;
+  for (uint32_t i = 1; i <= fanout_; ++i) {
+    const size_t pos = static_cast<size_t>(
+        static_cast<uint64_t>(xs.size()) * i / (fanout_ + 1));
+    const int64_t v = xs[std::min(pos, xs.size() - 1)];
+    if (boundaries.empty() || boundaries.back() < v) boundaries.push_back(v);
+  }
+  if (boundaries.empty()) boundaries.push_back(xs[xs.size() / 2]);
+
+  Node& node = nodes_[idx];
+  node.is_leaf = false;
+  node.boundaries = boundaries;
+  node.per_boundary.resize(boundaries.size());
+  node.children.assign(boundaries.size() + 1, -1);
+  if (boundaries.size() >= 2) {
+    node.mroot = BuildMultislabDirectory(
+        &node, 1, static_cast<uint32_t>(boundaries.size()) - 1);
+  }
+
+  std::vector<std::vector<Segment>> per_slab(boundaries.size() + 1);
+  for (const Segment& s : segments) {
+    uint32_t first, last;
+    if (!TouchedRange(node.boundaries, s, &first, &last)) {
+      const uint32_t k = static_cast<uint32_t>(
+          std::lower_bound(node.boundaries.begin(), node.boundaries.end(),
+                           s.x1) -
+          node.boundaries.begin());
+      per_slab[k].push_back(s);
+      continue;
+    }
+    SEGDB_RETURN_IF_ERROR(InsertAtNode(&node, s));
+  }
+  segments.clear();
+  for (size_t k = 0; k < per_slab.size(); ++k) {
+    if (per_slab[k].empty()) continue;
+    assert(per_slab[k].size() < nodes_[idx].subtree_size);
+    Result<int32_t> child = BuildSubtree(std::move(per_slab[k]));
+    if (!child.ok()) return child.status();
+    nodes_[idx].children[k] = child.value();
+  }
+  return idx;
+}
+
+Status IntervalTree::FreeSubtree(int32_t idx) {
+  Node& node = nodes_[idx];
+  for (int32_t child : node.children) {
+    if (child >= 0) SEGDB_RETURN_IF_ERROR(FreeSubtree(child));
+  }
+  for (BoundaryLists& bl : node.per_boundary) {
+    if (bl.c) SEGDB_RETURN_IF_ERROR(bl.c->Clear());
+    if (bl.l) SEGDB_RETURN_IF_ERROR(bl.l->Clear());
+    if (bl.r) SEGDB_RETURN_IF_ERROR(bl.r->Clear());
+  }
+  for (MultislabNode& m : node.mtree) {
+    if (m.list) SEGDB_RETURN_IF_ERROR(m.list->Clear());
+  }
+  for (io::PageId id : node.leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  if (node.meta_page != io::kInvalidPageId) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(node.meta_page));
+  }
+  nodes_[idx] = Node{};
+  free_nodes_.push_back(idx);
+  return Status::OK();
+}
+
+Status IntervalTree::CollectSubtree(int32_t idx,
+                                    std::vector<Segment>* out) const {
+  const Node& node = nodes_[idx];
+  if (node.is_leaf) {
+    out->insert(out->end(), node.leaf_segments.begin(),
+                node.leaf_segments.end());
+    return Status::OK();
+  }
+  std::unordered_set<uint64_t> seen;
+  auto add = [&](const Segment& s) {
+    if (seen.insert(s.id).second) out->push_back(s);
+    return true;
+  };
+  for (const BoundaryLists& bl : node.per_boundary) {
+    if (bl.c) SEGDB_RETURN_IF_ERROR(bl.c->ScanAll(add));
+    if (bl.l) SEGDB_RETURN_IF_ERROR(bl.l->ScanAll(add));
+    if (bl.r) SEGDB_RETURN_IF_ERROR(bl.r->ScanAll(add));
+  }
+  for (const MultislabNode& m : node.mtree) {
+    if (m.list) SEGDB_RETURN_IF_ERROR(m.list->ScanAll(add));
+  }
+  for (int32_t child : node.children) {
+    if (child >= 0) SEGDB_RETURN_IF_ERROR(CollectSubtree(child, out));
+  }
+  return Status::OK();
+}
+
+Status IntervalTree::BulkLoad(std::span<const Segment> segments) {
+  if (root_ >= 0) {
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+    root_ = -1;
+  }
+  size_ = segments.size();
+  if (segments.empty()) return Status::OK();
+  Result<int32_t> root =
+      BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
+  if (!root.ok()) return root.status();
+  root_ = root.value();
+  return Status::OK();
+}
+
+Status IntervalTree::Insert(const Segment& segment) {
+  ++size_;
+  if (root_ < 0) {
+    Result<int32_t> root = BuildSubtree({segment});
+    if (!root.ok()) return root.status();
+    root_ = root.value();
+    return Status::OK();
+  }
+  int32_t cur = root_;
+  int32_t parent = -1;
+  size_t parent_slot = 0;
+  for (;;) {
+    Node& node = nodes_[cur];
+    ++node.subtree_size;
+    ++node.inserts_since_rebuild;
+    if (!node.is_leaf) {
+      uint64_t below = 0, max_child = 0;
+      for (int32_t child : node.children) {
+        const uint64_t cs = child >= 0 ? nodes_[child].subtree_size : 0;
+        below += cs;
+        max_child = std::max(max_child, cs);
+      }
+      const double share = static_cast<double>(below) /
+                           static_cast<double>(node.children.size());
+      if (below > 2 * static_cast<uint64_t>(LeafCapacity()) &&
+          node.inserts_since_rebuild * 8 > node.subtree_size &&
+          static_cast<double>(max_child) >
+              options_.rebuild_factor * share + LeafCapacity()) {
+        std::vector<Segment> all;
+        all.reserve(node.subtree_size);
+        SEGDB_RETURN_IF_ERROR(CollectSubtree(cur, &all));
+        all.push_back(segment);
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        Result<int32_t> rebuilt = BuildSubtree(std::move(all));
+        if (!rebuilt.ok()) return rebuilt.status();
+        if (parent < 0) {
+          root_ = rebuilt.value();
+        } else {
+          nodes_[parent].children[parent_slot] = rebuilt.value();
+        }
+        return Status::OK();
+      }
+    }
+    if (node.is_leaf) {
+      node.leaf_segments.push_back(segment);
+      if (node.leaf_segments.size() > 2 * LeafCapacity()) {
+        std::vector<Segment> all = std::move(node.leaf_segments);
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        Result<int32_t> rebuilt = BuildSubtree(std::move(all));
+        if (!rebuilt.ok()) return rebuilt.status();
+        if (parent < 0) {
+          root_ = rebuilt.value();
+        } else {
+          nodes_[parent].children[parent_slot] = rebuilt.value();
+        }
+        return Status::OK();
+      }
+      return WriteLeafPages(&node);
+    }
+    uint32_t first, last;
+    if (TouchedRange(node.boundaries, segment, &first, &last)) {
+      return InsertAtNode(&node, segment);
+    }
+    const uint32_t k = static_cast<uint32_t>(
+        std::lower_bound(node.boundaries.begin(), node.boundaries.end(),
+                         segment.x1) -
+        node.boundaries.begin());
+    if (node.children[k] < 0) {
+      Result<int32_t> fresh = BuildSubtree({segment});
+      if (!fresh.ok()) return fresh.status();
+      nodes_[cur].children[k] = fresh.value();
+      return Status::OK();
+    }
+    parent = cur;
+    parent_slot = k;
+    cur = node.children[k];
+  }
+}
+
+Status IntervalTree::Erase(const Segment& segment) {
+  std::vector<int32_t> path;
+  int32_t cur = root_;
+  Status removed = Status::NotFound("segment not stored");
+  while (cur >= 0) {
+    path.push_back(cur);
+    Node& node = nodes_[cur];
+    {
+      auto meta = pool_->Fetch(node.meta_page);
+      if (!meta.ok()) return meta.status();
+    }
+    if (node.is_leaf) {
+      auto it = std::find(node.leaf_segments.begin(),
+                          node.leaf_segments.end(), segment);
+      if (it == node.leaf_segments.end()) return removed;
+      node.leaf_segments.erase(it);
+      SEGDB_RETURN_IF_ERROR(WriteLeafPages(&node));
+      removed = Status::OK();
+      break;
+    }
+    uint32_t first, last;
+    if (TouchedRange(node.boundaries, segment, &first, &last)) {
+      removed = EraseAtNode(&node, segment);
+      if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+        return removed;
+      }
+      break;
+    }
+    const uint32_t k = static_cast<uint32_t>(
+        std::lower_bound(node.boundaries.begin(), node.boundaries.end(),
+                         segment.x1) -
+        node.boundaries.begin());
+    cur = node.children[k];
+  }
+  if (!removed.ok()) return removed;
+  for (int32_t idx : path) --nodes_[idx].subtree_size;
+  --size_;
+  return Status::OK();
+}
+
+Status IntervalTree::Stab(int64_t x0, std::vector<Segment>* out) const {
+  int32_t cur = root_;
+  while (cur >= 0) {
+    const Node& node = nodes_[cur];
+    {
+      auto meta = pool_->Fetch(node.meta_page);
+      if (!meta.ok()) return meta.status();
+    }
+    if (node.is_leaf) {
+      for (io::PageId id : node.leaf_pages) {
+        auto ref = pool_->Fetch(id);
+        if (!ref.ok()) return ref.status();
+        const io::Page& p = ref.value().page();
+        const uint32_t count = p.ReadAt<uint32_t>(0);
+        for (uint32_t i = 0; i < count; ++i) {
+          const Segment s =
+              p.ReadAt<Segment>(kLeafHeader + i * sizeof(Segment));
+          if (s.x1 <= x0 && x0 <= s.x2) out->push_back(s);
+        }
+      }
+      return Status::OK();
+    }
+
+    auto it = std::lower_bound(node.boundaries.begin(), node.boundaries.end(),
+                               x0);
+    const bool on_boundary = it != node.boundaries.end() && *it == x0;
+    const uint32_t k = static_cast<uint32_t>(it - node.boundaries.begin());
+    const uint32_t inner_max =
+        static_cast<uint32_t>(node.boundaries.size()) - 1;
+
+    auto report_multislab_path = [&](uint32_t slab,
+                                     std::unordered_set<uint64_t>* dedup)
+        -> Status {
+      if (node.mroot < 0 || slab < 1 || slab > inner_max) return Status::OK();
+      int32_t mi = node.mroot;
+      while (mi >= 0) {
+        const MultislabNode& m = node.mtree[mi];
+        SEGDB_RETURN_IF_ERROR(m.list->ScanAll([&](const Segment& s) {
+          if (dedup == nullptr || dedup->insert(s.id).second) {
+            out->push_back(s);
+          }
+          return true;
+        }));
+        if (m.left < 0) break;
+        const uint32_t mid = (m.slab_lo + m.slab_hi) / 2;
+        mi = slab <= mid ? m.left : m.right;
+      }
+      return Status::OK();
+    };
+
+    if (on_boundary) {
+      // x0 == s_k: C_k wholesale, the non-overlapping slices of L_k and
+      // R_k, and the multislab paths of both adjacent slabs.
+      const BoundaryLists& bl = node.per_boundary[k];
+      if (bl.c) {
+        SEGDB_RETURN_IF_ERROR(bl.c->ScanAll([&](const Segment& s) {
+          out->push_back(s);
+          return true;
+        }));
+      }
+      if (bl.l) {
+        // Members crossing the next boundary too live in the multislab
+        // lists; keep only the short ones.
+        const bool has_next = k + 1 < node.boundaries.size();
+        const int64_t next_b = has_next ? node.boundaries[k + 1] : 0;
+        SEGDB_RETURN_IF_ERROR(bl.l->ScanAll([&](const Segment& s) {
+          if (!has_next || s.x2 < next_b) out->push_back(s);
+          return true;
+        }));
+      }
+      if (bl.r) {
+        SEGDB_RETURN_IF_ERROR(bl.r->ScanAll([&](const Segment& s) {
+          if (s.x1 == x0) out->push_back(s);
+          return true;
+        }));
+      }
+      std::unordered_set<uint64_t> dedup;
+      SEGDB_RETURN_IF_ERROR(report_multislab_path(k, &dedup));
+      SEGDB_RETURN_IF_ERROR(report_multislab_path(k + 1, &dedup));
+      return Status::OK();
+    }
+
+    // x0 strictly inside slab k: prefix of R_{k-1} by hi, prefix of L_k by
+    // lo, full multislab path.
+    if (k >= 1 && node.per_boundary[k - 1].r) {
+      SEGDB_RETURN_IF_ERROR(node.per_boundary[k - 1].r->ScanAll(
+          [&](const Segment& s) {
+            if (s.x2 < x0) return false;  // hi-descending: prefix ends
+            out->push_back(s);
+            return true;
+          }));
+    }
+    if (k < node.boundaries.size() && node.per_boundary[k].l) {
+      SEGDB_RETURN_IF_ERROR(
+          node.per_boundary[k].l->ScanAll([&](const Segment& s) {
+            if (s.x1 > x0) return false;  // lo-ascending: prefix ends
+            out->push_back(s);
+            return true;
+          }));
+    }
+    SEGDB_RETURN_IF_ERROR(report_multislab_path(k, nullptr));
+    cur = node.children[k];
+  }
+  return Status::OK();
+}
+
+uint64_t IntervalTree::page_count() const {
+  uint64_t total = 0;
+  std::vector<int32_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    total += 1 + node.leaf_pages.size();
+    for (const BoundaryLists& bl : node.per_boundary) {
+      if (bl.c) total += bl.c->page_count();
+      if (bl.l) total += bl.l->page_count();
+      if (bl.r) total += bl.r->page_count();
+    }
+    for (const MultislabNode& m : node.mtree) {
+      if (m.list) total += m.list->page_count();
+    }
+    for (int32_t child : node.children) {
+      if (child >= 0) stack.push_back(child);
+    }
+  }
+  return total;
+}
+
+uint32_t IntervalTree::SubtreeHeight(int32_t idx) const {
+  if (idx < 0) return 0;
+  uint32_t h = 0;
+  for (int32_t child : nodes_[idx].children) {
+    h = std::max(h, SubtreeHeight(child));
+  }
+  return 1 + h;
+}
+
+Status IntervalTree::CheckInvariants() const {
+  // Light structural audit: every stored segment must be re-collectable
+  // exactly once and sizes must agree.
+  if (root_ < 0) {
+    return size_ == 0 ? Status::OK() : Status::Corruption("size_ mismatch");
+  }
+  std::vector<Segment> all;
+  SEGDB_RETURN_IF_ERROR(CollectSubtree(root_, &all));
+  if (all.size() != size_) return Status::Corruption("size_ mismatch");
+  std::unordered_set<uint64_t> ids;
+  for (const Segment& s : all) {
+    if (!ids.insert(s.id).second) {
+      return Status::Corruption("segment collected twice");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::itree

@@ -1,0 +1,63 @@
+// Deterministic, fast pseudo-random generation for workload synthesis and
+// property tests. All segdb experiments are reproducible from a seed.
+#ifndef SEGDB_UTIL_RANDOM_H_
+#define SEGDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace segdb {
+
+// xoshiro256** with a SplitMix64-seeded state. Not cryptographic; chosen for
+// speed and reproducibility across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace segdb
+
+#endif  // SEGDB_UTIL_RANDOM_H_

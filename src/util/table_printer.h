@@ -1,0 +1,38 @@
+// Fixed-width table formatting for the benchmark harness output. Every
+// experiment binary prints its series through this so EXPERIMENTS.md rows
+// can be regenerated verbatim.
+#ifndef SEGDB_UTIL_TABLE_PRINTER_H_
+#define SEGDB_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace segdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cells are stringified values; AddRow asserts the arity matches.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders an aligned ASCII table.
+  void Print(std::ostream& os) const;
+
+  // Renders comma-separated values (machine-readable mirror of Print).
+  void PrintCsv(std::ostream& os) const;
+
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace segdb
+
+#endif  // SEGDB_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,69 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+
+namespace segdb::workload {
+
+BoundingBox ComputeBoundingBox(std::span<const geom::Segment> segments) {
+  BoundingBox box;
+  if (segments.empty()) return box;
+  box.xmin = segments[0].x1;
+  box.xmax = segments[0].x2;
+  box.ymin = segments[0].min_y();
+  box.ymax = segments[0].max_y();
+  for (const geom::Segment& s : segments) {
+    box.xmin = std::min(box.xmin, s.x1);
+    box.xmax = std::max(box.xmax, s.x2);
+    box.ymin = std::min(box.ymin, s.min_y());
+    box.ymax = std::max(box.ymax, s.max_y());
+  }
+  return box;
+}
+
+std::vector<VsQuery> GenVsQueries(Rng& rng, uint64_t n,
+                                  const BoundingBox& box,
+                                  double height_fraction) {
+  std::vector<VsQuery> out;
+  out.reserve(n);
+  const int64_t y_extent = std::max<int64_t>(1, box.ymax - box.ymin);
+  const int64_t height = std::max<int64_t>(
+      0, static_cast<int64_t>(height_fraction * static_cast<double>(y_extent)));
+  for (uint64_t i = 0; i < n; ++i) {
+    VsQuery q;
+    q.x0 = rng.UniformInt(box.xmin, box.xmax);
+    q.ylo = rng.UniformInt(box.ymin - height, box.ymax);
+    q.yhi = q.ylo + height;
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<VsQuery> GenRayQueries(Rng& rng, uint64_t n,
+                                   const BoundingBox& box) {
+  std::vector<VsQuery> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VsQuery q;
+    q.x0 = rng.UniformInt(box.xmin, box.xmax);
+    q.ylo = rng.UniformInt(box.ymin, box.ymax);
+    q.yhi = box.ymax + 1;
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<VsQuery> GenLineQueries(Rng& rng, uint64_t n,
+                                    const BoundingBox& box) {
+  std::vector<VsQuery> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VsQuery q;
+    q.x0 = rng.UniformInt(box.xmin, box.xmax);
+    q.ylo = box.ymin - 1;
+    q.yhi = box.ymax + 1;
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace segdb::workload

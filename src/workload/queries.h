@@ -1,0 +1,48 @@
+// Query workload generation: vertical generalized query segments (segment /
+// ray / line form) with controllable vertical extent, placed inside the
+// bounding box of a segment set.
+#ifndef SEGDB_WORKLOAD_QUERIES_H_
+#define SEGDB_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/segment.h"
+#include "util/random.h"
+
+namespace segdb::workload {
+
+// A vertical query segment x = x0, ylo <= y <= yhi. Rays and lines are the
+// half-unbounded and unbounded special cases (clamped to the coordinate
+// bound, which exceeds every dataset).
+struct VsQuery {
+  int64_t x0 = 0;
+  int64_t ylo = 0;
+  int64_t yhi = 0;
+};
+
+struct BoundingBox {
+  int64_t xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+};
+
+// Bounding box of a segment set (empty set -> zero box).
+BoundingBox ComputeBoundingBox(std::span<const geom::Segment> segments);
+
+// `height_fraction` of the data's y-extent per query; x0 and the query's
+// vertical placement are uniform inside the box.
+std::vector<VsQuery> GenVsQueries(Rng& rng, uint64_t n,
+                                  const BoundingBox& box,
+                                  double height_fraction);
+
+// Upward rays: from a uniform anchor to above the data.
+std::vector<VsQuery> GenRayQueries(Rng& rng, uint64_t n,
+                                   const BoundingBox& box);
+
+// Full vertical lines (the classical stabbing query, Figure 1 left).
+std::vector<VsQuery> GenLineQueries(Rng& rng, uint64_t n,
+                                    const BoundingBox& box);
+
+}  // namespace segdb::workload
+
+#endif  // SEGDB_WORKLOAD_QUERIES_H_

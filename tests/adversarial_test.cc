@@ -1,0 +1,247 @@
+// Adversarial shapes and degenerate configurations across the index
+// structures: collinear overlaps, shared-endpoint stars, extreme aspect
+// ratios, everything-reaches regimes, and coordinate-boundary values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "geom/nct.h"
+#include "geom/predicates.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "pst/line_pst.h"
+#include "util/random.h"
+
+namespace segdb {
+namespace {
+
+using core::VerticalSegmentQuery;
+using geom::Point;
+using geom::Segment;
+
+std::vector<uint64_t> Ids(const std::vector<Segment>& segs) {
+  std::vector<uint64_t> ids;
+  for (const Segment& s : segs) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> Oracle(const std::vector<Segment>& segs, int64_t x0,
+                             int64_t ylo, int64_t yhi) {
+  std::vector<uint64_t> ids;
+  for (const Segment& s : segs) {
+    if (geom::IntersectsVerticalSegment(s, x0, ylo, yhi)) ids.push_back(s.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class AdversarialPstTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  AdversarialPstTest() : disk_(512), pool_(&disk_, 1024) {}
+  pst::LinePstOptions Opts() const {
+    pst::LinePstOptions o;
+    o.fanout = GetParam();
+    return o;
+  }
+  void CompareAll(pst::LinePst& pst, const std::vector<Segment>& segs,
+                  Rng& rng, int64_t max_x, int64_t ymin, int64_t ymax) {
+    for (int q = 0; q < 60; ++q) {
+      const int64_t qx = rng.UniformInt(0, max_x);
+      const int64_t ylo = rng.UniformInt(ymin, ymax);
+      const int64_t yhi = ylo + rng.UniformInt(0, (ymax - ymin) / 4 + 1);
+      std::vector<Segment> out;
+      ASSERT_TRUE(pst.Query(qx, ylo, yhi, &out).ok());
+      EXPECT_EQ(Ids(out), Oracle(segs, qx, ylo, yhi)) << "qx=" << qx;
+    }
+  }
+  io::DiskManager disk_;
+  io::BufferPool pool_;
+};
+
+TEST_P(AdversarialPstTest, CollinearOverlappingBundle) {
+  // Many collinear segments stacked on one line, different extents:
+  // legal NCT (overlap is touching), maximally ties every comparator.
+  std::vector<Segment> segs;
+  for (uint64_t i = 0; i < 200; ++i) {
+    segs.push_back(Segment::Make(Point{0, 0},
+                                 Point{static_cast<int64_t>(100 + i * 7),
+                                       static_cast<int64_t>(100 + i * 7)},
+                                 i));
+  }
+  ASSERT_TRUE(geom::ValidateNct(segs).ok());
+  pst::LinePst pst(&pool_, 0, pst::Direction::kRight, Opts());
+  ASSERT_TRUE(pst.BulkLoad(segs).ok());
+  ASSERT_TRUE(pst.CheckInvariants().ok());
+  Rng rng(141);
+  CompareAll(pst, segs, rng, 1600, -100, 1600);
+}
+
+TEST_P(AdversarialPstTest, EverythingReachesEverywhere) {
+  // All segments span the full x-range: reach-pruning never helps and the
+  // fences must carry the whole search.
+  std::vector<Segment> segs;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    const int64_t y = static_cast<int64_t>(i) * 5;
+    segs.push_back(
+        Segment::Make(Point{0, y}, Point{100000, y + 3}, i));
+  }
+  pst::LinePst pst(&pool_, 0, pst::Direction::kRight, Opts());
+  ASSERT_TRUE(pst.BulkLoad(segs).ok());
+  Rng rng(142);
+  CompareAll(pst, segs, rng, 100000, -10, 15100);
+
+  // I/O sanity: a thin query must not read more than a sliver of the
+  // structure (the boundary paths plus the answer run).
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  ASSERT_TRUE(pool_.EvictAll().ok());
+  pool_.ResetStats();
+  std::vector<Segment> out;
+  ASSERT_TRUE(pst.Query(50000, 7000, 7020, &out).ok());
+  EXPECT_LT(pool_.stats().misses, pst.page_count() / 4);
+}
+
+TEST_P(AdversarialPstTest, SharedBasePointStar) {
+  // Hundreds of segments out of one base point (giant tie group at the
+  // base line).
+  std::vector<Segment> segs;
+  for (uint64_t i = 0; i < 256; ++i) {
+    const int64_t slope = static_cast<int64_t>(i) - 128;
+    segs.push_back(Segment::Make(Point{0, 0}, Point{512, slope * 4}, i));
+  }
+  ASSERT_TRUE(geom::ValidateNct(segs).ok());
+  pst::LinePst pst(&pool_, 0, pst::Direction::kRight, Opts());
+  ASSERT_TRUE(pst.BulkLoad(segs).ok());
+  Rng rng(143);
+  CompareAll(pst, segs, rng, 520, -2100, 2100);
+  // Exactly at the star point: everything touches.
+  std::vector<Segment> out;
+  ASSERT_TRUE(pst.Query(0, 0, 0, &out).ok());
+  EXPECT_EQ(out.size(), segs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, AdversarialPstTest,
+                         ::testing::Values(2u, 0u),
+                         [](const auto& info) {
+                           return "fan" + std::to_string(info.param);
+                         });
+
+template <typename Index>
+void RunExtremeCoordinates() {
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1024);
+  const int64_t m = geom::kMaxCoord;
+  // Segments hugging the coordinate bounds: edges, a near-diagonal, a
+  // huge vertical touching the bottom edge and stopping short of the
+  // diagonal, and an extreme-slope sliver below the diagonal.
+  std::vector<Segment> segs = {
+      Segment::Make(Point{-m, -m}, Point{m, -m}, 1),         // bottom edge
+      Segment::Make(Point{-m, m}, Point{m, m}, 2),           // top edge
+      Segment::Make(Point{-m, -m + 2}, Point{m, m - 2}, 3),  // near-diagonal
+      Segment::Make(Point{0, -m}, Point{0, -2}, 4),          // huge vertical
+      Segment::Make(Point{m - 1, -m}, Point{m, -m / 2}, 5),  // extreme slope
+  };
+  ASSERT_TRUE(geom::ValidateNct(segs).ok());
+  Index index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  Rng rng(144);
+  for (int q = 0; q < 60; ++q) {
+    const int64_t x0 = rng.UniformInt(-m, m);
+    const int64_t ylo = rng.UniformInt(-m, m);
+    const int64_t yhi =
+        ylo + rng.UniformInt(0, m / 2);
+    std::vector<Segment> out;
+    ASSERT_TRUE(index.Query(VerticalSegmentQuery{x0, ylo, yhi}, &out).ok());
+    EXPECT_EQ(Ids(out), Oracle(segs, x0, ylo, yhi))
+        << "x0=" << x0 << " y=[" << ylo << "," << yhi << "]";
+  }
+  // Exact corners.
+  std::vector<Segment> out;
+  ASSERT_TRUE(index.Query(VerticalSegmentQuery{-m, -m, -m}, &out).ok());
+  EXPECT_EQ(Ids(out), Oracle(segs, -m, -m, -m));
+}
+
+TEST(AdversarialIndexTest, ExtremeCoordinatesSolutionA) {
+  RunExtremeCoordinates<core::TwoLevelBinaryIndex>();
+}
+
+TEST(AdversarialIndexTest, ExtremeCoordinatesSolutionB) {
+  RunExtremeCoordinates<core::TwoLevelIntervalIndex>();
+}
+
+template <typename Index>
+void RunAllOnOneLine() {
+  // Every segment vertical on the same line: the entire database lives in
+  // one C structure.
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 512);
+  std::vector<Segment> segs;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const int64_t lo = static_cast<int64_t>(i % 97) * 11;
+    segs.push_back(Segment::Make(Point{42, lo},
+                                 Point{42, lo + 5 + int64_t(i % 13)}, i));
+  }
+  Index index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  Rng rng(145);
+  for (int q = 0; q < 40; ++q) {
+    const int64_t x0 = rng.Bernoulli(0.5) ? 42 : rng.UniformInt(0, 100);
+    const int64_t ylo = rng.UniformInt(-10, 1100);
+    const int64_t yhi = ylo + rng.UniformInt(0, 200);
+    std::vector<Segment> out;
+    ASSERT_TRUE(index.Query(VerticalSegmentQuery{x0, ylo, yhi}, &out).ok());
+    EXPECT_EQ(Ids(out), Oracle(segs, x0, ylo, yhi));
+  }
+}
+
+TEST(AdversarialIndexTest, AllVerticalOneLineSolutionA) {
+  RunAllOnOneLine<core::TwoLevelBinaryIndex>();
+}
+
+TEST(AdversarialIndexTest, AllVerticalOneLineSolutionB) {
+  RunAllOnOneLine<core::TwoLevelIntervalIndex>();
+}
+
+template <typename Index>
+void RunStaircaseChain() {
+  // A single connected polyline: consecutive segments share endpoints,
+  // alternating steep/flat — every node boundary lands on a shared point.
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 1024);
+  std::vector<Segment> segs;
+  Point prev{0, 0};
+  Rng rng(146);
+  for (uint64_t i = 0; i < 500; ++i) {
+    Point next{prev.x + 1 + rng.UniformInt(0, 20),
+               prev.y + ((i % 2 == 0) ? rng.UniformInt(0, 40)
+                                      : -rng.UniformInt(0, 35))};
+    segs.push_back(Segment::Make(prev, next, i));
+    prev = next;
+  }
+  ASSERT_TRUE(geom::ValidateNct(segs).ok());
+  Index index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  for (int q = 0; q < 60; ++q) {
+    const int64_t x0 = rng.UniformInt(0, prev.x + 5);
+    const int64_t ylo = rng.UniformInt(-400, 900);
+    const int64_t yhi = ylo + rng.UniformInt(0, 150);
+    std::vector<Segment> out;
+    ASSERT_TRUE(index.Query(VerticalSegmentQuery{x0, ylo, yhi}, &out).ok());
+    EXPECT_EQ(Ids(out), Oracle(segs, x0, ylo, yhi)) << "x0=" << x0;
+  }
+}
+
+TEST(AdversarialIndexTest, StaircaseChainSolutionA) {
+  RunStaircaseChain<core::TwoLevelBinaryIndex>();
+}
+
+TEST(AdversarialIndexTest, StaircaseChainSolutionB) {
+  RunStaircaseChain<core::TwoLevelIntervalIndex>();
+}
+
+}  // namespace
+}  // namespace segdb

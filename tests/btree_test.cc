@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "geom/predicates.h"
+#include "geom/segment.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+
+namespace segdb::btree {
+namespace {
+
+struct KV {
+  int64_t key;
+  uint64_t value;
+};
+
+struct KVCompare {
+  int operator()(const KV& a, const KV& b) const {
+    return a.key < b.key ? -1 : (a.key > b.key ? 1 : 0);
+  }
+};
+
+using KVTree = BPlusTree<KV, KVCompare>;
+
+class BTreeTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  BTreeTest() : disk_(GetParam()), pool_(&disk_, 64) {}
+
+  io::DiskManager disk_;
+  io::BufferPool pool_;
+};
+
+TEST_P(BTreeTest, EmptyTree) {
+  KVTree tree(&pool_, KVCompare{});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all.value().empty());
+  auto c = tree.Contains(KV{1, 0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c.value());
+}
+
+TEST_P(BTreeTest, BulkLoadAndScanAll) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 500; ++i) input.push_back(KV{i * 2, uint64_t(i)});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  EXPECT_EQ(tree.size(), 500u);
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(all.value()[i].key, int64_t(i) * 2);
+    EXPECT_EQ(all.value()[i].value, i);
+  }
+}
+
+TEST_P(BTreeTest, ScanFromLowerBound) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 100; ++i) input.push_back(KV{i * 10, uint64_t(i)});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  // Key between records: first reported must be the next larger key.
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree.ScanFrom(KV{55, 0},
+                            [&](const KV& kv) {
+                              seen.push_back(kv.key);
+                              return seen.size() < 3;
+                            })
+                  .ok());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 60);
+  EXPECT_EQ(seen[1], 70);
+  EXPECT_EQ(seen[2], 80);
+}
+
+TEST_P(BTreeTest, ScanFromPastEndYieldsNothing) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input = {{1, 1}, {2, 2}};
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  int count = 0;
+  ASSERT_TRUE(tree.ScanFrom(KV{100, 0},
+                            [&](const KV&) {
+                              ++count;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST_P(BTreeTest, InsertAscending) {
+  KVTree tree(&pool_, KVCompare{});
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(KV{i, uint64_t(i)}).ok());
+  }
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(all.value()[i].key, i);
+}
+
+TEST_P(BTreeTest, InsertDescending) {
+  KVTree tree(&pool_, KVCompare{});
+  for (int64_t i = 999; i >= 0; --i) {
+    ASSERT_TRUE(tree.Insert(KV{i, uint64_t(i)}).ok());
+  }
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(all.value()[i].key, i);
+}
+
+TEST_P(BTreeTest, RandomInsertMatchesSortedOracle) {
+  KVTree tree(&pool_, KVCompare{});
+  Rng rng(42);
+  std::vector<int64_t> oracle;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t k = rng.UniformInt(-10000, 10000);
+    oracle.push_back(k);
+    ASSERT_TRUE(tree.Insert(KV{k, uint64_t(i)}).ok());
+  }
+  std::sort(oracle.begin(), oracle.end());
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), oracle.size());
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(all.value()[i].key, oracle[i]) << "at index " << i;
+  }
+}
+
+TEST_P(BTreeTest, DuplicateKeysAllFound) {
+  KVTree tree(&pool_, KVCompare{});
+  for (uint64_t v = 0; v < 50; ++v) {
+    ASSERT_TRUE(tree.Insert(KV{7, v}).ok());
+    ASSERT_TRUE(tree.Insert(KV{3, v}).ok());
+    ASSERT_TRUE(tree.Insert(KV{11, v}).ok());
+  }
+  int sevens = 0;
+  ASSERT_TRUE(tree.ScanFrom(KV{7, 0},
+                            [&](const KV& kv) {
+                              if (kv.key != 7) return false;
+                              ++sevens;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(sevens, 50);
+}
+
+TEST_P(BTreeTest, EraseRemovesExactRecord) {
+  KVTree tree(&pool_, KVCompare{});
+  for (uint64_t v = 0; v < 10; ++v) ASSERT_TRUE(tree.Insert(KV{5, v}).ok());
+  ASSERT_TRUE(tree.Erase(KV{5, 4}).ok());
+  EXPECT_EQ(tree.size(), 9u);
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  for (const KV& kv : all.value()) EXPECT_NE(kv.value, 4u);
+  // Double-erase fails.
+  EXPECT_EQ(tree.Erase(KV{5, 4}).code(), StatusCode::kNotFound);
+}
+
+TEST_P(BTreeTest, EraseMissingReturnsNotFound) {
+  KVTree tree(&pool_, KVCompare{});
+  ASSERT_TRUE(tree.Insert(KV{1, 1}).ok());
+  EXPECT_EQ(tree.Erase(KV{2, 2}).code(), StatusCode::kNotFound);
+}
+
+TEST_P(BTreeTest, MixedBulkLoadTheInserts) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 300; ++i) input.push_back(KV{i * 3, uint64_t(i)});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  Rng rng(1);
+  std::vector<int64_t> oracle;
+  for (const KV& kv : input) oracle.push_back(kv.key);
+  for (int i = 0; i < 300; ++i) {
+    int64_t k = rng.UniformInt(0, 900);
+    oracle.push_back(k);
+    ASSERT_TRUE(tree.Insert(KV{k, 9999}).ok());
+  }
+  std::sort(oracle.begin(), oracle.end());
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), oracle.size());
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(all.value()[i].key, oracle[i]);
+  }
+}
+
+TEST_P(BTreeTest, ClearFreesAllPages) {
+  const uint64_t before = disk_.pages_in_use();
+  {
+    KVTree tree(&pool_, KVCompare{});
+    std::vector<KV> input;
+    for (int64_t i = 0; i < 2000; ++i) input.push_back(KV{i, uint64_t(i)});
+    ASSERT_TRUE(tree.BulkLoad(input).ok());
+    EXPECT_GT(disk_.pages_in_use(), before);
+    ASSERT_TRUE(tree.Clear().ok());
+    EXPECT_EQ(disk_.pages_in_use(), before);
+  }
+}
+
+TEST_P(BTreeTest, DestructorReleasesPages) {
+  const uint64_t before = disk_.pages_in_use();
+  {
+    KVTree tree(&pool_, KVCompare{});
+    for (int64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(tree.Insert(KV{i, 0}).ok());
+    }
+  }
+  EXPECT_EQ(disk_.pages_in_use(), before);
+}
+
+TEST_P(BTreeTest, HeightGrowsLogarithmically) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 5000; ++i) input.push_back(KV{i, 0});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  // Packed bulk load: height <= ceil(log_cap(n)) + 1.
+  const double cap = tree.leaf_capacity();
+  const double expected = std::log(5000.0) / std::log(cap) + 2;
+  EXPECT_LE(tree.height(), static_cast<uint32_t>(expected) + 1);
+}
+
+TEST_P(BTreeTest, LowerBoundPositionAndScan) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 500; ++i) input.push_back(KV{i * 2, uint64_t(i)});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  auto pos = tree.LowerBoundPosition(KV{501, 0});
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(pos.value().found);
+  int64_t first = -1;
+  ASSERT_TRUE(tree.ScanFromPosition(pos.value(),
+                                    [&](const KV& kv) {
+                                      first = kv.key;
+                                      return false;
+                                    })
+                  .ok());
+  EXPECT_EQ(first, 502);
+  auto past = tree.LowerBoundPosition(KV{99999, 0});
+  ASSERT_TRUE(past.ok());
+  EXPECT_FALSE(past.value().found);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreeTest,
+                         ::testing::Values(256u, 512u, 4096u),
+                         [](const auto& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+TEST_P(BTreeTest, BulkLoadWithPositionsReportsEveryRecord) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 400; ++i) input.push_back(KV{i, uint64_t(i)});
+  std::vector<KVTree::Position> positions;
+  ASSERT_TRUE(tree.BulkLoadWithPositions(input, &positions).ok());
+  ASSERT_EQ(positions.size(), input.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    ASSERT_TRUE(positions[i].found);
+    // Scanning from the reported position must yield exactly record i.
+    int64_t got = -1;
+    ASSERT_TRUE(tree.ScanFromPosition(positions[i],
+                                      [&](const KV& kv) {
+                                        got = kv.key;
+                                        return false;
+                                      })
+                    .ok());
+    EXPECT_EQ(got, input[i].key);
+  }
+}
+
+TEST_P(BTreeTest, HeadPosition) {
+  KVTree tree(&pool_, KVCompare{});
+  auto empty = tree.HeadPosition();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().found);
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 100; ++i) input.push_back(KV{i * 3, 0});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  auto head = tree.HeadPosition();
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(head.value().found);
+  int64_t first = -1;
+  ASSERT_TRUE(tree.ScanFromPosition(head.value(),
+                                    [&](const KV& kv) {
+                                      first = kv.key;
+                                      return false;
+                                    })
+                  .ok());
+  EXPECT_EQ(first, 0);
+}
+
+TEST_P(BTreeTest, ReadLeafExposesNeighborLinks) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 500; ++i) input.push_back(KV{i, 0});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  auto head = tree.HeadPosition();
+  ASSERT_TRUE(head.ok());
+  // Walk the whole leaf chain forward, then check prev links backward.
+  std::vector<io::PageId> chain;
+  io::PageId cur = head.value().leaf;
+  int64_t expected = 0;
+  while (cur != io::kInvalidPageId) {
+    auto view = tree.ReadLeaf(cur);
+    ASSERT_TRUE(view.ok());
+    chain.push_back(cur);
+    for (const KV& kv : view.value().records) {
+      EXPECT_EQ(kv.key, expected++);
+    }
+    cur = view.value().next;
+  }
+  EXPECT_EQ(expected, 500);
+  for (size_t i = chain.size(); i > 1; --i) {
+    auto view = tree.ReadLeaf(chain[i - 1]);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.value().prev, chain[i - 2]);
+  }
+}
+
+TEST_P(BTreeTest, FindFirstWhereLocatesPredicateBoundary) {
+  KVTree tree(&pool_, KVCompare{});
+  std::vector<KV> input;
+  for (int64_t i = 0; i < 600; ++i) input.push_back(KV{i * 2, 0});
+  ASSERT_TRUE(tree.BulkLoad(input).ok());
+  for (int64_t threshold : {-5LL, 0LL, 33LL, 700LL, 1198LL, 5000LL}) {
+    KVTree::Position pos;
+    KV pred{};
+    bool pred_valid = false;
+    ASSERT_TRUE(tree.FindFirstWhere(
+                        [&](const KV& kv) { return kv.key >= threshold; },
+                        &pos, &pred, &pred_valid)
+                    .ok());
+    // Expected first satisfying key.
+    int64_t expect = -1;
+    for (const KV& kv : input) {
+      if (kv.key >= threshold) {
+        expect = kv.key;
+        break;
+      }
+    }
+    if (expect < 0) {
+      EXPECT_FALSE(pos.found) << "threshold " << threshold;
+      ASSERT_TRUE(pred_valid);
+      EXPECT_EQ(pred.key, input.back().key);
+      continue;
+    }
+    ASSERT_TRUE(pos.found) << "threshold " << threshold;
+    int64_t got = -1;
+    ASSERT_TRUE(tree.ScanFromPosition(pos,
+                                      [&](const KV& kv) {
+                                        got = kv.key;
+                                        return false;
+                                      })
+                    .ok());
+    EXPECT_EQ(got, expect);
+    if (expect > input.front().key) {
+      ASSERT_TRUE(pred_valid);
+      EXPECT_EQ(pred.key, expect - 2);  // the record just before
+    } else {
+      EXPECT_FALSE(pred_valid);
+    }
+  }
+}
+
+TEST_P(BTreeTest, FindFirstWhereOnEmptyTree) {
+  KVTree tree(&pool_, KVCompare{});
+  KVTree::Position pos;
+  KV pred{};
+  bool pred_valid = true;
+  ASSERT_TRUE(
+      tree.FindFirstWhere([](const KV&) { return true; }, &pos, &pred,
+                          &pred_valid)
+          .ok());
+  EXPECT_FALSE(pos.found);
+  EXPECT_FALSE(pred_valid);
+}
+
+// --- Segment-record instantiation: the ordering used by multislab lists ---
+
+struct AtXCompare {
+  int64_t x;
+  int operator()(const geom::Segment& a, const geom::Segment& b) const {
+    const int c = geom::CompareSegmentsAtX(a, b, x);
+    if (c != 0) return c;
+    return a.id < b.id ? -1 : (a.id > b.id ? 1 : 0);
+  }
+};
+
+TEST(SegmentBTreeTest, OrdersByIntersectionWithBoundary) {
+  io::DiskManager disk(512);
+  io::BufferPool pool(&disk, 32);
+  BPlusTree<geom::Segment, AtXCompare> tree(&pool, AtXCompare{10});
+  // Non-crossing segments spanning x=10, inserted out of order.
+  std::vector<geom::Segment> segs = {
+      geom::Segment::Make({0, 30}, {20, 50}, 3),
+      geom::Segment::Make({0, 0}, {20, 10}, 1),
+      geom::Segment::Make({0, 20}, {20, 20}, 2),
+  };
+  for (const auto& s : segs) ASSERT_TRUE(tree.Insert(s).ok());
+  auto all = tree.CollectAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 3u);
+  EXPECT_EQ(all.value()[0].id, 1u);
+  EXPECT_EQ(all.value()[1].id, 2u);
+  EXPECT_EQ(all.value()[2].id, 3u);
+}
+
+}  // namespace
+}  // namespace segdb::btree

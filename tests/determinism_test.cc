@@ -1,0 +1,80 @@
+// Reproducibility guarantees: identical seeds must yield identical
+// workloads, queries, and index behaviour — the property every experiment
+// in EXPERIMENTS.md relies on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/two_level_interval_index.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb {
+namespace {
+
+using geom::Segment;
+
+TEST(DeterminismTest, GeneratorsRepeatPerSeed) {
+  for (uint64_t seed : {1ULL, 42ULL, 31337ULL}) {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(workload::GenMapLayer(a, 500, 100000),
+              workload::GenMapLayer(b, 500, 100000));
+  }
+  Rng a(7), b(7);
+  EXPECT_EQ(workload::GenGridPerturbed(a, 8, 8, 512),
+            workload::GenGridPerturbed(b, 8, 8, 512));
+  Rng c(9), d(9);
+  EXPECT_EQ(workload::GenLineBasedRepaired(c, 200, 0, 1000),
+            workload::GenLineBasedRepaired(d, 200, 0, 1000));
+}
+
+TEST(DeterminismTest, QueriesRepeatPerSeed) {
+  workload::BoundingBox box{0, 100000, -5000, 5000};
+  Rng a(11), b(11);
+  auto qa = workload::GenVsQueries(a, 50, box, 0.05);
+  auto qb = workload::GenVsQueries(b, 50, box, 0.05);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].x0, qb[i].x0);
+    EXPECT_EQ(qa[i].ylo, qb[i].ylo);
+    EXPECT_EQ(qa[i].yhi, qb[i].yhi);
+  }
+}
+
+TEST(DeterminismTest, IndexIoCountsRepeat) {
+  // Two fresh disk/pool/index stacks over the same seed must report
+  // identical cold-cache I/O counts — the experiment harness depends on
+  // this for comparability.
+  auto run_once = [](std::vector<uint64_t>* ios) {
+    io::DiskManager disk(1024);
+    io::BufferPool pool(&disk, 2048);
+    Rng rng(77);
+    auto segs = workload::GenMapLayer(rng, 800, 100000);
+    core::TwoLevelIntervalIndex index(&pool);
+    ASSERT_TRUE(index.BulkLoad(segs).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    auto box = workload::ComputeBoundingBox(segs);
+    Rng qrng(5);
+    auto queries = workload::GenVsQueries(qrng, 20, box, 0.01);
+    for (const auto& q : queries) {
+      ASSERT_TRUE(pool.EvictAll().ok());
+      pool.ResetStats();
+      std::vector<Segment> out;
+      ASSERT_TRUE(
+          index.Query(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out)
+              .ok());
+      ios->push_back(pool.stats().misses);
+    }
+  };
+  std::vector<uint64_t> first, second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace segdb

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "itree/interval_set.h"
+#include "util/random.h"
+
+namespace segdb::itree {
+namespace {
+
+std::vector<uint64_t> Ids(const std::vector<Interval>& ivs) {
+  std::vector<uint64_t> ids;
+  for (const auto& iv : ivs) ids.push_back(iv.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> StabOracle(const std::vector<Interval>& ivs,
+                                 int64_t q) {
+  std::vector<uint64_t> ids;
+  for (const auto& iv : ivs) {
+    if (iv.lo <= q && q <= iv.hi) ids.push_back(iv.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> IntersectOracle(const std::vector<Interval>& ivs,
+                                      int64_t a, int64_t b) {
+  std::vector<uint64_t> ids;
+  for (const auto& iv : ivs) {
+    if (iv.lo <= b && iv.hi >= a) ids.push_back(iv.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class IntervalSetTest : public ::testing::Test {
+ protected:
+  IntervalSetTest() : disk_(1024), pool_(&disk_, 512), set_(&pool_) {}
+  io::DiskManager disk_;
+  io::BufferPool pool_;
+  IntervalSet set_;
+};
+
+TEST_F(IntervalSetTest, EmptyStab) {
+  std::vector<Interval> out;
+  ASSERT_TRUE(set_.Stab(5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(IntervalSetTest, RejectsInverted) {
+  EXPECT_FALSE(set_.Insert(Interval{5, 3, 1}).ok());
+  std::vector<Interval> out;
+  EXPECT_FALSE(set_.Intersect(7, 2, &out).ok());
+}
+
+TEST_F(IntervalSetTest, HandStabCases) {
+  std::vector<Interval> ivs = {{0, 10, 1}, {5, 15, 2}, {12, 20, 3},
+                               {7, 7, 4}};
+  ASSERT_TRUE(set_.BulkLoad(ivs).ok());
+  std::vector<Interval> out;
+  ASSERT_TRUE(set_.Stab(7, &out).ok());
+  EXPECT_EQ(Ids(out), (std::vector<uint64_t>{1, 2, 4}));
+  out.clear();
+  ASSERT_TRUE(set_.Stab(11, &out).ok());
+  EXPECT_EQ(Ids(out), (std::vector<uint64_t>{2}));
+  out.clear();
+  ASSERT_TRUE(set_.Stab(12, &out).ok());
+  EXPECT_EQ(Ids(out), (std::vector<uint64_t>{2, 3}));
+  out.clear();
+  ASSERT_TRUE(set_.Stab(25, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(IntervalSetTest, BoundaryInclusivity) {
+  ASSERT_TRUE(set_.Insert(Interval{10, 20, 1}).ok());
+  std::vector<Interval> out;
+  ASSERT_TRUE(set_.Stab(10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  ASSERT_TRUE(set_.Stab(20, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  ASSERT_TRUE(set_.Intersect(20, 30, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  ASSERT_TRUE(set_.Intersect(0, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  ASSERT_TRUE(set_.Intersect(21, 30, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(IntervalSetTest, RandomMatchesOracle) {
+  Rng rng(121);
+  std::vector<Interval> ivs;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    const int64_t lo = rng.UniformInt(-10000, 10000);
+    ivs.push_back(Interval{lo, lo + rng.UniformInt(0, 3000), i});
+  }
+  ASSERT_TRUE(set_.BulkLoad(ivs).ok());
+  ASSERT_TRUE(set_.CheckInvariants().ok());
+  for (int q = 0; q < 80; ++q) {
+    const int64_t p = rng.UniformInt(-11000, 14000);
+    std::vector<Interval> out;
+    ASSERT_TRUE(set_.Stab(p, &out).ok());
+    EXPECT_EQ(Ids(out), StabOracle(ivs, p));
+    const int64_t a = rng.UniformInt(-11000, 14000);
+    const int64_t b = a + rng.UniformInt(0, 2000);
+    out.clear();
+    ASSERT_TRUE(set_.Intersect(a, b, &out).ok());
+    EXPECT_EQ(Ids(out), IntersectOracle(ivs, a, b));
+  }
+}
+
+TEST_F(IntervalSetTest, InsertEraseMatchesOracle) {
+  Rng rng(122);
+  std::vector<Interval> alive;
+  for (uint64_t i = 0; i < 600; ++i) {
+    const int64_t lo = rng.UniformInt(0, 5000);
+    const Interval iv{lo, lo + rng.UniformInt(0, 800), i};
+    ASSERT_TRUE(set_.Insert(iv).ok());
+    alive.push_back(iv);
+    if (i % 4 == 3) {
+      const size_t victim = rng.Uniform(alive.size());
+      ASSERT_TRUE(set_.Erase(alive[victim]).ok());
+      alive.erase(alive.begin() + victim);
+    }
+  }
+  EXPECT_EQ(set_.size(), alive.size());
+  for (int q = 0; q < 60; ++q) {
+    const int64_t p = rng.UniformInt(-100, 6000);
+    std::vector<Interval> out;
+    ASSERT_TRUE(set_.Stab(p, &out).ok());
+    EXPECT_EQ(Ids(out), StabOracle(alive, p));
+  }
+}
+
+TEST_F(IntervalSetTest, StabbingIoLogarithmic) {
+  Rng rng(123);
+  std::vector<Interval> ivs;
+  for (uint64_t i = 0; i < 40000; ++i) {
+    const int64_t lo = rng.UniformInt(0, 1 << 20);
+    ivs.push_back(Interval{lo, lo + rng.UniformInt(0, 100), i});
+  }
+  ASSERT_TRUE(set_.BulkLoad(ivs).ok());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  uint64_t total = 0;
+  const int kQ = 25;
+  for (int q = 0; q < kQ; ++q) {
+    ASSERT_TRUE(pool_.EvictAll().ok());
+    pool_.ResetStats();
+    std::vector<Interval> out;
+    ASSERT_TRUE(set_.Stab(rng.UniformInt(0, 1 << 20), &out).ok());
+    total += pool_.stats().misses + out.size() / 16;
+  }
+  // Packed PST: a handful of pages per stab.
+  EXPECT_LT(static_cast<double>(total) / kQ, 25.0);
+}
+
+}  // namespace
+}  // namespace segdb::itree

@@ -1,0 +1,141 @@
+// BufferPool LRU conformance: the pool's hit/miss pattern must match a
+// reference LRU model over randomized fetch traces — the experiments'
+// cold/warm distinction depends on this being exact.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+
+namespace segdb::io {
+namespace {
+
+// Reference LRU cache over page ids.
+class ModelLru {
+ public:
+  explicit ModelLru(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true on hit.
+  bool Touch(PageId id) {
+    auto it = where_.find(id);
+    if (it != where_.end()) {
+      order_.erase(it->second);
+      order_.push_front(id);
+      where_[id] = order_.begin();
+      return true;
+    }
+    if (order_.size() == capacity_) {
+      where_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(id);
+    where_[id] = order_.begin();
+    return false;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+TEST(LruModelTest, HitMissPatternMatchesReference) {
+  constexpr size_t kFrames = 16;
+  DiskManager disk(256);
+  BufferPool pool(&disk, kFrames);
+  ModelLru model(kFrames);
+
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    auto ref = pool.NewPage();
+    ASSERT_TRUE(ref.ok());
+    ids.push_back(ref.value().page_id());
+    ref.value().Release();
+    model.Touch(ids.back());  // NewPage makes the page resident
+  }
+
+  Rng rng(181);
+  for (int step = 0; step < 5000; ++step) {
+    // Skewed access pattern: mostly a hot set, sometimes anything.
+    const PageId id = rng.Bernoulli(0.7)
+                          ? ids[rng.Uniform(8)]
+                          : ids[rng.Uniform(ids.size())];
+    const uint64_t misses_before = pool.stats().misses;
+    auto ref = pool.Fetch(id);
+    ASSERT_TRUE(ref.ok());
+    ref.value().Release();
+    const bool pool_hit = pool.stats().misses == misses_before;
+    const bool model_hit = model.Touch(id);
+    ASSERT_EQ(pool_hit, model_hit) << "step " << step << " page " << id;
+  }
+}
+
+TEST(LruModelTest, PinnedPagesAreNotEvicted) {
+  constexpr size_t kFrames = 4;
+  DiskManager disk(256);
+  BufferPool pool(&disk, kFrames);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto ref = pool.NewPage();
+    ASSERT_TRUE(ref.ok());
+    ids.push_back(ref.value().page_id());
+  }
+  // Pin one page and thrash the rest: the pinned page must stay a hit.
+  auto pinned = pool.Fetch(ids[0]);
+  ASSERT_TRUE(pinned.ok());
+  Rng rng(182);
+  for (int step = 0; step < 200; ++step) {
+    auto ref = pool.Fetch(ids[1 + rng.Uniform(7)]);
+    ASSERT_TRUE(ref.ok());
+  }
+  const uint64_t misses_before = pool.stats().misses;
+  {
+    auto again = pool.Fetch(ids[0]);
+    ASSERT_TRUE(again.ok());
+  }
+  EXPECT_EQ(pool.stats().misses, misses_before);
+}
+
+TEST(LruModelTest, WritebackOnlyForDirtyVictims) {
+  constexpr size_t kFrames = 2;
+  DiskManager disk(256);
+  BufferPool pool(&disk, kFrames);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto ref = pool.NewPage();
+    ASSERT_TRUE(ref.ok());
+    ids.push_back(ref.value().page_id());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.ResetStats();
+  disk.ResetStats();
+  // Clean evictions: cycle through pages read-only.
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id : ids) {
+      auto ref = pool.Fetch(id);
+      ASSERT_TRUE(ref.ok());
+    }
+  }
+  EXPECT_EQ(pool.stats().writebacks, 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);
+  // Now dirty one page; its eviction must write exactly once.
+  {
+    auto ref = pool.Fetch(ids[0]);
+    ASSERT_TRUE(ref.ok());
+    ref.value().MarkDirty();
+  }
+  for (PageId id : ids) {
+    auto ref = pool.Fetch(id);
+    ASSERT_TRUE(ref.ok());
+  }
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+}
+
+}  // namespace
+}  // namespace segdb::io

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "pst/point_pst.h"
+#include "util/random.h"
+
+namespace segdb::pst {
+namespace {
+
+std::vector<uint64_t> Ids(const std::vector<PointRecord>& pts) {
+  std::vector<uint64_t> ids;
+  for (const auto& p : pts) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> OracleIds(const std::vector<PointRecord>& pts,
+                                int64_t xlo, int64_t xhi, int64_t ylo) {
+  std::vector<uint64_t> ids;
+  for (const auto& p : pts) {
+    if (xlo <= p.x && p.x <= xhi && p.y >= ylo) ids.push_back(p.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class PointPstTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  PointPstTest() : disk_(1024), pool_(&disk_, 256) {}
+
+  LinePstOptions Opts() const {
+    LinePstOptions o;
+    o.fanout = GetParam();
+    return o;
+  }
+
+  io::DiskManager disk_;
+  io::BufferPool pool_;
+};
+
+TEST_P(PointPstTest, EmptyQuery) {
+  PointPst pst(&pool_, Opts());
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(pst.Query3Sided(-10, 10, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(PointPstTest, HandCases) {
+  PointPst pst(&pool_, Opts());
+  std::vector<PointRecord> pts = {
+      {0, 10, 1}, {5, 5, 2}, {-5, 20, 3}, {10, 0, 4}, {0, 0, 5}};
+  ASSERT_TRUE(pst.BulkLoad(pts).ok());
+  ASSERT_TRUE(pst.CheckInvariants().ok());
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(pst.Query3Sided(-5, 5, 5, &out).ok());
+  EXPECT_EQ(Ids(out), (std::vector<uint64_t>{1, 2, 3}));
+  out.clear();
+  ASSERT_TRUE(pst.Query3Sided(0, 0, 0, &out).ok());
+  EXPECT_EQ(Ids(out), (std::vector<uint64_t>{1, 5}));
+  out.clear();
+  ASSERT_TRUE(pst.Query3Sided(-100, 100, 21, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(PointPstTest, MatchesOracleOnRandomPoints) {
+  Rng rng(21);
+  std::vector<PointRecord> pts;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    pts.push_back(PointRecord{rng.UniformInt(-5000, 5000),
+                              rng.UniformInt(-5000, 5000), i});
+  }
+  PointPst pst(&pool_, Opts());
+  ASSERT_TRUE(pst.BulkLoad(pts).ok());
+  ASSERT_TRUE(pst.CheckInvariants().ok());
+  for (int q = 0; q < 80; ++q) {
+    const int64_t xlo = rng.UniformInt(-6000, 6000);
+    const int64_t xhi = xlo + rng.UniformInt(0, 3000);
+    const int64_t ylo = rng.UniformInt(-6000, 6000);
+    std::vector<PointRecord> out;
+    ASSERT_TRUE(pst.Query3Sided(xlo, xhi, ylo, &out).ok());
+    EXPECT_EQ(Ids(out), OracleIds(pts, xlo, xhi, ylo));
+  }
+}
+
+TEST_P(PointPstTest, DuplicateCoordinatesAllReported) {
+  PointPst pst(&pool_, Opts());
+  std::vector<PointRecord> pts;
+  for (uint64_t i = 0; i < 60; ++i) pts.push_back(PointRecord{7, 7, i});
+  ASSERT_TRUE(pst.BulkLoad(pts).ok());
+  std::vector<PointRecord> out;
+  ASSERT_TRUE(pst.Query3Sided(7, 7, 7, &out).ok());
+  EXPECT_EQ(out.size(), 60u);
+}
+
+TEST_P(PointPstTest, InsertMatchesOracle) {
+  Rng rng(22);
+  std::vector<PointRecord> pts;
+  PointPst pst(&pool_, Opts());
+  for (uint64_t i = 0; i < 500; ++i) {
+    PointRecord p{rng.UniformInt(-2000, 2000), rng.UniformInt(-2000, 2000), i};
+    pts.push_back(p);
+    ASSERT_TRUE(pst.Insert(p).ok());
+  }
+  ASSERT_TRUE(pst.CheckInvariants().ok());
+  for (int q = 0; q < 50; ++q) {
+    const int64_t xlo = rng.UniformInt(-2500, 2500);
+    const int64_t xhi = xlo + rng.UniformInt(0, 1500);
+    const int64_t ylo = rng.UniformInt(-2500, 2500);
+    std::vector<PointRecord> out;
+    ASSERT_TRUE(pst.Query3Sided(xlo, xhi, ylo, &out).ok());
+    EXPECT_EQ(Ids(out), OracleIds(pts, xlo, xhi, ylo));
+  }
+}
+
+TEST_P(PointPstTest, UnboundedYlo) {
+  PointPst pst(&pool_, Opts());
+  std::vector<PointRecord> pts = {{1, -100, 1}, {2, 100, 2}};
+  ASSERT_TRUE(pst.BulkLoad(pts).ok());
+  std::vector<PointRecord> out;
+  // A 2-sided query: ylo far below any stored key.
+  ASSERT_TRUE(pst.Query3Sided(0, 5, INT64_MIN / 2, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_P(PointPstTest, RejectsOutOfBoundsKeys) {
+  PointPst pst(&pool_, Opts());
+  EXPECT_FALSE(pst.Insert(PointRecord{geom::kMaxCoord + 1, 0, 1}).ok());
+  EXPECT_FALSE(pst.Insert(PointRecord{0, geom::kMaxCoord + 1, 2}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, PointPstTest, ::testing::Values(2u, 0u),
+                         [](const auto& info) {
+                           return "fan" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace segdb::pst

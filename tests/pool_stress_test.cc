@@ -1,0 +1,120 @@
+// Buffer-pool pressure tests: every structure must work correctly with a
+// pool barely larger than its pin depth — catching any code path that
+// holds too many pins or assumes residency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "geom/predicates.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "pst/line_pst.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb {
+namespace {
+
+using core::VerticalSegmentQuery;
+using geom::Segment;
+
+std::vector<uint64_t> Ids(const std::vector<Segment>& segs) {
+  std::vector<uint64_t> ids;
+  for (const Segment& s : segs) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint64_t> Oracle(const std::vector<Segment>& segs,
+                             const VerticalSegmentQuery& q) {
+  std::vector<uint64_t> ids;
+  for (const Segment& s : segs) {
+    if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+      ids.push_back(s.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(PoolStressTest, LinePstWithEightFrames) {
+  io::DiskManager disk(512);
+  io::BufferPool pool(&disk, 8);
+  Rng rng(161);
+  auto segs = workload::GenLineBasedRepaired(rng, 300, 0, 1500);
+  pst::LinePst pst(&pool, 0, pst::Direction::kRight);
+  ASSERT_TRUE(pst.BulkLoad(segs).ok());
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pst.Erase(segs[i]).ok());
+  }
+  for (int q = 0; q < 30; ++q) {
+    const int64_t qx = rng.UniformInt(0, 1600);
+    const int64_t ylo = rng.UniformInt(-500, 5000);
+    std::vector<Segment> out;
+    ASSERT_TRUE(pst.Query(qx, ylo, ylo + 500, &out).ok());
+    std::vector<uint64_t> expect;
+    for (size_t i = 100; i < segs.size(); ++i) {
+      if (geom::IntersectsVerticalSegment(segs[i], qx, ylo, ylo + 500)) {
+        expect.push_back(segs[i].id);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(Ids(out), expect);
+  }
+}
+
+template <typename Index>
+void RunTinyPool(uint64_t seed, size_t frames) {
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, frames);
+  Rng rng(seed);
+  auto segs = workload::GenMapLayer(rng, 700, 80000);
+  Index index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  // Mixed updates under pressure.
+  for (size_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(index.Erase(segs[i]).ok());
+  }
+  std::vector<Segment> alive(segs.begin() + 150, segs.end());
+  auto box = workload::ComputeBoundingBox(segs);
+  for (int q = 0; q < 30; ++q) {
+    VerticalSegmentQuery qq;
+    qq.x0 = rng.UniformInt(box.xmin, box.xmax);
+    qq.ylo = rng.UniformInt(box.ymin, box.ymax);
+    qq.yhi = qq.ylo + rng.UniformInt(0, (box.ymax - box.ymin) / 5);
+    std::vector<Segment> out;
+    ASSERT_TRUE(index.Query(qq, &out).ok());
+    EXPECT_EQ(Ids(out), Oracle(alive, qq));
+  }
+}
+
+TEST(PoolStressTest, SolutionAWithSixteenFrames) {
+  RunTinyPool<core::TwoLevelBinaryIndex>(162, 16);
+}
+
+TEST(PoolStressTest, SolutionBWithSixteenFrames) {
+  RunTinyPool<core::TwoLevelIntervalIndex>(163, 16);
+}
+
+TEST(PoolStressTest, ExhaustionSurfacesCleanly) {
+  // With frames fewer than a single operation's pin depth the pool must
+  // fail with ResourceExhausted, never crash or corrupt.
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 1);
+  auto a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  auto b = pool.NewPage();
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  a.value().Release();
+  auto c = pool.NewPage();
+  EXPECT_TRUE(c.ok());
+}
+
+}  // namespace
+}  // namespace segdb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/nct.h"
+#include "geom/sweep.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb::geom {
+namespace {
+
+Segment Seg(int64_t x1, int64_t y1, int64_t x2, int64_t y2, uint64_t id) {
+  return Segment::Make(Point{x1, y1}, Point{x2, y2}, id);
+}
+
+TEST(SweepTest, EmptyAndSingle) {
+  EXPECT_FALSE(FindProperCrossing({}).has_value());
+  std::vector<Segment> one = {Seg(0, 0, 5, 5, 1)};
+  EXPECT_FALSE(FindProperCrossing(one).has_value());
+}
+
+TEST(SweepTest, SimpleCrossDetected) {
+  std::vector<Segment> segs = {Seg(0, 0, 10, 10, 1), Seg(0, 10, 10, 0, 2)};
+  auto hit = FindProperCrossing(segs);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE((hit->first == 1 && hit->second == 2) ||
+              (hit->first == 2 && hit->second == 1));
+  EXPECT_FALSE(ValidateNctSweep(segs).ok());
+}
+
+TEST(SweepTest, TouchingConfigurationsPass) {
+  std::vector<Segment> segs = {
+      Seg(0, 0, 5, 5, 1),   Seg(5, 5, 10, 0, 2),   // shared endpoint
+      Seg(0, -5, 10, -5, 3), Seg(5, -5, 5, 3, 4),  // T-junction + vertical
+      Seg(0, 8, 6, 8, 5),   Seg(3, 8, 9, 8, 6),    // collinear overlap
+  };
+  EXPECT_FALSE(FindProperCrossing(segs).has_value());
+}
+
+TEST(SweepTest, VerticalThroughInteriorDetected) {
+  std::vector<Segment> segs = {Seg(0, 5, 10, 5, 1), Seg(5, 0, 5, 10, 2)};
+  auto hit = FindProperCrossing(segs);
+  ASSERT_TRUE(hit.has_value());
+}
+
+TEST(SweepTest, VerticalTouchingEndpointsPass) {
+  std::vector<Segment> segs = {
+      Seg(0, 5, 5, 5, 1),    // ends exactly on the vertical
+      Seg(5, 0, 5, 10, 2),   // vertical
+      Seg(5, 7, 9, 7, 3),    // starts exactly on the vertical
+      Seg(5, 10, 9, 14, 4),  // touches the vertical's top endpoint
+  };
+  EXPECT_FALSE(FindProperCrossing(segs).has_value());
+}
+
+TEST(SweepTest, CrossDeepInBundleDetected) {
+  // Many parallel segments plus one crossing them all.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 50; ++i) {
+    segs.push_back(Seg(0, i * 10, 1000, i * 10, i));
+  }
+  segs.push_back(Seg(400, -5, 600, 495, 999));
+  auto hit = FindProperCrossing(segs);
+  ASSERT_TRUE(hit.has_value());
+}
+
+TEST(SweepTest, AgreesWithBruteForceOnGenerators) {
+  Rng rng(111);
+  // Every generator output must be NCT by both validators.
+  auto check_clean = [&](std::vector<Segment> segs) {
+    EXPECT_EQ(CountProperCrossings(segs), 0u);
+    EXPECT_FALSE(FindProperCrossing(segs).has_value());
+  };
+  check_clean(workload::GenMapLayer(rng, 800, 100000));
+  check_clean(workload::GenGridPerturbed(rng, 12, 12, 1024));
+  check_clean(workload::GenNestedSpans(rng, 400, 50000));
+  check_clean(workload::GenLineBasedRepaired(rng, 300, 0, 3000));
+}
+
+TEST(SweepTest, AgreesWithBruteForceOnRandomNoise) {
+  // Unconstrained random segments: both validators must agree on whether
+  // a crossing exists (the sweep may report a different pair).
+  Rng rng(112);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Segment> segs;
+    const int n = 3 + static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < n; ++i) {
+      segs.push_back(Seg(rng.UniformInt(0, 60), rng.UniformInt(0, 60),
+                         rng.UniformInt(0, 60), rng.UniformInt(0, 60),
+                         static_cast<uint64_t>(i)));
+    }
+    // Drop degenerate points (undefined for the sweep's status order).
+    std::erase_if(segs, [](const Segment& s) { return s.is_point(); });
+    const bool brute = CountProperCrossings(segs) > 0;
+    const bool sweep = FindProperCrossing(segs).has_value();
+    EXPECT_EQ(brute, sweep) << "round " << round;
+  }
+}
+
+TEST(SweepTest, LargeCleanSetFast) {
+  Rng rng(113);
+  auto segs = workload::GenMapLayer(rng, 20000, 1 << 22);
+  EXPECT_FALSE(FindProperCrossing(segs).has_value());
+}
+
+TEST(SweepTest, PlantedCrossingInLargeSet) {
+  Rng rng(114);
+  auto segs = workload::GenMapLayer(rng, 5000, 1 << 20);
+  // Plant one long segment that must cross something in the dense band.
+  segs.push_back(Seg(0, 0, 1 << 20, 900000, 999999));
+  const bool sweep = FindProperCrossing(segs).has_value();
+  const bool brute = CountProperCrossings(segs) > 0;
+  EXPECT_EQ(sweep, brute);
+  EXPECT_TRUE(sweep);
+}
+
+}  // namespace
+}  // namespace segdb::geom

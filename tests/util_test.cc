@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/math.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace segdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad B");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad B");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad B");
+}
+
+TEST(StatusTest, EqualityComparesCodes) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::OK());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Corruption("page 7"); };
+  auto wrapper = [&]() -> Status {
+    SEGDB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MathTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(MathTest, LogStar) {
+  EXPECT_EQ(LogStar(1), 0u);
+  EXPECT_EQ(LogStar(2), 1u);
+  EXPECT_EQ(LogStar(4), 2u);
+  EXPECT_EQ(LogStar(16), 3u);
+  EXPECT_EQ(LogStar(65536), 4u);
+}
+
+TEST(MathTest, IlStarIsTinyForFeasibleBlockSizes) {
+  // The paper notes IL*(B) is a very small constant; check the actual
+  // values for realistic block sizes.
+  EXPECT_EQ(IlStar(2), 0u);
+  EXPECT_LE(IlStar(64), 2u);
+  EXPECT_LE(IlStar(4096), 2u);
+  EXPECT_LE(IlStar(1u << 20), 2u);
+}
+
+TEST(MathTest, CeilLogBase) {
+  EXPECT_EQ(CeilLogBase(1, 16), 0u);
+  EXPECT_EQ(CeilLogBase(16, 16), 1u);
+  EXPECT_EQ(CeilLogBase(17, 16), 2u);
+  EXPECT_EQ(CeilLogBase(256, 16), 2u);
+  EXPECT_EQ(CeilLogBase(1000000, 2), 20u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"N", "ios"});
+  tp.AddRow({"1000", "12"});
+  tp.AddRow({"1000000", "30"});
+  std::ostringstream os;
+  tp.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| 1000000 |"), std::string::npos);
+  EXPECT_NE(out.find("N"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter tp({"a", "b"});
+  tp.AddRow({"1", "2"});
+  std::ostringstream os;
+  tp.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace segdb

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.h"
+#include "geom/segment.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb::core {
+namespace {
+
+using geom::Point;
+using geom::Segment;
+
+TEST(ValidateTest, AcceptsGeneratorOutput) {
+  Rng rng(131);
+  EXPECT_TRUE(
+      ValidateForIndexing(workload::GenMapLayer(rng, 3000, 200000)).ok());
+  EXPECT_TRUE(
+      ValidateForIndexing(workload::GenGridPerturbed(rng, 10, 10, 512)).ok());
+}
+
+TEST(ValidateTest, RejectsNonCanonical) {
+  // Hand-built, bypassing Segment::Make.
+  std::vector<Segment> bad = {Segment{10, 0, 0, 0, 1}};  // x1 > x2
+  EXPECT_FALSE(ValidateForIndexing(bad).ok());
+  std::vector<Segment> bad_vertical = {
+      Segment{0, 9, 0, 1, 2}};  // vertical with y1 > y2
+  EXPECT_FALSE(ValidateForIndexing(bad_vertical).ok());
+}
+
+TEST(ValidateTest, RejectsOutOfBounds) {
+  std::vector<Segment> big = {
+      Segment::Make(Point{0, 0}, Point{geom::kMaxCoord + 1, 0}, 1)};
+  EXPECT_FALSE(ValidateForIndexing(big).ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateIds) {
+  std::vector<Segment> segs = {Segment::Make({0, 0}, {1, 1}, 7),
+                               Segment::Make({3, 3}, {4, 4}, 7)};
+  EXPECT_FALSE(ValidateForIndexing(segs).ok());
+}
+
+TEST(ValidateTest, RejectsCrossings) {
+  std::vector<Segment> segs = {Segment::Make({0, 0}, {10, 10}, 1),
+                               Segment::Make({0, 10}, {10, 0}, 2)};
+  const Status s = ValidateForIndexing(segs);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("properly cross"), std::string::npos);
+}
+
+TEST(ValidateTest, AcceptsTouching) {
+  std::vector<Segment> segs = {
+      Segment::Make({0, 0}, {5, 5}, 1),
+      Segment::Make({5, 5}, {10, 0}, 2),
+      Segment::Make({2, 2}, {2, 9}, 3),  // endpoint on segment 1's interior
+  };
+  EXPECT_TRUE(ValidateForIndexing(segs).ok());
+}
+
+}  // namespace
+}  // namespace segdb::core
