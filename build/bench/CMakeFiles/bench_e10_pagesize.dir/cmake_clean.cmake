@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_pagesize.dir/bench_e10_pagesize.cc.o"
+  "CMakeFiles/bench_e10_pagesize.dir/bench_e10_pagesize.cc.o.d"
+  "bench_e10_pagesize"
+  "bench_e10_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_directions.dir/bench_e13_directions.cc.o"
+  "CMakeFiles/bench_e13_directions.dir/bench_e13_directions.cc.o.d"
+  "bench_e13_directions"
+  "bench_e13_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

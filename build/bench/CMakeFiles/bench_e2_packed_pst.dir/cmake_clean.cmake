@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_packed_pst.dir/bench_e2_packed_pst.cc.o"
+  "CMakeFiles/bench_e2_packed_pst.dir/bench_e2_packed_pst.cc.o.d"
+  "bench_e2_packed_pst"
+  "bench_e2_packed_pst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_packed_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_solution_a.dir/bench_e3_solution_a.cc.o"
+  "CMakeFiles/bench_e3_solution_a.dir/bench_e3_solution_a.cc.o.d"
+  "bench_e3_solution_a"
+  "bench_e3_solution_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_solution_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

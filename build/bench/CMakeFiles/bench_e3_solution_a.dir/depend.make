@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_solution_a.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_solution_b.dir/bench_e4_solution_b.cc.o"
+  "CMakeFiles/bench_e4_solution_b.dir/bench_e4_solution_b.cc.o.d"
+  "bench_e4_solution_b"
+  "bench_e4_solution_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_solution_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_cascading.dir/bench_e6_cascading.cc.o"
+  "CMakeFiles/bench_e6_cascading.dir/bench_e6_cascading.cc.o.d"
+  "bench_e6_cascading"
+  "bench_e6_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_inserts.dir/bench_e7_inserts.cc.o"
+  "CMakeFiles/bench_e7_inserts.dir/bench_e7_inserts.cc.o.d"
+  "bench_e7_inserts"
+  "bench_e7_inserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_inserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

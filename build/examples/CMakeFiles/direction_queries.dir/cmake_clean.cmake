@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direction_queries.dir/direction_queries.cpp.o"
+  "CMakeFiles/direction_queries.dir/direction_queries.cpp.o.d"
+  "direction_queries"
+  "direction_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direction_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

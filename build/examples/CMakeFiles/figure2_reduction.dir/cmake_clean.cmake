@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_reduction.dir/figure2_reduction.cpp.o"
+  "CMakeFiles/figure2_reduction.dir/figure2_reduction.cpp.o.d"
+  "figure2_reduction"
+  "figure2_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

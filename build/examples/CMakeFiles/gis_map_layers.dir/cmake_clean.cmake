@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_map_layers.dir/gis_map_layers.cpp.o"
+  "CMakeFiles/gis_map_layers.dir/gis_map_layers.cpp.o.d"
+  "gis_map_layers"
+  "gis_map_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_map_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_versions.dir/temporal_versions.cpp.o"
+  "CMakeFiles/temporal_versions.dir/temporal_versions.cpp.o.d"
+  "temporal_versions"
+  "temporal_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

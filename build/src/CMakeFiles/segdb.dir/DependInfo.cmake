@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/endpoint_pst_index.cc" "src/CMakeFiles/segdb.dir/baseline/endpoint_pst_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/baseline/endpoint_pst_index.cc.o.d"
+  "/root/repo/src/baseline/full_scan_index.cc" "src/CMakeFiles/segdb.dir/baseline/full_scan_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/baseline/full_scan_index.cc.o.d"
+  "/root/repo/src/baseline/interval_stab_index.cc" "src/CMakeFiles/segdb.dir/baseline/interval_stab_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/baseline/interval_stab_index.cc.o.d"
+  "/root/repo/src/baseline/oracle.cc" "src/CMakeFiles/segdb.dir/baseline/oracle.cc.o" "gcc" "src/CMakeFiles/segdb.dir/baseline/oracle.cc.o.d"
+  "/root/repo/src/baseline/rtree_index.cc" "src/CMakeFiles/segdb.dir/baseline/rtree_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/baseline/rtree_index.cc.o.d"
+  "/root/repo/src/core/sheared_index.cc" "src/CMakeFiles/segdb.dir/core/sheared_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/core/sheared_index.cc.o.d"
+  "/root/repo/src/core/two_level_binary_index.cc" "src/CMakeFiles/segdb.dir/core/two_level_binary_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/core/two_level_binary_index.cc.o.d"
+  "/root/repo/src/core/two_level_interval_index.cc" "src/CMakeFiles/segdb.dir/core/two_level_interval_index.cc.o" "gcc" "src/CMakeFiles/segdb.dir/core/two_level_interval_index.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/segdb.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/segdb.dir/core/validate.cc.o.d"
+  "/root/repo/src/geom/nct.cc" "src/CMakeFiles/segdb.dir/geom/nct.cc.o" "gcc" "src/CMakeFiles/segdb.dir/geom/nct.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/CMakeFiles/segdb.dir/geom/predicates.cc.o" "gcc" "src/CMakeFiles/segdb.dir/geom/predicates.cc.o.d"
+  "/root/repo/src/geom/sweep.cc" "src/CMakeFiles/segdb.dir/geom/sweep.cc.o" "gcc" "src/CMakeFiles/segdb.dir/geom/sweep.cc.o.d"
+  "/root/repo/src/io/buffer_pool.cc" "src/CMakeFiles/segdb.dir/io/buffer_pool.cc.o" "gcc" "src/CMakeFiles/segdb.dir/io/buffer_pool.cc.o.d"
+  "/root/repo/src/io/disk_manager.cc" "src/CMakeFiles/segdb.dir/io/disk_manager.cc.o" "gcc" "src/CMakeFiles/segdb.dir/io/disk_manager.cc.o.d"
+  "/root/repo/src/itree/interval_set.cc" "src/CMakeFiles/segdb.dir/itree/interval_set.cc.o" "gcc" "src/CMakeFiles/segdb.dir/itree/interval_set.cc.o.d"
+  "/root/repo/src/itree/interval_tree.cc" "src/CMakeFiles/segdb.dir/itree/interval_tree.cc.o" "gcc" "src/CMakeFiles/segdb.dir/itree/interval_tree.cc.o.d"
+  "/root/repo/src/pst/line_pst.cc" "src/CMakeFiles/segdb.dir/pst/line_pst.cc.o" "gcc" "src/CMakeFiles/segdb.dir/pst/line_pst.cc.o.d"
+  "/root/repo/src/pst/point_pst.cc" "src/CMakeFiles/segdb.dir/pst/point_pst.cc.o" "gcc" "src/CMakeFiles/segdb.dir/pst/point_pst.cc.o.d"
+  "/root/repo/src/segtree/multislab_segment_tree.cc" "src/CMakeFiles/segdb.dir/segtree/multislab_segment_tree.cc.o" "gcc" "src/CMakeFiles/segdb.dir/segtree/multislab_segment_tree.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/segdb.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/segdb.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/segdb.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/segdb.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/segdb.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/segdb.dir/workload/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exactness_test.dir/exactness_test.cc.o"
+  "CMakeFiles/exactness_test.dir/exactness_test.cc.o.d"
+  "exactness_test"
+  "exactness_test.pdb"
+  "exactness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_pst_test.dir/line_pst_test.cc.o"
+  "CMakeFiles/line_pst_test.dir/line_pst_test.cc.o.d"
+  "line_pst_test"
+  "line_pst_test.pdb"
+  "line_pst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_pst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

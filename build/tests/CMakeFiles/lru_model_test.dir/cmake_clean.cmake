@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_model_test.dir/lru_model_test.cc.o"
+  "CMakeFiles/lru_model_test.dir/lru_model_test.cc.o.d"
+  "lru_model_test"
+  "lru_model_test.pdb"
+  "lru_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

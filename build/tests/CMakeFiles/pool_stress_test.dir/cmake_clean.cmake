@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_stress_test.dir/pool_stress_test.cc.o"
+  "CMakeFiles/pool_stress_test.dir/pool_stress_test.cc.o.d"
+  "pool_stress_test"
+  "pool_stress_test.pdb"
+  "pool_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segtree_test.dir/segtree_test.cc.o"
+  "CMakeFiles/segtree_test.dir/segtree_test.cc.o.d"
+  "segtree_test"
+  "segtree_test.pdb"
+  "segtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

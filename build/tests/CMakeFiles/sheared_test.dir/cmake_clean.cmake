@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sheared_test.dir/sheared_test.cc.o"
+  "CMakeFiles/sheared_test.dir/sheared_test.cc.o.d"
+  "sheared_test"
+  "sheared_test.pdb"
+  "sheared_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sheared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

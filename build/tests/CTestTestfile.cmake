@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/line_pst_test[1]_include.cmake")
+include("/root/repo/build/tests/point_pst_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/segtree_test[1]_include.cmake")
+include("/root/repo/build/tests/core_index_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/delete_test[1]_include.cmake")
+include("/root/repo/build/tests/sheared_test[1]_include.cmake")
+include("/root/repo/build/tests/workbench_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/exactness_test[1]_include.cmake")
+include("/root/repo/build/tests/lru_model_test[1]_include.cmake")
