@@ -18,6 +18,7 @@
 #include "io/disk_manager.h"
 #include "util/random.h"
 #include "workload/generators.h"
+#include "util/check.h"
 
 namespace {
 using segdb::geom::Point;
@@ -54,8 +55,8 @@ int main() {
   const int64_t kSteps = 4000;  // ray length in direction units
   for (int shot = 0; shot < 6; ++shot) {
     const Point anchor{shot * 150000 + 20000, shot * 4000};
-    pool.FlushAll().ok();
-    pool.EvictAll().ok();
+    SEGDB_CHECK(pool.FlushAll().ok());
+    SEGDB_CHECK(pool.EvictAll().ok());
     pool.ResetStats();
     std::vector<Segment> hit;
     if (auto s = index.QuerySegment(anchor, kSteps, &hit); !s.ok()) {
@@ -70,11 +71,11 @@ int main() {
   }
 
   // A full survey line (unbounded in both directions) through the map.
-  pool.FlushAll().ok();
-  pool.EvictAll().ok();
+  SEGDB_CHECK(pool.FlushAll().ok());
+  SEGDB_CHECK(pool.EvictAll().ok());
   pool.ResetStats();
   std::vector<Segment> hit;
-  index.QueryLine({1 << 19, 0}, &hit).ok();
+  SEGDB_CHECK(index.QueryLine({1 << 19, 0}, &hit).ok());
   std::printf(
       "\nfull line through (2^19, 0) along (5,2): %zu faults, %llu I/Os\n",
       hit.size(), (unsigned long long)pool.stats().misses);

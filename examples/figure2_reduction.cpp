@@ -23,6 +23,7 @@
 #include "pst/line_pst.h"
 #include "util/random.h"
 #include "workload/generators.h"
+#include "util/check.h"
 
 namespace {
 
@@ -84,13 +85,13 @@ int main() {
 
   // Exact structure (Section 2) vs the endpoint reduction.
   segdb::pst::LinePst exact(&pool, 0, segdb::pst::Direction::kRight);
-  exact.BulkLoad(segs).ok();
+  SEGDB_CHECK(exact.BulkLoad(segs).ok());
   segdb::baseline::EndpointPstIndex reduction(&pool, 0);
-  reduction.BulkLoad(segs).ok();
+  SEGDB_CHECK(reduction.BulkLoad(segs).ok());
 
   std::vector<Segment> exact_out, approx_out;
-  exact.Query(qx, ylo, yhi, &exact_out).ok();
-  reduction.QueryViaEndpoints(qx, ylo, yhi, &approx_out).ok();
+  SEGDB_CHECK(exact.Query(qx, ylo, yhi, &exact_out).ok());
+  SEGDB_CHECK(reduction.QueryViaEndpoints(qx, ylo, yhi, &approx_out).ok());
   std::printf("\n");
   PrintIds("exact answer (line-based PST):    ", Ids(exact_out));
   PrintIds("3-sided endpoint reduction answer:", Ids(approx_out));
@@ -99,17 +100,17 @@ int main() {
   segdb::Rng rng(5);
   auto many = segdb::workload::GenLineBasedRepaired(rng, 2000, 0, 50000);
   segdb::pst::LinePst exact_many(&pool, 0, segdb::pst::Direction::kRight);
-  exact_many.BulkLoad(many).ok();
+  SEGDB_CHECK(exact_many.BulkLoad(many).ok());
   segdb::baseline::EndpointPstIndex red_many(&pool, 0);
-  red_many.BulkLoad(many).ok();
+  SEGDB_CHECK(red_many.BulkLoad(many).ok());
   uint64_t fp = 0, fn = 0, total = 0;
   for (int i = 0; i < 500; ++i) {
     const int64_t x = rng.UniformInt(1, 50000);
     const int64_t lo = rng.UniformInt(0, 28000);
     const int64_t hi = lo + rng.UniformInt(100, 4000);
     std::vector<Segment> e, a;
-    exact_many.Query(x, lo, hi, &e).ok();
-    red_many.QueryViaEndpoints(x, lo, hi, &a).ok();
+    SEGDB_CHECK(exact_many.Query(x, lo, hi, &e).ok());
+    SEGDB_CHECK(red_many.QueryViaEndpoints(x, lo, hi, &a).ok());
     auto ie = Ids(e), ia = Ids(a);
     total += ie.size();
     for (auto id : ia) {

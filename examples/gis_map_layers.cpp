@@ -23,6 +23,7 @@
 #include "util/random.h"
 #include "workload/generators.h"
 #include "workload/queries.h"
+#include "util/check.h"
 
 namespace {
 
@@ -37,8 +38,8 @@ struct Measured {
 
 Measured RunQuery(segdb::io::BufferPool* pool, const SegmentIndex& index,
                   const VerticalSegmentQuery& q) {
-  pool->FlushAll().ok();
-  pool->EvictAll().ok();
+  SEGDB_CHECK(pool->FlushAll().ok());
+  SEGDB_CHECK(pool->EvictAll().ok());
   pool->ResetStats();
   std::vector<Segment> out;
   auto status = index.Query(q, &out);

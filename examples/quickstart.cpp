@@ -13,6 +13,7 @@
 #include "geom/nct.h"
 #include "io/buffer_pool.h"
 #include "io/disk_manager.h"
+#include "util/check.h"
 
 namespace {
 
@@ -71,8 +72,8 @@ int main() {
               static_cast<unsigned long long>(index.page_count()));
 
   auto run = [&](const char* label, const VerticalSegmentQuery& q) {
-    pool.FlushAll().ok();
-    pool.EvictAll().ok();   // cold cache: count true I/Os
+    SEGDB_CHECK(pool.FlushAll().ok());
+    SEGDB_CHECK(pool.EvictAll().ok());   // cold cache: count true I/Os
     pool.ResetStats();
     std::vector<Segment> out;
     auto st = index.Query(q, &out);
@@ -91,7 +92,7 @@ int main() {
   run("line query x=50", VerticalSegmentQuery::Line(50));
 
   // Semi-dynamic insertion: extend the map and query again.
-  index.Insert(Segment::Make(Point{20, 20}, Point{35, 25}, 6)).ok();
+  SEGDB_CHECK(index.Insert(Segment::Make(Point{20, 20}, Point{35, 25}, 6)).ok());
   run("segment query x=30, y in [15,30] after insert",
       VerticalSegmentQuery::Segment(30, 15, 30));
   return 0;

@@ -18,6 +18,7 @@
 #include "io/buffer_pool.h"
 #include "io/disk_manager.h"
 #include "util/random.h"
+#include "util/check.h"
 
 namespace {
 
@@ -63,8 +64,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(index.page_count()));
 
   auto timeslice = [&](int64_t t, int64_t key_lo, int64_t key_hi) {
-    pool.FlushAll().ok();
-    pool.EvictAll().ok();
+    SEGDB_CHECK(pool.FlushAll().ok());
+    SEGDB_CHECK(pool.EvictAll().ok());
     pool.ResetStats();
     std::vector<Segment> alive;
     auto st =
@@ -88,8 +89,9 @@ int main(int argc, char** argv) {
 
   // Appending the next version of some key = semi-dynamic insertion.
   const int64_t now = 3 * kHorizon / 5;
-  index.Insert(Segment::Make(Point{now, 42}, Point{now + 5000, 42}, id++))
-      .ok();
+  SEGDB_CHECK(
+      index.Insert(Segment::Make(Point{now, 42}, Point{now + 5000, 42}, id++))
+          .ok());
   timeslice(now + 100, 0, 100);
   return 0;
 }

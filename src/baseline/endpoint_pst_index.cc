@@ -32,4 +32,26 @@ Status EndpointPstIndex::QueryViaEndpoints(
   return Status::OK();
 }
 
+Status EndpointPstIndex::CheckInvariants() const {
+  SEGDB_RETURN_IF_ERROR(pst_.CheckInvariants());
+  if (payload_.size() != pst_.size()) {
+    return Status::Corruption("payload table size diverges from the PST");
+  }
+  std::vector<pst::PointRecord> points;
+  SEGDB_RETURN_IF_ERROR(pst_.CollectAll(&points));
+  for (const auto& p : points) {
+    auto it = payload_.find(p.id);
+    if (it == payload_.end()) {
+      return Status::Corruption("PST point without a payload segment");
+    }
+    const geom::Segment& s = it->second;
+    // The stored point must be exactly (far-endpoint ordinate, reach) of a
+    // segment that is line-based for this base abscissa.
+    if (p.x != s.y2 || p.y != s.x2 || !(s.x1 <= base_x_ && base_x_ < s.x2)) {
+      return Status::Corruption("PST point disagrees with its segment");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace segdb::baseline

@@ -37,6 +37,9 @@ class EndpointPstIndex {
 
   uint64_t size() const { return pst_.size(); }
 
+  // Audits the underlying PST plus the id->payload table agreement.
+  Status CheckInvariants() const;
+
  private:
   int64_t base_x_;
   pst::PointPst pst_;

@@ -10,7 +10,7 @@ namespace {
 constexpr uint32_t kHeader = 8;  // [u32 count][pad]
 }  // namespace
 
-FullScanIndex::~FullScanIndex() { Clear().ok(); }
+FullScanIndex::~FullScanIndex() { Clear().IgnoreError(); }
 
 uint32_t FullScanIndex::PerPage() const {
   return (pool_->page_size() - kHeader) / sizeof(geom::Segment);
@@ -110,6 +110,23 @@ Status FullScanIndex::Query(const core::VerticalSegmentQuery& q,
         out->push_back(s);
       }
     }
+  }
+  return Status::OK();
+}
+
+Status FullScanIndex::CheckInvariants() const {
+  uint64_t total = 0;
+  for (io::PageId id : pages_) {
+    auto ref = pool_->Fetch(id);
+    if (!ref.ok()) return ref.status();
+    const uint32_t count = ref.value().page().ReadAt<uint32_t>(0);
+    if (count > PerPage()) {
+      return Status::Corruption("full-scan page over capacity");
+    }
+    total += count;
+  }
+  if (total != size_) {
+    return Status::Corruption("full-scan size() bookkeeping mismatch");
   }
   return Status::OK();
 }

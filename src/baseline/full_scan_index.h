@@ -27,6 +27,10 @@ class FullScanIndex final : public core::SegmentIndex {
   uint64_t page_count() const override { return pages_.size(); }
   std::string name() const override { return "full-scan"; }
 
+  // Audits page bookkeeping: per-page counts against capacity and their
+  // sum against size().
+  Status CheckInvariants() const override;
+
  private:
   uint32_t PerPage() const;
   Status Clear();

@@ -35,6 +35,7 @@ class IntervalStabIndex final : public core::SegmentIndex {
   uint64_t size() const override { return tree_.size(); }
   uint64_t page_count() const override { return tree_.page_count(); }
   std::string name() const override { return "interval-tree+filter"; }
+  Status CheckInvariants() const override { return tree_.CheckInvariants(); }
 
   const itree::IntervalTree& tree() const { return tree_; }
 

@@ -52,6 +52,7 @@ class StabFilterIndex final : public core::SegmentIndex {
   std::string name() const override {
     return "stab-filter(" + inner_->name() + ")";
   }
+  Status CheckInvariants() const override { return inner_->CheckInvariants(); }
 
  private:
   std::unique_ptr<core::SegmentIndex> inner_;

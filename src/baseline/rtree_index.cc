@@ -1,11 +1,11 @@
 #include "baseline/rtree_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "geom/predicates.h"
 #include "util/math.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
@@ -20,11 +20,11 @@ RTreeIndex::RTreeIndex(io::BufferPool* pool, RTreeOptions options)
   capacity_ = options.node_capacity != 0
                   ? std::min(options.node_capacity, fit)
                   : fit;
-  assert(capacity_ >= 4 && "page too small for R-tree nodes");
+  SEGDB_DCHECK(capacity_ >= 4) << "page too small for R-tree nodes";
 }
 
 RTreeIndex::~RTreeIndex() {
-  if (root_ != io::kInvalidPageId) FreeSubtree(root_).ok();
+  if (root_ != io::kInvalidPageId) FreeSubtree(root_).IgnoreError();
 }
 
 RTreeIndex::Rect RTreeIndex::BoundsOf(const Segment& s) {

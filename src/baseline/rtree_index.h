@@ -43,7 +43,7 @@ class RTreeIndex final : public core::SegmentIndex {
   uint32_t height() const { return height_; }
 
   // Checks MBR containment and entry counts over the whole tree.
-  Status CheckInvariants() const;
+  Status CheckInvariants() const override;
 
  private:
   struct Rect {

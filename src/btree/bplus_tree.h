@@ -16,7 +16,6 @@
 #define SEGDB_BTREE_BPLUS_TREE_H_
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -24,6 +23,7 @@
 
 #include "io/buffer_pool.h"
 #include "util/status.h"
+#include "util/check.h"
 
 namespace segdb::btree {
 
@@ -41,11 +41,11 @@ class BPlusTree {
     internal_capacity_ =
         (ps - kInternalHeaderBytes - sizeof(io::PageId)) /
         (sizeof(Record) + sizeof(io::PageId));
-    assert(leaf_capacity_ >= 2 && internal_capacity_ >= 2 &&
-           "page size too small for this record type");
+    SEGDB_DCHECK(leaf_capacity_ >= 2 && internal_capacity_ >= 2)
+        << "page size too small for this record type";
   }
 
-  ~BPlusTree() { Clear().ok(); }
+  ~BPlusTree() { Clear().IgnoreError(); }
 
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
@@ -133,6 +133,12 @@ class BPlusTree {
     io::PageId prev = io::kInvalidPageId;
   };
   Result<LeafView> ReadLeaf(io::PageId leaf) const;
+
+  // Audits the tree: uniform leaf depth (== height()), per-node capacity,
+  // leaf ordering under cmp, separator fences bounding every subtree, the
+  // doubly-linked leaf chain matching in-order traversal, and the size /
+  // page-count / height counters. O(n) I/Os.
+  Status CheckInvariants() const;
 
  private:
   static constexpr uint32_t kLeafHeaderBytes = 16;
@@ -234,6 +240,11 @@ class BPlusTree {
   }
 
   Status FreeSubtree(io::PageId id);
+  // Recursive audit step: `lo`/`hi` are inclusive cmp-fences inherited from
+  // ancestor separators (null = unbounded); appends visited leaves in order.
+  Status CheckSubtree(io::PageId id, uint32_t depth, const Record* lo,
+                      const Record* hi, std::vector<io::PageId>* leaves,
+                      uint64_t* records, uint64_t* pages) const;
 
   io::BufferPool* pool_;
   Compare cmp_;
@@ -293,7 +304,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
   if (sorted.empty()) return Status::OK();
 #ifndef NDEBUG
   for (size_t i = 1; i < sorted.size(); ++i) {
-    assert(cmp_(sorted[i - 1], sorted[i]) <= 0 && "BulkLoad input not sorted");
+    SEGDB_DCHECK(cmp_(sorted[i - 1], sorted[i]) <= 0) << "BulkLoad input not sorted";
   }
 #endif
 
@@ -807,6 +818,98 @@ Result<std::vector<Record>> BPlusTree<Record, Compare>::CollectAll() const {
   });
   if (!s.ok()) return s;
   return out;
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::CheckSubtree(
+    io::PageId id, uint32_t depth, const Record* lo, const Record* hi,
+    std::vector<io::PageId>* leaves, uint64_t* records,
+    uint64_t* pages) const {
+  auto ref = pool_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  const io::Page& p = ref.value().page();
+  ++*pages;
+  if (IsLeaf(p)) {
+    if (depth != height_) {
+      return Status::Corruption("leaf at depth != height()");
+    }
+    const uint32_t count = Count(p);
+    if (count > leaf_capacity_) {
+      return Status::Corruption("leaf over capacity");
+    }
+    Record prev{};
+    for (uint32_t i = 0; i < count; ++i) {
+      const Record r = LeafRecord(p, i);
+      if (i > 0 && cmp_(prev, r) > 0) {
+        return Status::Corruption("leaf records out of order");
+      }
+      if ((lo != nullptr && cmp_(*lo, r) > 0) ||
+          (hi != nullptr && cmp_(r, *hi) > 0)) {
+        return Status::Corruption("leaf record escapes its separator fence");
+      }
+      prev = r;
+    }
+    *records += count;
+    leaves->push_back(id);
+    return Status::OK();
+  }
+  const uint32_t count = Count(p);
+  if (count > internal_capacity_) {
+    return Status::Corruption("internal node over capacity");
+  }
+  std::vector<Record> seps(count);
+  std::vector<io::PageId> kids(count + 1);
+  for (uint32_t i = 0; i < count; ++i) seps[i] = Separator(p, i);
+  for (uint32_t i = 0; i <= count; ++i) kids[i] = Child(p, i);
+  ref.value().Release();
+  for (uint32_t i = 0; i < count; ++i) {
+    if (i > 0 && cmp_(seps[i - 1], seps[i]) > 0) {
+      return Status::Corruption("separators out of order");
+    }
+    if ((lo != nullptr && cmp_(*lo, seps[i]) > 0) ||
+        (hi != nullptr && cmp_(seps[i], *hi) > 0)) {
+      return Status::Corruption("separator escapes its ancestor fence");
+    }
+  }
+  for (uint32_t i = 0; i <= count; ++i) {
+    const Record* clo = i == 0 ? lo : &seps[i - 1];
+    const Record* chi = i == count ? hi : &seps[i];
+    SEGDB_RETURN_IF_ERROR(
+        CheckSubtree(kids[i], depth + 1, clo, chi, leaves, records, pages));
+  }
+  return Status::OK();
+}
+
+template <typename Record, typename Compare>
+Status BPlusTree<Record, Compare>::CheckInvariants() const {
+  if (root_ == io::kInvalidPageId) {
+    if (height_ != 0 || size_ != 0 || page_count_ != 0) {
+      return Status::Corruption("empty tree with nonzero counters");
+    }
+    return Status::OK();
+  }
+  std::vector<io::PageId> leaves;
+  uint64_t records = 0;
+  uint64_t pages = 0;
+  SEGDB_RETURN_IF_ERROR(
+      CheckSubtree(root_, 1, nullptr, nullptr, &leaves, &records, &pages));
+  if (records != size_) return Status::Corruption("size() bookkeeping mismatch");
+  if (pages != page_count_) {
+    return Status::Corruption("page_count() bookkeeping mismatch");
+  }
+  // The leaf chain must thread the leaves exactly in traversal order.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto ref = pool_->Fetch(leaves[i]);
+    if (!ref.ok()) return ref.status();
+    const io::Page& p = ref.value().page();
+    const io::PageId want_prev = i == 0 ? io::kInvalidPageId : leaves[i - 1];
+    const io::PageId want_next =
+        i + 1 == leaves.size() ? io::kInvalidPageId : leaves[i + 1];
+    if (LeafPrev(p) != want_prev || LeafNext(p) != want_next) {
+      return Status::Corruption("leaf chain disagrees with tree order");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace segdb::btree

@@ -69,6 +69,12 @@ class SegmentIndex {
   virtual uint64_t page_count() const = 0;
 
   virtual std::string name() const = 0;
+
+  // Audits the structure's internal invariants (shape, routing, size
+  // bookkeeping), returning Corruption with a diagnostic on the first
+  // violation. O(n) or worse — a test/debugging hook, not a query-path
+  // operation. Structures without internal state keep the default.
+  virtual Status CheckInvariants() const { return Status::OK(); }
 };
 
 }  // namespace segdb::core

@@ -1,7 +1,8 @@
 #include "core/sheared_index.h"
 
+#include "util/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 #include <string>
 
@@ -15,7 +16,7 @@ using geom::Segment;
 ShearedIndex::ShearedIndex(std::unique_ptr<SegmentIndex> inner, int64_t dir_x,
                            int64_t dir_y)
     : inner_(std::move(inner)), dx_(dir_x), dy_(dir_y) {
-  assert(!(dx_ == 0 && dy_ == 0) && "direction must be nonzero");
+  SEGDB_DCHECK(!(dx_ == 0 && dy_ == 0)) << "direction must be nonzero";
   // The direction's sign is preserved — segment queries extend along the
   // caller's (dx, dy), not its reflection.
   transpose_ = (dy_ == 0);

@@ -53,6 +53,10 @@ class ShearedIndex {
   uint64_t page_count() const { return inner_->page_count(); }
   std::string name() const { return "sheared(" + inner_->name() + ")"; }
 
+  // The shear is stateless beyond the wrapped index, so auditing delegates
+  // to the inner structure (which holds the transformed segments).
+  Status CheckInvariants() const { return inner_->CheckInvariants(); }
+
  private:
   geom::Point Forward(geom::Point p) const;
   geom::Point Backward(geom::Point p) const;

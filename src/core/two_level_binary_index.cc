@@ -1,10 +1,11 @@
 #include "core/two_level_binary_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
+#include <unordered_set>
 
 #include "geom/predicates.h"
+#include "util/check.h"
 
 namespace segdb::core {
 
@@ -32,7 +33,7 @@ TwoLevelBinaryIndex::TwoLevelBinaryIndex(io::BufferPool* pool,
     : pool_(pool), options_(options) {}
 
 TwoLevelBinaryIndex::~TwoLevelBinaryIndex() {
-  if (root_ >= 0) FreeSubtree(root_).ok();
+  if (root_ >= 0) FreeSubtree(root_).IgnoreError();
 }
 
 uint32_t TwoLevelBinaryIndex::LeafCapacity() const {
@@ -74,7 +75,7 @@ Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
 
 Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     std::vector<Segment> segments) {
-  assert(!segments.empty());
+  SEGDB_DCHECK(!segments.empty());
   int32_t idx;
   if (!free_nodes_.empty()) {
     idx = free_nodes_.back();
@@ -124,8 +125,8 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     }
   }
   segments.clear();
-  assert(left.size() < nodes_[idx].subtree_size);
-  assert(right.size() < nodes_[idx].subtree_size);
+  SEGDB_DCHECK(left.size() < nodes_[idx].subtree_size);
+  SEGDB_DCHECK(right.size() < nodes_[idx].subtree_size);
 
   if (!on_line.empty()) {
     std::vector<pst::PointRecord> points;
@@ -272,10 +273,10 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
   for (;;) {
     Node& node = nodes_[cur];
     ++node.subtree_size;
-    ++node.inserts_since_rebuild;
+    ++node.updates_since_rebuild;
 
     // BB[alpha]-style partial rebuilding, checked top-down; the
-    // inserts_since_rebuild guard keeps rebuilds amortized.
+    // updates_since_rebuild guard keeps rebuilds amortized.
     const uint64_t ls =
         node.left >= 0 ? nodes_[node.left].subtree_size : 0;
     const uint64_t rs =
@@ -285,7 +286,7 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
         options_.rebuild_fraction * static_cast<double>(below) +
         LeafCapacity();
     if (below > 2 * static_cast<uint64_t>(LeafCapacity()) &&
-        node.inserts_since_rebuild * 8 > node.subtree_size &&
+        node.updates_since_rebuild * 8 > node.subtree_size &&
         (static_cast<double>(ls) > limit ||
          static_cast<double>(rs) > limit)) {
       std::vector<Segment> all;
@@ -397,7 +398,12 @@ Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
     cur = route == Route::kLeft ? node.left : node.right;
   }
   if (!removed.ok()) return removed;
-  for (int32_t idx : path) --nodes_[idx].subtree_size;
+  for (int32_t idx : path) {
+    --nodes_[idx].subtree_size;
+    // Erases count toward the rebuild amortization too: they loosen the
+    // audited balance bound by exactly the slack they add here.
+    ++nodes_[idx].updates_since_rebuild;
+  }
   --size_;
   return Status::OK();
 }
@@ -518,11 +524,34 @@ Status TwoLevelBinaryIndex::CheckSubtree(int32_t idx, const int64_t* lo,
     }
     if (node.c) {
       SEGDB_RETURN_IF_ERROR(node.c->CheckInvariants());
+      std::vector<pst::PointRecord> points;
+      SEGDB_RETURN_IF_ERROR(node.c->CollectAll(&points));
+      for (const auto& p : points) {
+        if (p.x > p.y) {
+          return Status::Corruption("C(v) interval with lo > hi");
+        }
+      }
       count += node.c->size();
     }
+    // The L(v)/R(v) partition: L holds exactly the crossing segments with a
+    // non-degenerate left part, R the ones with a non-degenerate right
+    // part, and segments with both live in both (matched by id below).
     uint64_t crossing = 0;
+    std::unordered_set<uint64_t> both_from_l, both_from_r;
     if (node.l) {
       SEGDB_RETURN_IF_ERROR(node.l->CheckInvariants());
+      std::vector<Segment> ls;
+      SEGDB_RETURN_IF_ERROR(node.l->CollectAll(&ls));
+      for (const Segment& s : ls) {
+        if (!(s.x1 < node.bl_x && s.x2 >= node.bl_x)) {
+          return Status::Corruption("L(v) member does not cross from the left");
+        }
+        if ((lo != nullptr && s.x1 <= *lo) ||
+            (hi != nullptr && s.x2 >= *hi)) {
+          return Status::Corruption("L(v) member escapes the ancestor slab");
+        }
+        if (s.x2 > node.bl_x) both_from_l.insert(s.id);
+      }
       crossing += node.l->size();
     }
     if (node.r) {
@@ -530,10 +559,36 @@ Status TwoLevelBinaryIndex::CheckSubtree(int32_t idx, const int64_t* lo,
       std::vector<Segment> rs;
       SEGDB_RETURN_IF_ERROR(node.r->CollectAll(&rs));
       for (const Segment& s : rs) {
-        if (s.x1 == node.bl_x) ++crossing;  // only in R
+        if (!(s.x1 <= node.bl_x && s.x2 > node.bl_x)) {
+          return Status::Corruption(
+              "R(v) member does not cross to the right");
+        }
+        if ((lo != nullptr && s.x1 <= *lo) ||
+            (hi != nullptr && s.x2 >= *hi)) {
+          return Status::Corruption("R(v) member escapes the ancestor slab");
+        }
+        if (s.x1 < node.bl_x) {
+          both_from_r.insert(s.id);
+        } else {
+          ++crossing;  // only in R
+        }
       }
     }
+    if (both_from_l != both_from_r) {
+      return Status::Corruption(
+          "segments crossing bl(v) on both sides not mirrored in L and R");
+    }
     count += crossing;
+    // BB[alpha] balance: exact at build time (median-endpoint split gives
+    // each side at most half), each counted update adds one unit of slack.
+    const uint64_t left_size =
+        node.left >= 0 ? nodes_[node.left].subtree_size : 0;
+    const uint64_t right_size =
+        node.right >= 0 ? nodes_[node.right].subtree_size : 0;
+    if (2 * std::max(left_size, right_size) >
+        node.subtree_size + node.updates_since_rebuild) {
+      return Status::Corruption("BB[alpha] balance bound violated");
+    }
     if (node.left >= 0) {
       uint64_t sub = 0;
       SEGDB_RETURN_IF_ERROR(CheckSubtree(node.left, lo, &node.bl_x, &sub));

@@ -75,9 +75,10 @@ class TwoLevelBinaryIndex final : public SegmentIndex {
   // First-level height (experiment instrumentation).
   uint32_t height() const;
 
-  // Structural self-check (tests): balance bookkeeping, segment routing,
-  // substructure invariants.
-  Status CheckInvariants() const;
+  // Structural self-check (tests): BB[alpha] balance bookkeeping, the
+  // L(v)/R(v)/C(v) partition at every base line, slab containment, and
+  // every second-level structure's own invariants.
+  Status CheckInvariants() const override;
 
  private:
   struct Node {
@@ -86,7 +87,12 @@ class TwoLevelBinaryIndex final : public SegmentIndex {
     int32_t left = -1;
     int32_t right = -1;
     uint64_t subtree_size = 0;
-    uint64_t inserts_since_rebuild = 0;  // amortization guard (see B)
+    // Inserts + erases absorbed since the subtree was last (re)built: the
+    // amortization guard for partial rebuilding, and the slack term of the
+    // audited balance bound 2*max(|left|, |right|) <= size + updates
+    // (exact at build time by the median-endpoint split, maintained by
+    // every update counting here).
+    uint64_t updates_since_rebuild = 0;
     io::PageId meta_page = io::kInvalidPageId;
     std::unique_ptr<pst::PointPst> c;  // segments on the base line
     std::unique_ptr<pst::LinePst> l;   // crossing, left parts

@@ -1,11 +1,11 @@
 #include "core/two_level_interval_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <unordered_set>
 
 #include "geom/predicates.h"
+#include "util/check.h"
 
 namespace segdb::core {
 
@@ -30,7 +30,7 @@ TwoLevelIntervalIndex::TwoLevelIntervalIndex(io::BufferPool* pool,
 }
 
 TwoLevelIntervalIndex::~TwoLevelIntervalIndex() {
-  if (root_ >= 0) FreeSubtree(root_).ok();
+  if (root_ >= 0) FreeSubtree(root_).IgnoreError();
 }
 
 uint32_t TwoLevelIntervalIndex::LeafCapacity() const {
@@ -80,7 +80,7 @@ Status TwoLevelIntervalIndex::WriteLeafPages(Node* node) {
 
 Result<int32_t> TwoLevelIntervalIndex::BuildSubtree(
     std::vector<Segment> segments) {
-  assert(!segments.empty());
+  SEGDB_DCHECK(!segments.empty());
   int32_t idx;
   if (!free_nodes_.empty()) {
     idx = free_nodes_.back();
@@ -185,7 +185,7 @@ Result<int32_t> TwoLevelIntervalIndex::BuildSubtree(
   }
   for (size_t k = 0; k < per_slab.size(); ++k) {
     if (per_slab[k].empty()) continue;
-    assert(per_slab[k].size() < nodes_[idx].subtree_size);
+    SEGDB_DCHECK(per_slab[k].size() < nodes_[idx].subtree_size);
     Result<int32_t> child = BuildSubtree(std::move(per_slab[k]));
     if (!child.ok()) return child.status();
     nodes_[idx].children[k] = child.value();
@@ -598,7 +598,19 @@ Status TwoLevelIntervalIndex::CheckSubtree(int32_t idx, const int64_t* lo,
       }
     }
   } else {
+    // Fan-out b = B/4 slab coverage: at most b strictly-increasing
+    // boundaries, one C/L/R triple per boundary and one child per slab.
+    if (node.boundaries.empty() || node.boundaries.size() > fanout_) {
+      return Status::Corruption("boundary count outside [1, b]");
+    }
+    if (node.per_boundary.size() != node.boundaries.size() ||
+        node.children.size() != node.boundaries.size() + 1) {
+      return Status::Corruption("per-boundary structures misaligned");
+    }
     for (size_t i = 0; i < node.boundaries.size(); ++i) {
+      if (i > 0 && node.boundaries[i - 1] >= node.boundaries[i]) {
+        return Status::Corruption("boundaries not strictly increasing");
+      }
       if ((lo != nullptr && node.boundaries[i] <= *lo) ||
           (hi != nullptr && node.boundaries[i] >= *hi)) {
         return Status::Corruption("boundary outside ancestor slab");
@@ -610,20 +622,66 @@ Status TwoLevelIntervalIndex::CheckSubtree(int32_t idx, const int64_t* lo,
     }
     if (node.g) SEGDB_RETURN_IF_ERROR(node.g->CheckInvariants());
     {
-      std::vector<Segment> own;
       std::unordered_set<uint64_t> seen;
+      // Re-derive every stored segment's routing and confirm it sits in
+      // exactly the collections InsertAtNode would choose.
+      uint32_t first, last;
       for (size_t i = 0; i < node.per_boundary.size(); ++i) {
         const BoundaryStructs& bs = node.per_boundary[i];
-        std::vector<Segment> tmp;
-        if (bs.l) SEGDB_RETURN_IF_ERROR(bs.l->CollectAll(&tmp));
-        if (bs.r) SEGDB_RETURN_IF_ERROR(bs.r->CollectAll(&tmp));
-        for (const Segment& s : tmp) seen.insert(s.id);
-        if (bs.c) count += bs.c->size();
+        if (bs.c) {
+          std::vector<pst::PointRecord> points;
+          SEGDB_RETURN_IF_ERROR(bs.c->CollectAll(&points));
+          for (const auto& p : points) {
+            if (p.x > p.y) {
+              return Status::Corruption("C_i interval with lo > hi");
+            }
+          }
+          count += bs.c->size();
+        }
+        if (bs.l) {
+          std::vector<Segment> tmp;
+          SEGDB_RETURN_IF_ERROR(bs.l->CollectAll(&tmp));
+          for (const Segment& s : tmp) {
+            if (!TouchedRange(node.boundaries, s, &first, &last) ||
+                first != i || s.x1 >= node.boundaries[i]) {
+              return Status::Corruption(
+                  "L_i member whose first crossed boundary is not s_i");
+            }
+            if ((lo != nullptr && s.x1 <= *lo) ||
+                (hi != nullptr && s.x2 >= *hi)) {
+              return Status::Corruption("L_i member escapes the ancestor slab");
+            }
+            seen.insert(s.id);
+          }
+        }
+        if (bs.r) {
+          std::vector<Segment> tmp;
+          SEGDB_RETURN_IF_ERROR(bs.r->CollectAll(&tmp));
+          for (const Segment& s : tmp) {
+            if (!TouchedRange(node.boundaries, s, &first, &last) ||
+                last != i || s.x2 <= node.boundaries[i]) {
+              return Status::Corruption(
+                  "R_i member whose last crossed boundary is not s_i");
+            }
+            if ((lo != nullptr && s.x1 <= *lo) ||
+                (hi != nullptr && s.x2 >= *hi)) {
+              return Status::Corruption("R_i member escapes the ancestor slab");
+            }
+            seen.insert(s.id);
+          }
+        }
       }
       if (node.g) {
         std::vector<Segment> tmp;
         SEGDB_RETURN_IF_ERROR(node.g->CollectAll(&tmp));
-        for (const Segment& s : tmp) seen.insert(s.id);
+        for (const Segment& s : tmp) {
+          if (!TouchedRange(node.boundaries, s, &first, &last) ||
+              last <= first) {
+            return Status::Corruption(
+                "G member crossing fewer than two boundaries");
+          }
+          seen.insert(s.id);
+        }
       }
       count += seen.size();
     }

@@ -79,7 +79,10 @@ class TwoLevelIntervalIndex final : public SegmentIndex {
 
   uint32_t fanout() const { return fanout_; }
   uint32_t height() const;
-  Status CheckInvariants() const;
+  // Structural self-check (tests): fan-out b = B/4 slab coverage, the
+  // C_i/L_i/R_i/G routing partition per node, size bookkeeping, and every
+  // second-level structure's own invariants.
+  Status CheckInvariants() const override;
 
  private:
   struct BoundaryStructs {

@@ -1,7 +1,8 @@
 #include "geom/predicates.h"
 
+#include "util/check.h"
+
 #include <algorithm>
-#include <cassert>
 
 namespace segdb::geom {
 
@@ -45,8 +46,10 @@ bool SegmentsProperlyCross(const Segment& a, const Segment& b) {
 }
 
 int CompareYAtX(const Segment& s, int64_t x0, int64_t y) {
-  assert(!s.is_vertical());
-  assert(s.x1 <= x0 && x0 <= s.x2);
+  SEGDB_DCHECK(!s.is_vertical());
+  // Evaluates s's supporting line at x0; x0 may lie outside [x1, x2].
+  // The sweep status legitimately probes just past a segment's span when
+  // a touching event reorders ties before the removal is processed.
   // y_s(x0) = y1 + (y2 - y1) * (x0 - x1) / (x2 - x1), with x2 - x1 > 0.
   const __int128 dx = s.x2 - s.x1;
   const __int128 num = static_cast<__int128>(s.y1) * dx +
@@ -55,9 +58,9 @@ int CompareYAtX(const Segment& s, int64_t x0, int64_t y) {
 }
 
 int CompareSegmentsAtX(const Segment& a, const Segment& b, int64_t x0) {
-  assert(!a.is_vertical() && !b.is_vertical());
-  assert(a.x1 <= x0 && x0 <= a.x2);
-  assert(b.x1 <= x0 && x0 <= b.x2);
+  SEGDB_DCHECK(!a.is_vertical() && !b.is_vertical());
+  // Compares the supporting lines at x0; x0 may lie outside either span
+  // (see CompareYAtX).
   const __int128 dxa = a.x2 - a.x1;
   const __int128 dxb = b.x2 - b.x1;
   const __int128 num_a = static_cast<__int128>(a.y1) * dxa +
@@ -70,7 +73,7 @@ int CompareSegmentsAtX(const Segment& a, const Segment& b, int64_t x0) {
 
 bool IntersectsVerticalSegment(const Segment& s, int64_t x0, int64_t ylo,
                                int64_t yhi) {
-  assert(ylo <= yhi);
+  SEGDB_DCHECK(ylo <= yhi);
   if (x0 < s.x1 || x0 > s.x2) return false;
   if (s.is_vertical()) {
     // Vertical-on-vertical: y-ranges must overlap.

@@ -29,12 +29,14 @@ bool SegmentsIntersect(const Segment& a, const Segment& b);
 // allowed in NCT sets and return false here.
 bool SegmentsProperlyCross(const Segment& a, const Segment& b);
 
-// Compares s's y-value at abscissa x0 with y. Requires s non-vertical and
-// s.x1 <= x0 <= s.x2. Returns sign(y_s(x0) - y).
+// Compares s's supporting line's y-value at abscissa x0 with y. Requires
+// s non-vertical; x0 need not lie within [x1, x2] (callers normally probe
+// inside the span, but the sweep status may probe just past it).
+// Returns sign(y_s(x0) - y).
 int CompareYAtX(const Segment& s, int64_t x0, int64_t y);
 
-// Compares the y-values of two non-vertical segments at abscissa x0; both
-// must span x0. Returns sign(y_a(x0) - y_b(x0)).
+// Compares the supporting lines of two non-vertical segments at abscissa
+// x0 (which may lie outside either span). Returns sign(y_a(x0) - y_b(x0)).
 int CompareSegmentsAtX(const Segment& a, const Segment& b, int64_t x0);
 
 // True when s intersects the vertical query segment x = x0, ylo <= y <= yhi.

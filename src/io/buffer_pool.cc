@@ -1,6 +1,9 @@
 #include "io/buffer_pool.h"
 
-#include <cassert>
+#include <cstring>
+
+#include "util/check.h"
+
 
 namespace segdb::io {
 
@@ -16,17 +19,17 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 }
 
 Page& PageRef::page() {
-  assert(valid());
+  SEGDB_DCHECK(valid());
   return pool_->frames_[frame_].page;
 }
 
 const Page& PageRef::page() const {
-  assert(valid());
+  SEGDB_DCHECK(valid());
   return pool_->frames_[frame_].page;
 }
 
 void PageRef::MarkDirty() {
-  assert(valid());
+  SEGDB_DCHECK(valid());
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -38,7 +41,7 @@ void PageRef::Release() {
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t frame_count) : disk_(disk) {
-  assert(frame_count > 0);
+  SEGDB_DCHECK(frame_count > 0);
   frames_.reserve(frame_count);
   for (size_t i = 0; i < frame_count; ++i) {
     frames_.emplace_back(disk_->page_size());
@@ -47,7 +50,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t frame_count) : disk_(disk) {
 
 void BufferPool::Unpin(size_t frame) {
   Frame& f = frames_[frame];
-  assert(f.pin_count > 0);
+  SEGDB_DCHECK(f.pin_count > 0);
   --f.pin_count;
   f.lru_tick = ++tick_;
 }
@@ -136,6 +139,52 @@ Status BufferPool::FlushAll() {
       f.dirty = false;
       ++stats_.writebacks;
     }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::CheckInvariants() const {
+  size_t resident = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pin_count < 0) {
+      return Status::Corruption("frame with negative pin count");
+    }
+    if (f.lru_tick > tick_) {
+      return Status::Corruption("frame LRU tick ahead of the pool clock");
+    }
+    if (f.id == kInvalidPageId) {
+      if (f.pin_count != 0) {
+        return Status::Corruption("empty frame still pinned");
+      }
+      if (f.dirty) return Status::Corruption("empty frame marked dirty");
+      continue;
+    }
+    ++resident;
+    auto it = page_table_.find(f.id);
+    if (it == page_table_.end() || it->second != i) {
+      return Status::Corruption("resident frame missing from the page table");
+    }
+    if (!f.dirty) {
+      // A clean frame must agree with disk byte-for-byte; a mismatch means
+      // a write skipped MarkDirty and would be lost on eviction.
+      Page on_disk(disk_->page_size());
+      SEGDB_RETURN_IF_ERROR(disk_->PeekPage(f.id, &on_disk));
+      if (std::memcmp(f.page.data(), on_disk.data(), f.page.size()) != 0) {
+        return Status::Corruption("clean frame diverges from disk contents");
+      }
+    }
+  }
+  if (page_table_.size() != resident) {
+    return Status::Corruption("page table and resident frames disagree");
+  }
+  for (const auto& [id, idx] : page_table_) {
+    if (idx >= frames_.size() || frames_[idx].id != id) {
+      return Status::Corruption("page-table entry points at a wrong frame");
+    }
+  }
+  if (stats_.hits + stats_.misses != stats_.fetches) {
+    return Status::Corruption("fetch/hit/miss accounting mismatch");
   }
   return Status::OK();
 }

@@ -92,6 +92,11 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 
+  // Audits the pool: page-table/frame agreement, pin and LRU bookkeeping,
+  // stats consistency, and clean resident frames matching their on-disk
+  // contents (via DiskManager::PeekPage, so no I/O is counted).
+  Status CheckInvariants() const;
+
  private:
   friend class PageRef;
 

@@ -56,6 +56,17 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
   return Status::OK();
 }
 
+Status DiskManager::PeekPage(PageId id, Page* out) const {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("PeekPage: page not allocated");
+  }
+  if (out->size() != page_size_) {
+    return Status::InvalidArgument("PeekPage: page buffer size mismatch");
+  }
+  std::memcpy(out->data(), store_[id].get(), page_size_);
+  return Status::OK();
+}
+
 Status DiskManager::WritePage(PageId id, const Page& page) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("WritePage: page not allocated");

@@ -43,6 +43,11 @@ class DiskManager {
   // Counts one physical read.
   Status ReadPage(PageId id, Page* out);
 
+  // Like ReadPage but counts nothing — the buffer pool's audit compares
+  // resident frames against disk without perturbing the I/O measurement
+  // protocol.
+  Status PeekPage(PageId id, Page* out) const;
+
   // Stores the page contents. Counts one physical write.
   Status WritePage(PageId id, const Page& page);
 

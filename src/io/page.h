@@ -4,12 +4,13 @@
 #ifndef SEGDB_IO_PAGE_H_
 #define SEGDB_IO_PAGE_H_
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <type_traits>
 #include <vector>
+
+#include "util/check.h"
 
 namespace segdb::io {
 
@@ -35,7 +36,7 @@ class Page {
   template <typename T>
   T ReadAt(uint32_t off) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) <= data_.size());
+    SEGDB_DCHECK(off + sizeof(T) <= data_.size());
     T value;
     std::memcpy(&value, data_.data() + off, sizeof(T));
     return value;
@@ -45,23 +46,27 @@ class Page {
   template <typename T>
   void WriteAt(uint32_t off, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) <= data_.size());
+    SEGDB_DCHECK(off + sizeof(T) <= data_.size());
     std::memcpy(data_.data() + off, &value, sizeof(T));
   }
 
   // Reads `count` consecutive T records starting at byte offset `off`.
+  // count == 0 is legal even with out == nullptr (an empty vector's data()).
   template <typename T>
   void ReadArray(uint32_t off, T* out, uint32_t count) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) * count <= data_.size());
+    SEGDB_DCHECK(off + sizeof(T) * count <= data_.size());
+    if (count == 0) return;
     std::memcpy(out, data_.data() + off, sizeof(T) * count);
   }
 
   // Writes `count` consecutive T records starting at byte offset `off`.
+  // count == 0 is legal even with values == nullptr.
   template <typename T>
   void WriteArray(uint32_t off, const T* values, uint32_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    assert(off + sizeof(T) * count <= data_.size());
+    SEGDB_DCHECK(off + sizeof(T) * count <= data_.size());
+    if (count == 0) return;
     std::memcpy(data_.data() + off, values, sizeof(T) * count);
   }
 

@@ -1,9 +1,10 @@
 #include "itree/interval_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <unordered_set>
+
+#include "util/check.h"
 
 namespace segdb::itree {
 
@@ -24,7 +25,7 @@ IntervalTree::IntervalTree(io::BufferPool* pool, IntervalTreeOptions options)
 }
 
 IntervalTree::~IntervalTree() {
-  if (root_ >= 0) FreeSubtree(root_).ok();
+  if (root_ >= 0) FreeSubtree(root_).IgnoreError();
 }
 
 uint32_t IntervalTree::LeafCapacity() const {
@@ -166,7 +167,7 @@ Status IntervalTree::EraseAtNode(Node* node, const Segment& s) {
 }
 
 Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
-  assert(!segments.empty());
+  SEGDB_DCHECK(!segments.empty());
   int32_t idx;
   if (!free_nodes_.empty()) {
     idx = free_nodes_.back();
@@ -233,7 +234,7 @@ Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
   segments.clear();
   for (size_t k = 0; k < per_slab.size(); ++k) {
     if (per_slab[k].empty()) continue;
-    assert(per_slab[k].size() < nodes_[idx].subtree_size);
+    SEGDB_DCHECK(per_slab[k].size() < nodes_[idx].subtree_size);
     Result<int32_t> child = BuildSubtree(std::move(per_slab[k]));
     if (!child.ok()) return child.status();
     nodes_[idx].children[k] = child.value();

@@ -1,13 +1,13 @@
 #include "pst/line_pst.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 #include <string>
 
 #include "geom/predicates.h"
 #include "util/math.h"
+#include "util/check.h"
 
 namespace segdb::pst {
 
@@ -35,15 +35,15 @@ LinePst::LinePst(io::BufferPool* pool, int64_t base_x, Direction direction,
     fanout_ = std::max<uint32_t>(2, (page + 24) / 172);
   }
   const uint32_t overhead = SegOff(0);
-  assert(overhead < page && "page too small for LinePst fanout");
+  SEGDB_DCHECK(overhead < page) << "page too small for LinePst fanout";
   const uint32_t auto_cap = (page - overhead) / seg_bytes;
   cap_ = options.segments_per_node != 0
              ? std::min(options.segments_per_node, auto_cap)
              : auto_cap;
-  assert(cap_ >= 2 && "page too small for LinePst node");
+  SEGDB_DCHECK(cap_ >= 2) << "page too small for LinePst node";
 }
 
-LinePst::~LinePst() { Clear().ok(); }
+LinePst::~LinePst() { Clear().IgnoreError(); }
 
 geom::Segment LinePst::Canonical(const geom::Segment& s) const {
   return direction_ == Direction::kRight ? s : geom::MirrorX(s, base_x_);
@@ -129,7 +129,7 @@ Status LinePst::CollectAll(std::vector<geom::Segment>* out) const {
 
 Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
                                          geom::Segment* top) {
-  assert(!segs.empty());
+  SEGDB_DCHECK(!segs.empty());
   const size_t n = segs.size();
   const uint32_t take = static_cast<uint32_t>(std::min<size_t>(cap_, n));
 

@@ -1,12 +1,12 @@
 #include "segtree/multislab_segment_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/math.h"
+#include "util/check.h"
 
 namespace segdb::segtree {
 
@@ -35,11 +35,11 @@ MultislabSegmentTree::MultislabSegmentTree(io::BufferPool* pool,
                                            std::vector<int64_t> boundaries,
                                            MultislabOptions options)
     : pool_(pool), boundaries_(std::move(boundaries)), options_(options) {
-  assert(boundaries_.size() >= 2);
-  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
-  assert(std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+  SEGDB_DCHECK(boundaries_.size() >= 2);
+  SEGDB_DCHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  SEGDB_DCHECK(std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
          boundaries_.end());
-  assert(options_.bridge_d >= 1);
+  SEGDB_DCHECK(options_.bridge_d >= 1);
   // Inner slabs 1..b-1 (slab t lies between s_{t-1} and s_t).
   root_ = BuildDirectory(1, static_cast<uint32_t>(boundaries_.size()) - 1);
   if (options_.fractional_cascading) {
@@ -49,7 +49,7 @@ MultislabSegmentTree::MultislabSegmentTree(io::BufferPool* pool,
   }
 }
 
-MultislabSegmentTree::~MultislabSegmentTree() { Clear().ok(); }
+MultislabSegmentTree::~MultislabSegmentTree() { Clear().IgnoreError(); }
 
 int32_t MultislabSegmentTree::BuildDirectory(uint32_t lo, uint32_t hi) {
   GNode node;

@@ -1,0 +1,70 @@
+// SEGDB_CHECK / SEGDB_DCHECK: invariant assertion macros with streamed
+// messages, replacing raw assert() throughout segdb (glog/LevelDB style).
+//
+//   SEGDB_CHECK(a <= b) << "window inverted: [" << a << ", " << b << "]";
+//   SEGDB_DCHECK(node != nullptr) << "detached cursor";
+//
+// SEGDB_CHECK is evaluated in every build; a failure prints the location,
+// the condition text and the streamed message to stderr, then aborts.
+// SEGDB_DCHECK compiles to a never-executed branch in release builds
+// (NDEBUG): the condition still type-checks — so debug-only expressions
+// don't rot or trip -Wunused — but is never evaluated at run time.
+//
+// These macros guard *programming errors* (violated preconditions inside
+// segdb itself). Recoverable conditions — bad user input, corrupt pages,
+// exhausted resources — are reported through Status, never checked.
+#ifndef SEGDB_UTIL_CHECK_H_
+#define SEGDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace segdb::util {
+
+// Collects one failure message; aborts the process when destroyed (end of
+// the full CHECK statement, after all operands have been streamed in).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": check failed: " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    const std::string message = stream_.str();
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace segdb::util
+
+// `while` keeps the macro a single statement (safe under unbraced if/else)
+// and enters at most once: ~CheckFailure aborts before a second test.
+#define SEGDB_CHECK(condition)                                        \
+  while (!(condition))                                                \
+  ::segdb::util::CheckFailure(__FILE__, __LINE__, #condition).stream() \
+      << " "
+
+#ifndef NDEBUG
+#define SEGDB_DCHECK(condition) SEGDB_CHECK(condition)
+#else
+// `false && (condition)` keeps the condition (and any variables it names)
+// compiled and ODR-used while guaranteeing it is never evaluated; the
+// stream operands after the macro are likewise dead code.
+#define SEGDB_DCHECK(condition)                                        \
+  while (false && (condition))                                         \
+  ::segdb::util::CheckFailure(__FILE__, __LINE__, #condition).stream() \
+      << " "
+#endif
+
+#endif  // SEGDB_UTIL_CHECK_H_

@@ -2,12 +2,19 @@
 // to database engines (RocksDB, LevelDB). Every fallible operation in segdb
 // returns a Status (or Result<T> when it produces a value); callers must
 // check with ok() before using results.
+//
+// Both types are [[nodiscard]]: a dropped return value is a compile-time
+// warning (an error under -DSEGDB_WERROR=ON), so statuses cannot be lost
+// silently. The rare site that really means to ignore a failure — e.g. a
+// destructor releasing pages on a best-effort basis — must say so with
+// status.IgnoreError().
 #ifndef SEGDB_UTIL_STATUS_H_
 #define SEGDB_UTIL_STATUS_H_
 
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace segdb {
 
@@ -25,7 +32,7 @@ enum class StatusCode {
 
 // A lightweight status object: a code plus an optional message. The OK
 // status carries no allocation.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -55,9 +62,13 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Explicitly discards this status. The only sanctioned way to drop an
+  // error (destructors and other no-fail contexts); greppable on purpose.
+  void IgnoreError() const {}
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -92,28 +103,28 @@ class Status {
 };
 
 // Result<T>: a Status or a value. Accessing value() on a non-OK result is a
-// programming error (asserted in debug builds).
+// programming error (checked in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {                 // NOLINT
-    assert(!status_.ok() && "OK Result must carry a value");
+    SEGDB_DCHECK(!status_.ok()) << "OK Result must carry a value";
   }
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    SEGDB_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return value_;
   }
   T& value() & {
-    assert(ok());
+    SEGDB_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    SEGDB_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return std::move(value_);
   }
 

@@ -1,8 +1,9 @@
 #include "util/table_printer.h"
 
-#include <cassert>
 #include <cstdio>
 #include <iomanip>
+
+#include "util/check.h"
 
 namespace segdb {
 
@@ -10,7 +11,7 @@ TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void TablePrinter::AddRow(std::vector<std::string> cells) {
-  assert(cells.size() == headers_.size());
+  SEGDB_DCHECK(cells.size() == headers_.size());
   rows_.push_back(std::move(cells));
 }
 

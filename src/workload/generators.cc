@@ -1,9 +1,9 @@
 #include "workload/generators.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "geom/predicates.h"
+#include "util/check.h"
 
 namespace segdb::workload {
 
@@ -105,7 +105,7 @@ std::vector<Segment> GenLineBasedRepaired(Rng& rng, uint64_t n, int64_t base_x,
         // of the base needs ds > 0; by construction dy/ds >= 13/12 > 1.
         const int64_t dy = rays[j].y0 - rays[i].y0;
         const int64_t ds = rays[i].slope - rays[j].slope;
-        assert(dy > 0 && ds > 0);
+        SEGDB_DCHECK(dy > 0 && ds > 0);
         const int64_t xc = dy / ds;  // floor(crossing) >= 1
         // Truncate the longer ray to at most the crossing point: an
         // endpoint exactly on the other segment is touching, which NCT
@@ -139,7 +139,7 @@ std::vector<Segment> GenHorizontalStrips(Rng& rng, uint64_t n, int64_t width,
 std::vector<Segment> GenMonotoneChains(Rng& rng, uint64_t chains,
                                        uint64_t points_per_chain,
                                        int64_t width, uint64_t first_id) {
-  assert(points_per_chain >= 2);
+  SEGDB_DCHECK(points_per_chain >= 2);
   // Shared strictly-increasing x grid.
   std::vector<int64_t> xs(points_per_chain);
   const int64_t step = std::max<int64_t>(2, width / points_per_chain);
@@ -169,7 +169,7 @@ std::vector<Segment> GenGridPerturbed(Rng& rng, uint64_t cells_x,
                                       uint64_t cells_y, int64_t cell_size,
                                       double diagonal_prob,
                                       uint64_t first_id) {
-  assert(cell_size >= 8);
+  SEGDB_DCHECK(cell_size >= 8);
   const int64_t jitter = cell_size / 8;
   const uint64_t vx = cells_x + 1;
   const uint64_t vy = cells_y + 1;

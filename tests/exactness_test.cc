@@ -89,8 +89,12 @@ TEST(ExactnessFuzzTest, CompareSegmentsAtXAntisymmetricAndExact) {
     for (int64_t probe : {int64_t{0}, kMaxCoord, -kMaxCoord}) {
       const int a_vs = CompareYAtX(sa, x0, probe);
       const int b_vs = CompareYAtX(sb, x0, probe);
-      if (a_vs < b_vs) ASSERT_LT(ab, 0);
-      if (a_vs > b_vs) ASSERT_GT(ab, 0);
+      if (a_vs < b_vs) {
+        ASSERT_LT(ab, 0);
+      }
+      if (a_vs > b_vs) {
+        ASSERT_GT(ab, 0);
+      }
     }
   }
 }

@@ -59,5 +59,53 @@ TEST(ValidateTest, AcceptsTouching) {
   EXPECT_TRUE(ValidateForIndexing(segs).ok());
 }
 
+TEST(ValidateTest, AcceptsTouchingFanAndTJunctions) {
+  // A fan sharing one endpoint plus T-junctions from both sides: touching
+  // in every configuration the NCT definition allows, never crossing.
+  std::vector<Segment> segs = {
+      Segment::Make({0, 0}, {10, 10}, 1),
+      Segment::Make({0, 0}, {10, -10}, 2),
+      Segment::Make({0, 0}, {10, 0}, 3),
+      Segment::Make({5, 0}, {5, -4}, 4),    // T: endpoint on 3's interior
+      Segment::Make({-8, 4}, {4, 4}, 5),    // T: right endpoint on 1
+      Segment::Make({6, 6}, {20, 6}, 6),    // T: left endpoint on 1
+  };
+  EXPECT_TRUE(ValidateForIndexing(segs).ok());
+}
+
+TEST(ValidateTest, DuplicateIdDetectedAmongManyValid) {
+  Rng rng(7);
+  std::vector<Segment> segs = workload::GenHorizontalStrips(rng, 64, 1000);
+  segs.push_back(Segment::Make({-900, -900}, {-800, -900}, segs[40].id));
+  const Status s = ValidateForIndexing(segs);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ValidateTest, AcceptsCoordinatesExactlyAtBound) {
+  // |coord| == kMaxCoord is legal; one past it is not.
+  std::vector<Segment> at_bound = {
+      Segment::Make({-geom::kMaxCoord, -geom::kMaxCoord},
+                    {geom::kMaxCoord, geom::kMaxCoord}, 1),
+      Segment::Make({geom::kMaxCoord, -geom::kMaxCoord},
+                    {geom::kMaxCoord, geom::kMaxCoord - 1}, 2),
+  };
+  EXPECT_TRUE(ValidateForIndexing(at_bound).ok());
+  std::vector<Segment> past = {
+      Segment::Make({0, -(geom::kMaxCoord + 1)}, {0, 0}, 3)};
+  EXPECT_FALSE(ValidateForIndexing(past).ok());
+}
+
+TEST(ValidateTest, AcceptsZeroLengthSegments) {
+  // Degenerate point-segments are canonical (x1 == x2, y1 == y2) and
+  // cannot properly cross anything, even sitting on another's interior.
+  std::vector<Segment> segs = {
+      Segment::Make({5, 5}, {5, 5}, 1),
+      Segment::Make({0, 0}, {10, 0}, 2),
+      Segment::Make({5, 0}, {5, 0}, 3),  // point on segment 2's interior
+  };
+  EXPECT_TRUE(ValidateForIndexing(segs).ok());
+}
+
 }  // namespace
 }  // namespace segdb::core

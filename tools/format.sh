@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# clang-format check (and optional fix) over every segdb source file, using
+# the checked-in .clang-format.
+#
+# Usage: tools/format.sh          # check only, non-zero exit on violations
+#        tools/format.sh --fix    # rewrite files in place
+#
+# Exits 0 with a notice when clang-format is not installed (CI installs it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="check"
+if [ "${1:-}" = "--fix" ]; then
+  mode="fix"
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not found on PATH; skipping format check." >&2
+  exit 0
+fi
+
+files=()
+while IFS= read -r f; do
+  files+=("$f")
+done < <(git ls-files 'src/*.h' 'src/*.cc' 'src/**/*.h' 'src/**/*.cc' \
+                      'tests/*.cc' 'bench/*.h' 'bench/*.cc' 'examples/*.cpp')
+
+if [ "${mode}" = "fix" ]; then
+  clang-format -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+else
+  clang-format --dry-run -Werror "${files[@]}"
+  echo "format.sh: OK (${#files[@]} files)"
+fi
