@@ -1,19 +1,38 @@
-// Shared measurement harness for the experiment binaries (E1-E11).
+// Shared measurement harness for the experiment binaries (E1-E13).
 //
-// Protocol: build the structure through the buffer pool, flush, evict
-// everything (cold cache), reset counters, run one query, read the miss
-// counter — misses are exactly the I/O operations of the paper's cost
-// model. Each experiment averages over a query batch and prints one table
-// row per parameter point; EXPERIMENTS.md records the expected shapes.
+// I/O-count protocol: build the structure through the buffer pool, flush,
+// evict everything (cold cache), reset counters, run one query, read the
+// miss counter — misses are exactly the I/O operations of the paper's cost
+// model, and stay exact under the sharded pool (per-shard counters sum to
+// the serial trace) and under read-ahead (staged pages are charged on
+// first demand fetch). Each experiment averages over a query batch and
+// prints one table row per parameter point; EXPERIMENTS.md records the
+// expected shapes.
+//
+// Throughput protocol (the parallel sections of E3/E4): warm the pool by
+// running the batch once, then time repeated QueryEngine batches at a
+// fixed worker count — wall-clock ns and queries/sec, no eviction between
+// queries. Cold I/O counts and warm throughput are reported separately;
+// one measures the model, the other the implementation.
+//
+// Every experiment binary accepts `--json <path>` (or `--json=<path>`) and
+// then also writes its records as machine-readable JSON — see JsonWriter
+// below and tools/bench.sh, which tracks BENCH_*.json across PRs.
 #ifndef SEGDB_BENCH_BENCH_COMMON_H_
 #define SEGDB_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <span>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/query_engine.h"
 #include "core/segment_index.h"
 #include "io/buffer_pool.h"
 #include "io/disk_manager.h"
@@ -58,6 +77,111 @@ inline QueryCost MeasureQueries(io::BufferPool* pool,
   }
   return cost;
 }
+
+struct BatchThroughput {
+  double wall_ns = 0;           // total wall time of the measured repeats
+  double queries_per_sec = 0;
+  uint64_t reported = 0;        // total segments reported (sanity check)
+};
+
+// Warm-pool throughput of QueryEngine batches: one untimed warm-up pass,
+// then `repeats` timed passes over the whole batch.
+inline BatchThroughput MeasureBatchThroughput(
+    core::QueryEngine* engine, const core::SegmentIndex& index,
+    std::span<const workload::VsQuery> queries, int repeats) {
+  std::vector<core::VerticalSegmentQuery> batch;
+  batch.reserve(queries.size());
+  for (const workload::VsQuery& q : queries) {
+    batch.push_back(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi});
+  }
+  std::vector<std::vector<geom::Segment>> results;
+  Check(engine->QueryBatch(index, batch, &results), "warm-up batch");
+  BatchThroughput t;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    Check(engine->QueryBatch(index, batch, &results), "timed batch");
+    for (const auto& out : results) t.reported += out.size();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  t.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  const double total_queries =
+      static_cast<double>(queries.size()) * static_cast<double>(repeats);
+  if (t.wall_ns > 0) t.queries_per_sec = total_queries / (t.wall_ns * 1e-9);
+  return t;
+}
+
+// One machine-readable measurement row (tools/bench.sh trajectory files).
+struct BenchRecord {
+  std::string experiment;  // e.g. "E3-cold" / "E3-parallel"
+  std::string structure;   // index.name()
+  uint64_t n = 0;          // segments stored
+  uint32_t page_size = 0;  // block size in bytes (determines B)
+  uint64_t num_queries = 0;
+  double avg_ios = 0;
+  double max_ios = 0;
+  double wall_ns = 0;
+  double queries_per_sec = 0;
+  uint32_t threads = 1;
+};
+
+// Accumulates BenchRecords and writes them as one JSON document when
+// destroyed. Enabled by `--json <path>` / `--json=<path>`; otherwise all
+// calls are no-ops and the binary prints tables exactly as before.
+class JsonWriter {
+ public:
+  JsonWriter(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  ~JsonWriter() { Flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(BenchRecord record) {
+    if (enabled()) records_.push_back(std::move(record));
+  }
+
+ private:
+  void Flush() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL --json: cannot open %s\n", path_.c_str());
+      std::abort();
+    }
+    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"records\": [",
+                 std::thread::hardware_concurrency());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"experiment\": \"%s\", \"structure\": \"%s\", "
+          "\"n\": %llu, \"page_size\": %u, \"num_queries\": %llu, "
+          "\"avg_ios\": %.4f, \"max_ios\": %.1f, \"wall_ns\": %.0f, "
+          "\"queries_per_sec\": %.2f, \"threads\": %u}",
+          i == 0 ? "" : ",", r.experiment.c_str(), r.structure.c_str(),
+          static_cast<unsigned long long>(r.n), r.page_size,
+          static_cast<unsigned long long>(r.num_queries), r.avg_ios,
+          r.max_ios, r.wall_ns, r.queries_per_sec, r.threads);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 // Repeats rows with a standard experiment banner.
 inline void PrintHeader(const char* id, const char* claim) {

@@ -3,6 +3,12 @@
 // O(log2 n (log_B n + IL*(B)) + t) I/Os.
 // Expectation: "pages" tracks n linearly; "avg_ios" grows ~ log2(n) *
 // log_B(n) + t/B (compare the theory column).
+//
+// The parallel section measures warm-pool batch-query throughput through
+// core::QueryEngine at 1/2/4/8 workers — the read path (sharded buffer
+// pool) is the only shared state, so queries/sec should track available
+// cores. With --json the cold and parallel series are also written as
+// machine-readable records (tools/bench.sh -> BENCH_e3.json).
 
 #include <cmath>
 
@@ -15,7 +21,7 @@
 namespace segdb {
 namespace {
 
-void Run() {
+void RunCold(bench::JsonWriter* json) {
   bench::PrintHeader("E3 Solution A (Theorem 1)",
                      "space O(n); VS query O(log2 n (log_B n + IL*(B)) + t)");
   TablePrinter table({"N", "pages", "n=N/B", "pages/n", "avg_ios", "avg_out",
@@ -46,6 +52,39 @@ void Run() {
                   TablePrinter::Fmt(cost.avg_ios),
                   TablePrinter::Fmt(cost.avg_output, 1),
                   TablePrinter::Fmt(theory, 1)});
+    json->Add({"E3-cold", index.name(), N, 4096, queries.size(),
+               cost.avg_ios, cost.max_ios, 0, 0, 1});
+  }
+  bench::PrintTable(table);
+}
+
+void RunParallel(bench::JsonWriter* json) {
+  bench::PrintHeader("E3p Solution A parallel batch queries",
+                     "warm pool; QueryEngine fan-out, ordering preserved");
+  const uint64_t N = bench::Scaled(262144);
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 15);
+  Rng rng(1003);
+  auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+  core::TwoLevelBinaryIndex index(&pool);
+  bench::Check(index.BulkLoad(segs), "build");
+
+  Rng qrng(17);
+  auto box = workload::ComputeBoundingBox(segs);
+  auto queries = workload::GenVsQueries(qrng, 512, box, 0.01);
+  TablePrinter table({"threads", "queries/s", "batch_ms", "speedup"});
+  double base_qps = 0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    core::QueryEngine engine({.threads = threads});
+    const auto t = bench::MeasureBatchThroughput(&engine, index, queries, 8);
+    if (threads == 1) base_qps = t.queries_per_sec;
+    table.AddRow({TablePrinter::Fmt(uint64_t{threads}),
+                  TablePrinter::Fmt(t.queries_per_sec, 0),
+                  TablePrinter::Fmt(t.wall_ns / 8 * 1e-6),
+                  TablePrinter::Fmt(
+                      base_qps > 0 ? t.queries_per_sec / base_qps : 0.0)});
+    json->Add({"E3-parallel", index.name(), N, 4096, queries.size() * 8,
+               0, 0, t.wall_ns, t.queries_per_sec, threads});
   }
   bench::PrintTable(table);
 }
@@ -53,7 +92,9 @@ void Run() {
 }  // namespace
 }  // namespace segdb
 
-int main() {
-  segdb::Run();
+int main(int argc, char** argv) {
+  segdb::bench::JsonWriter json(argc, argv);
+  segdb::RunCold(&json);
+  segdb::RunParallel(&json);
   return 0;
 }

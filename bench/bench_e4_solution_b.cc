@@ -4,6 +4,10 @@
 // O(log_B n (log_B n + log2 B + IL*(B)) + t) I/Os.
 // Expectation: "pages/n" stays below ~log2(B); "avg_ios" grows far slower
 // than Solution A's (E3) at the same N.
+//
+// The parallel section measures warm-pool batch-query throughput through
+// core::QueryEngine at 1/2/4/8 workers. With --json both series are also
+// written as machine-readable records (tools/bench.sh -> BENCH_e4.json).
 
 #include <cmath>
 
@@ -16,7 +20,7 @@
 namespace segdb {
 namespace {
 
-void Run() {
+void RunCold(bench::JsonWriter* json) {
   bench::PrintHeader(
       "E4 Solution B (Theorem 2)",
       "space O(n log2 B); VS query O(log_B n (log_B n + log2 B) + t)");
@@ -49,6 +53,39 @@ void Run() {
                   TablePrinter::Fmt(cost.avg_output, 1),
                   TablePrinter::Fmt(theory, 1),
                   TablePrinter::Fmt(uint64_t{index.height()})});
+    json->Add({"E4-cold", index.name(), N, 4096, queries.size(),
+               cost.avg_ios, cost.max_ios, 0, 0, 1});
+  }
+  bench::PrintTable(table);
+}
+
+void RunParallel(bench::JsonWriter* json) {
+  bench::PrintHeader("E4p Solution B parallel batch queries",
+                     "warm pool; QueryEngine fan-out, ordering preserved");
+  const uint64_t N = bench::Scaled(262144);
+  io::DiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 15);
+  Rng rng(1004);
+  auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+  core::TwoLevelIntervalIndex index(&pool);
+  bench::Check(index.BulkLoad(segs), "build");
+
+  Rng qrng(19);
+  auto box = workload::ComputeBoundingBox(segs);
+  auto queries = workload::GenVsQueries(qrng, 512, box, 0.01);
+  TablePrinter table({"threads", "queries/s", "batch_ms", "speedup"});
+  double base_qps = 0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    core::QueryEngine engine({.threads = threads});
+    const auto t = bench::MeasureBatchThroughput(&engine, index, queries, 8);
+    if (threads == 1) base_qps = t.queries_per_sec;
+    table.AddRow({TablePrinter::Fmt(uint64_t{threads}),
+                  TablePrinter::Fmt(t.queries_per_sec, 0),
+                  TablePrinter::Fmt(t.wall_ns / 8 * 1e-6),
+                  TablePrinter::Fmt(
+                      base_qps > 0 ? t.queries_per_sec / base_qps : 0.0)});
+    json->Add({"E4-parallel", index.name(), N, 4096, queries.size() * 8,
+               0, 0, t.wall_ns, t.queries_per_sec, threads});
   }
   bench::PrintTable(table);
 }
@@ -56,7 +93,9 @@ void Run() {
 }  // namespace
 }  // namespace segdb
 
-int main() {
-  segdb::Run();
+int main(int argc, char** argv) {
+  segdb::bench::JsonWriter json(argc, argv);
+  segdb::RunCold(&json);
+  segdb::RunParallel(&json);
   return 0;
 }

@@ -1,0 +1,80 @@
+#include "core/query_engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace segdb::core {
+
+namespace {
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(QueryEngineOptions options)
+    : threads_(ResolveThreads(options.threads)) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+}
+
+Status QueryEngine::QueryBatch(
+    const SegmentIndex& index, std::span<const VerticalSegmentQuery> queries,
+    std::vector<std::vector<geom::Segment>>* results) {
+  results->clear();
+  results->resize(queries.size());
+  if (queries.empty()) return Status::OK();
+
+  if (threads_ == 1 || queries.size() == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SEGDB_RETURN_IF_ERROR(index.Query(queries[i], &(*results)[i]));
+    }
+    return Status::OK();
+  }
+
+  // Shared-cursor fan-out: each worker repeatedly claims the next
+  // unclaimed query, so per-query cost skew balances dynamically while
+  // every result still lands in its own slot (ordering preserved).
+  struct BatchState {
+    std::atomic<size_t> next{0};
+    std::vector<Status> statuses;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t workers_left = 0;
+  };
+  BatchState state;
+  state.statuses.assign(queries.size(), Status::OK());
+
+  const size_t workers =
+      std::min<size_t>(threads_, queries.size());
+  state.workers_left = workers;
+
+  auto worker = [&index, &queries, results, &state] {
+    for (;;) {
+      const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) break;
+      state.statuses[i] = index.Query(queries[i], &(*results)[i]);
+    }
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (--state.workers_left == 0) state.done_cv.notify_all();
+  };
+
+  for (size_t w = 0; w < workers; ++w) pool_->Submit(worker);
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.workers_left == 0; });
+  }
+
+  for (Status& s : state.statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::core

@@ -1,0 +1,60 @@
+// Parallel batch-query engine over any SegmentIndex. Queries in a batch
+// are independent reads, so they fan out across a fixed worker pool; the
+// storage layer below (BufferPool / DiskManager read paths) is thread-safe
+// for exactly this pattern. Results keep the batch's ordering: result i is
+// what index.Query(queries[i], ...) appends, byte for byte.
+//
+// With threads == 1 the engine runs the batch inline on the calling
+// thread, bit-identical to a plain Query loop (the determinism and
+// exactness suites rely on this).
+//
+// The batch must not run concurrently with writers of the same index or
+// pool (BulkLoad / Insert / Erase / NewPage / EvictAll): the engine
+// parallelizes readers, it does not add reader-writer isolation.
+#ifndef SEGDB_CORE_QUERY_ENGINE_H_
+#define SEGDB_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/segment_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace segdb::core {
+
+struct QueryEngineOptions {
+  // Worker threads for batches. 0 = hardware concurrency; 1 = inline
+  // (no pool, bit-identical to a serial Query loop).
+  uint32_t threads = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  uint32_t threads() const { return threads_; }
+
+  // Answers queries[i] into (*results)[i] (cleared and resized to the
+  // batch size). Returns the first non-OK Status in *batch order*; on
+  // error, results at and after the first failing query are unspecified.
+  // Inline when threads() == 1; otherwise queries are drawn from a shared
+  // cursor by the worker pool, so an expensive query never blocks the
+  // rest of the batch behind a static partition.
+  Status QueryBatch(const SegmentIndex& index,
+                    std::span<const VerticalSegmentQuery> queries,
+                    std::vector<std::vector<geom::Segment>>* results);
+
+ private:
+  uint32_t threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
+};
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_QUERY_ENGINE_H_

@@ -445,6 +445,7 @@ Status TwoLevelBinaryIndex::Query(const VerticalSegmentQuery& q,
                                   std::vector<Segment>* out) const {
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   int32_t cur = root_;
+  std::vector<io::PageId> ahead;  // read-ahead hint for the next descent step
   while (cur >= 0) {
     const Node& node = nodes_[cur];
     {
@@ -470,6 +471,18 @@ Status TwoLevelBinaryIndex::Query(const VerticalSegmentQuery& q,
     SEGDB_RETURN_IF_ERROR(QueryNode(node, q, out));
     if (q.x0 == node.bl_x) return Status::OK();
     cur = q.x0 < node.bl_x ? node.left : node.right;
+    if (cur >= 0) {
+      // Hint the child's pages before its PSTs are searched; staged pages
+      // are charged on first Fetch, so I/O counts stay exact.
+      const Node& next = nodes_[cur];
+      ahead.clear();
+      ahead.push_back(next.meta_page);
+      if (next.is_leaf) {
+        ahead.insert(ahead.end(), next.leaf_pages.begin(),
+                     next.leaf_pages.end());
+      }
+      pool_->Prefetch(ahead);
+    }
   }
   return Status::OK();
 }

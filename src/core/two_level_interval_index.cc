@@ -464,6 +464,7 @@ Status TwoLevelIntervalIndex::Query(const VerticalSegmentQuery& q,
                                     std::vector<Segment>* out) const {
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   int32_t cur = root_;
+  std::vector<io::PageId> ahead;  // read-ahead hint for the next descent step
   while (cur >= 0) {
     const Node& node = nodes_[cur];
     {
@@ -546,6 +547,19 @@ Status TwoLevelIntervalIndex::Query(const VerticalSegmentQuery& q,
     }
     if (node.g) SEGDB_RETURN_IF_ERROR(node.g->Query(q.x0, q.ylo, q.yhi, out));
     cur = node.children[k];
+    if (cur >= 0) {
+      // Hint the child slab's pages before this node's PSTs and G are
+      // searched; staged pages are charged on first Fetch, so I/O counts
+      // stay exact.
+      const Node& next = nodes_[cur];
+      ahead.clear();
+      ahead.push_back(next.meta_page);
+      if (next.is_leaf) {
+        ahead.insert(ahead.end(), next.leaf_pages.begin(),
+                     next.leaf_pages.end());
+      }
+      pool_->Prefetch(ahead);
+    }
   }
   return Status::OK();
 }

@@ -1,11 +1,27 @@
 #include "io/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
 
-
 namespace segdb::io {
+
+namespace {
+
+// Sharding only engages for pools large enough that per-shard LRU is
+// indistinguishable from global LRU in practice; every pool smaller than
+// kMinFramesPerShard keeps one shard and therefore the exact
+// pre-concurrency behaviour (the LRU-model test depends on that).
+constexpr size_t kMaxShards = 16;
+constexpr size_t kMinFramesPerShard = 1024;
+
+size_t PickShardCount(size_t frame_count) {
+  const size_t by_size = frame_count / kMinFramesPerShard;
+  return std::max<size_t>(1, std::min(kMaxShards, by_size));
+}
+
+}  // namespace
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
@@ -30,7 +46,9 @@ const Page& PageRef::page() const {
 
 void PageRef::MarkDirty() {
   SEGDB_DCHECK(valid());
-  pool_->frames_[frame_].dirty = true;
+  // The pin's release-store in Unpin orders this (and any raw page writes)
+  // before a future evictor's acquire-load of the pin count.
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_relaxed);
 }
 
 void PageRef::Release() {
@@ -40,168 +58,303 @@ void PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t frame_count) : disk_(disk) {
+BufferPool::BufferPool(DiskManager* disk, size_t frame_count)
+    : disk_(disk), page_size_(disk->page_size()) {
   SEGDB_DCHECK(frame_count > 0);
-  frames_.reserve(frame_count);
   for (size_t i = 0; i < frame_count; ++i) {
-    frames_.emplace_back(disk_->page_size());
+    frames_.emplace_back(page_size_);
   }
+  shards_ = std::vector<Shard>(PickShardCount(frame_count));
+  // Contiguous frame ranges per shard; the remainder goes to the front
+  // shards so every shard's capacity differs by at most one frame.
+  const size_t per = frame_count / shards_.size();
+  const size_t extra = frame_count % shards_.size();
+  size_t next = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const size_t take = per + (s < extra ? 1 : 0);
+    shards_[s].frames.reserve(take);
+    for (size_t i = 0; i < take; ++i) shards_[s].frames.push_back(next++);
+  }
+  SEGDB_DCHECK(next == frame_count);
 }
 
 void BufferPool::Unpin(size_t frame) {
   Frame& f = frames_[frame];
-  SEGDB_DCHECK(f.pin_count > 0);
-  --f.pin_count;
-  f.lru_tick = ++tick_;
+  // Tick first: after the release-decrement the frame may be evicted and
+  // reused, and this pin must not touch it again.
+  f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+  const int prev = f.pin_count.fetch_sub(1, std::memory_order_release);
+  SEGDB_DCHECK(prev > 0);
 }
 
-Result<size_t> BufferPool::GrabFrame() {
+Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   size_t victim = frames_.size();
   uint64_t best_tick = ~0ULL;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
-    if (f.id == kInvalidPageId) return i;  // free frame
-    if (f.pin_count == 0 && f.lru_tick < best_tick) {
-      best_tick = f.lru_tick;
-      victim = i;
+  for (size_t idx : shard.frames) {
+    Frame& f = frames_[idx];
+    if (f.id == kInvalidPageId) return idx;  // free frame
+    // Acquire pairs with the release-decrement in Unpin: a frame seen
+    // unpinned here is fully released, including its page bytes and dirty
+    // bit. Pins only grow under this shard's mutex, which we hold.
+    if (f.pin_count.load(std::memory_order_acquire) == 0) {
+      const uint64_t tick = f.lru_tick.load(std::memory_order_relaxed);
+      if (tick < best_tick) {
+        best_tick = tick;
+        victim = idx;
+      }
     }
   }
   if (victim == frames_.size()) {
     return Status::ResourceExhausted("buffer pool: all frames pinned");
   }
   Frame& f = frames_[victim];
-  if (f.dirty) {
+  if (f.dirty.load(std::memory_order_relaxed)) {
     SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
-    ++stats_.writebacks;
+    ++shard.stats.writebacks;
   }
-  page_table_.erase(f.id);
+  shard.page_table.erase(f.id);
   f.id = kInvalidPageId;
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.prefetched = false;
   return victim;
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
-  ++stats_.fetches;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.fetches;
+  // Single probe on the hit path: try_emplace either finds the resident
+  // frame or leaves a placeholder we fill (or erase) below.
+  auto [it, inserted] = shard.page_table.try_emplace(id, 0);
+  if (!inserted) {
     Frame& f = frames_[it->second];
-    ++f.pin_count;
-    f.lru_tick = ++tick_;
+    if (f.prefetched) {
+      // First demand fetch of a staged page: charge the miss the paper's
+      // model counts for this page, without a second physical read.
+      f.prefetched = false;
+      ++shard.stats.misses;
+    } else {
+      ++shard.stats.hits;
+    }
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
+    f.lru_tick.store(NextTick(), std::memory_order_relaxed);
     return PageRef(this, it->second, id);
   }
-  ++stats_.misses;
-  Result<size_t> frame = GrabFrame();
-  if (!frame.ok()) return frame.status();
+  ++shard.stats.misses;
+  Result<size_t> frame = GrabFrame(shard);
+  if (!frame.ok()) {
+    shard.page_table.erase(it);
+    return frame.status();
+  }
   Frame& f = frames_[frame.value()];
-  SEGDB_RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  Status read = disk_->ReadPage(id, &f.page);
+  if (!read.ok()) {
+    shard.page_table.erase(it);
+    return read;
+  }
   f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.lru_tick = ++tick_;
-  page_table_[id] = frame.value();
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.prefetched = false;
+  f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+  it->second = frame.value();
   return PageRef(this, frame.value(), id);
 }
 
 Result<PageRef> BufferPool::NewPage() {
   Result<PageId> id = disk_->AllocatePage();
   if (!id.ok()) return id.status();
-  Result<size_t> frame = GrabFrame();
+  Shard& shard = ShardFor(id.value());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Result<size_t> frame = GrabFrame(shard);
   if (!frame.ok()) return frame.status();
   Frame& f = frames_[frame.value()];
   f.page.Zero();
   f.id = id.value();
-  f.pin_count = 1;
-  f.dirty = true;
-  f.lru_tick = ++tick_;
-  page_table_[id.value()] = frame.value();
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(true, std::memory_order_relaxed);
+  f.prefetched = false;
+  f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+  shard.page_table[id.value()] = frame.value();
   return PageRef(this, frame.value(), id.value());
 }
 
 Status BufferPool::FreePage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count > 0) {
-      return Status::FailedPrecondition("FreePage: page is pinned");
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_table.find(id);
+    if (it != shard.page_table.end()) {
+      Frame& f = frames_[it->second];
+      if (f.pin_count.load(std::memory_order_acquire) > 0) {
+        return Status::FailedPrecondition("FreePage: page is pinned");
+      }
+      f.id = kInvalidPageId;
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.prefetched = false;
+      shard.page_table.erase(it);
     }
-    f.id = kInvalidPageId;
-    f.dirty = false;
-    page_table_.erase(it);
   }
   return disk_->FreePage(id);
 }
 
-Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.id != kInvalidPageId && f.dirty) {
-      SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
-      f.dirty = false;
-      ++stats_.writebacks;
+void BufferPool::Prefetch(std::span<const PageId> ids) {
+  disk_->PrefetchPages(ids);
+  for (PageId id : ids) {
+    if (id == kInvalidPageId) continue;
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.page_table.find(id) != shard.page_table.end()) continue;
+    // Free frames only: read-ahead must never displace demand-resident
+    // pages, or it would perturb the measured hit/miss pattern.
+    size_t free_frame = frames_.size();
+    for (size_t idx : shard.frames) {
+      if (frames_[idx].id == kInvalidPageId) {
+        free_frame = idx;
+        break;
+      }
     }
+    if (free_frame == frames_.size()) continue;
+    Frame& f = frames_[free_frame];
+    // PeekPage copies the bytes without counting a demand read; the
+    // charge is taken by the first Fetch of the staged page.
+    if (!disk_->PeekPage(id, &f.page).ok()) continue;
+    f.id = id;
+    f.pin_count.store(0, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.prefetched = true;
+    f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+    shard.page_table[id] = free_frame;
+    ++shard.stats.prefetches;
   }
-  return Status::OK();
 }
 
-Status BufferPool::CheckInvariants() const {
-  size_t resident = 0;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
-    if (f.pin_count < 0) {
-      return Status::Corruption("frame with negative pin count");
-    }
-    if (f.lru_tick > tick_) {
-      return Status::Corruption("frame LRU tick ahead of the pool clock");
-    }
-    if (f.id == kInvalidPageId) {
-      if (f.pin_count != 0) {
-        return Status::Corruption("empty frame still pinned");
-      }
-      if (f.dirty) return Status::Corruption("empty frame marked dirty");
-      continue;
-    }
-    ++resident;
-    auto it = page_table_.find(f.id);
-    if (it == page_table_.end() || it->second != i) {
-      return Status::Corruption("resident frame missing from the page table");
-    }
-    if (!f.dirty) {
-      // A clean frame must agree with disk byte-for-byte; a mismatch means
-      // a write skipped MarkDirty and would be lost on eviction.
-      Page on_disk(disk_->page_size());
-      SEGDB_RETURN_IF_ERROR(disk_->PeekPage(f.id, &on_disk));
-      if (std::memcmp(f.page.data(), on_disk.data(), f.page.size()) != 0) {
-        return Status::Corruption("clean frame diverges from disk contents");
+Status BufferPool::FlushAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t idx : shard.frames) {
+      Frame& f = frames_[idx];
+      if (f.id != kInvalidPageId && f.dirty.load(std::memory_order_relaxed)) {
+        SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+        f.dirty.store(false, std::memory_order_relaxed);
+        ++shard.stats.writebacks;
       }
     }
-  }
-  if (page_table_.size() != resident) {
-    return Status::Corruption("page table and resident frames disagree");
-  }
-  for (const auto& [id, idx] : page_table_) {
-    if (idx >= frames_.size() || frames_[idx].id != id) {
-      return Status::Corruption("page-table entry points at a wrong frame");
-    }
-  }
-  if (stats_.hits + stats_.misses != stats_.fetches) {
-    return Status::Corruption("fetch/hit/miss accounting mismatch");
   }
   return Status::OK();
 }
 
 Status BufferPool::EvictAll() {
-  for (Frame& f : frames_) {
-    if (f.id == kInvalidPageId) continue;
-    if (f.pin_count > 0) {
-      return Status::FailedPrecondition("EvictAll: page is pinned");
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t idx : shard.frames) {
+      Frame& f = frames_[idx];
+      if (f.id == kInvalidPageId) continue;
+      if (f.pin_count.load(std::memory_order_acquire) > 0) {
+        return Status::FailedPrecondition("EvictAll: page is pinned");
+      }
+      if (f.dirty.load(std::memory_order_relaxed)) {
+        SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
+        ++shard.stats.writebacks;
+      }
+      shard.page_table.erase(f.id);
+      f.id = kInvalidPageId;
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.prefetched = false;
     }
-    if (f.dirty) {
-      SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
-      ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.fetches += shard.stats.fetches;
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.writebacks += shard.stats.writebacks;
+    total.prefetches += shard.stats.prefetches;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = BufferPoolStats();
+  }
+}
+
+Status BufferPool::CheckInvariants() const {
+  const uint64_t tick_now = tick_.load(std::memory_order_relaxed);
+  std::vector<bool> owned(frames_.size(), false);
+  size_t resident = 0;
+  size_t table_total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t idx : shard.frames) {
+      if (idx >= frames_.size() || owned[idx]) {
+        return Status::Corruption("frame owned by no or several shards");
+      }
+      owned[idx] = true;
+      const Frame& f = frames_[idx];
+      if (f.pin_count.load(std::memory_order_relaxed) < 0) {
+        return Status::Corruption("frame with negative pin count");
+      }
+      if (f.lru_tick.load(std::memory_order_relaxed) > tick_now) {
+        return Status::Corruption("frame LRU tick ahead of the pool clock");
+      }
+      if (f.id == kInvalidPageId) {
+        if (f.pin_count.load(std::memory_order_relaxed) != 0) {
+          return Status::Corruption("empty frame still pinned");
+        }
+        if (f.dirty.load(std::memory_order_relaxed)) {
+          return Status::Corruption("empty frame marked dirty");
+        }
+        continue;
+      }
+      ++resident;
+      if (f.id % shards_.size() != s) {
+        return Status::Corruption("page resident in the wrong shard");
+      }
+      auto it = shard.page_table.find(f.id);
+      if (it == shard.page_table.end() || it->second != idx) {
+        return Status::Corruption("resident frame missing from the page table");
+      }
+      if (f.prefetched &&
+          f.pin_count.load(std::memory_order_relaxed) != 0) {
+        return Status::Corruption("staged (prefetched) frame is pinned");
+      }
+      if (!f.dirty.load(std::memory_order_relaxed)) {
+        // A clean frame must agree with disk byte-for-byte; a mismatch
+        // means a write skipped MarkDirty and would be lost on eviction.
+        Page on_disk(page_size_);
+        SEGDB_RETURN_IF_ERROR(disk_->PeekPage(f.id, &on_disk));
+        if (std::memcmp(f.page.data(), on_disk.data(), f.page.size()) != 0) {
+          return Status::Corruption("clean frame diverges from disk contents");
+        }
+      }
     }
-    page_table_.erase(f.id);
-    f.id = kInvalidPageId;
-    f.dirty = false;
+    table_total += shard.page_table.size();
+    for (const auto& [id, idx] : shard.page_table) {
+      if (idx >= frames_.size() || frames_[idx].id != id) {
+        return Status::Corruption("page-table entry points at a wrong frame");
+      }
+      if (id % shards_.size() != s) {
+        return Status::Corruption("page-table entry in the wrong shard");
+      }
+    }
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!owned[i]) return Status::Corruption("frame owned by no shard");
+  }
+  if (table_total != resident) {
+    return Status::Corruption("page table and resident frames disagree");
+  }
+  const BufferPoolStats s = stats();
+  if (s.hits + s.misses != s.fetches) {
+    return Status::Corruption("fetch/hit/miss accounting mismatch");
   }
   return Status::OK();
 }

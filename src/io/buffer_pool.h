@@ -5,10 +5,27 @@
 // Measurement protocol used by tests and benchmarks:
 //   build structure -> pool.FlushAll() -> pool.EvictAll() -> pool.ResetStats()
 //   -> run query -> pool.stats().misses  == cold-cache query I/Os.
+//
+// Concurrency model (DESIGN.md section 10). The read path — Fetch of
+// already-written pages, PageRef::page() const access, Release, Prefetch —
+// is safe from any number of threads. The page table is sharded (pages hash
+// to shards by id; each shard owns a disjoint set of frames and its own
+// mutex), pin counts and LRU ticks are atomics, and eviction scans only the
+// requesting shard's frames, so readers on different shards never
+// serialize. Everything that mutates pages or the page set — NewPage,
+// FreePage, MarkDirty plus writes through page(), FlushAll, EvictAll,
+// ResetStats, CheckInvariants — requires external synchronization: a single
+// writer with no concurrent readers (quiescence). Stats are kept per shard
+// and aggregated by stats(), so the miss counter still equals the paper's
+// I/O count.
 #ifndef SEGDB_IO_BUFFER_POOL_H_
 #define SEGDB_IO_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,13 +38,18 @@ namespace segdb::io {
 class BufferPool;
 
 // RAII pin on a buffered page. While a PageRef is live the frame cannot be
-// evicted. Move-only; releases the pin on destruction.
+// evicted. Move-only; releases the pin on destruction. Self-move-assignment
+// is a no-op; a moved-from PageRef is !valid() and may be reassigned or
+// Release()d freely.
 class PageRef {
  public:
   PageRef() = default;
   PageRef(const PageRef&) = delete;
   PageRef& operator=(const PageRef&) = delete;
-  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_), page_id_(other.page_id_) {
+    other.pool_ = nullptr;
+  }
   PageRef& operator=(PageRef&& other) noexcept;
   ~PageRef() { Release(); }
 
@@ -56,45 +78,59 @@ class PageRef {
 struct BufferPoolStats {
   uint64_t fetches = 0;     // logical page requests
   uint64_t hits = 0;        // served from a resident frame
-  uint64_t misses = 0;      // required a physical read
+  uint64_t misses = 0;      // a demand read the paper's model charges
   uint64_t writebacks = 0;  // dirty evictions / flushes
+  uint64_t prefetches = 0;  // pages staged by Prefetch (uncharged reads)
 };
 
 class BufferPool {
  public:
   // `frame_count` bounds resident pages; fetching past it evicts LRU
-  // unpinned frames.
+  // unpinned frames. Small pools (< 2048 frames, i.e. every exactness
+  // test) get a single shard and behave exactly like the pre-concurrency
+  // pool, global LRU included.
   BufferPool(DiskManager* disk, size_t frame_count);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   DiskManager* disk() { return disk_; }
-  uint32_t page_size() const { return disk_->page_size(); }
+  uint32_t page_size() const { return page_size_; }
   size_t frame_count() const { return frames_.size(); }
+  size_t shard_count() const { return shards_.size(); }
 
-  // Pins the page, reading it from disk on a miss.
+  // Pins the page, reading it from disk on a miss. Thread-safe.
   Result<PageRef> Fetch(PageId id);
 
-  // Allocates a fresh zeroed page on disk and pins it (dirty).
+  // Allocates a fresh zeroed page on disk and pins it (dirty). Writer path.
   Result<PageRef> NewPage();
 
-  // Frees a disk page. The page must not be pinned.
+  // Frees a disk page. The page must not be pinned. Writer path.
   Status FreePage(PageId id);
 
-  // Writes back all dirty frames (pages stay resident).
+  // Read-ahead hint: stages absent pages into *free* frames of their
+  // shards, unpinned and uncharged — the first demand Fetch of a staged
+  // page still counts one miss (the I/O the paper's model charges) but
+  // needs no physical read. Never evicts; pages that don't fit or fail to
+  // read are silently skipped. Thread-safe.
+  void Prefetch(std::span<const PageId> ids);
+
+  // Writes back all dirty frames (pages stay resident). Quiescent only.
   Status FlushAll();
 
   // Writes back and drops every unpinned frame — simulates a cold cache.
-  // Fails if any page is still pinned.
+  // Fails if any page is still pinned. Quiescent only.
   Status EvictAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  // Aggregates the per-shard counters. The sums reproduce exactly the
+  // single-threaded counters for any serial trace.
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   // Audits the pool: page-table/frame agreement, pin and LRU bookkeeping,
   // stats consistency, and clean resident frames matching their on-disk
   // contents (via DiskManager::PeekPage, so no I/O is counted).
+  // Quiescent only.
   Status CheckInvariants() const;
 
  private:
@@ -104,20 +140,41 @@ class BufferPool {
     explicit Frame(uint32_t page_size) : page(page_size) {}
     Page page;
     PageId id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    uint64_t lru_tick = 0;
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
+    // Resident via Prefetch but not yet demand-fetched: the first Fetch
+    // charges the miss and clears this. Guarded by the shard mutex.
+    bool prefetched = false;
+    std::atomic<uint64_t> lru_tick{0};
   };
 
+  struct Shard {
+    mutable std::mutex mu;  // stats() aggregates under it from const context
+    // page id -> global frame index; all mapped frames belong to `frames`.
+    std::unordered_map<PageId, size_t> page_table;
+    std::vector<size_t> frames;  // global frame indices owned by the shard
+    BufferPoolStats stats;       // guarded by mu
+  };
+
+  Shard& ShardFor(PageId id) { return shards_[id % shards_.size()]; }
+  uint64_t NextTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   void Unpin(size_t frame);
-  // Finds a free or evictable frame; writes back the victim if dirty.
-  Result<size_t> GrabFrame();
+  // Finds a free or evictable frame in `shard` (mutex held); writes back
+  // the victim if dirty.
+  Result<size_t> GrabFrame(Shard& shard);
+  // Installs page `id` into `frame` after a physical read (mutex held).
+  void InstallFrame(Shard& shard, size_t frame, PageId id, bool pinned);
 
   DiskManager* disk_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  uint64_t tick_ = 0;
-  BufferPoolStats stats_;
+  const uint32_t page_size_;  // hoisted off the disk for the fetch path
+  // deque: Frame holds atomics (immovable), and element addresses must be
+  // stable while other threads touch them.
+  std::deque<Frame> frames_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> tick_{0};
 };
 
 }  // namespace segdb::io

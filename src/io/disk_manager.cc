@@ -27,7 +27,7 @@ Result<PageId> DiskManager::AllocatePage() {
     std::memset(store_.back().get(), 0, page_size_);
     live_.push_back(true);
   }
-  ++stats_.allocations;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   ++pages_in_use_;
   if (pages_in_use_ > high_water_) high_water_ = pages_in_use_;
   return id;
@@ -39,7 +39,7 @@ Status DiskManager::FreePage(PageId id) {
   }
   live_[id] = false;
   free_list_.push_back(id);
-  ++stats_.frees;
+  frees_.fetch_add(1, std::memory_order_relaxed);
   --pages_in_use_;
   return Status::OK();
 }
@@ -52,7 +52,7 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
     return Status::InvalidArgument("ReadPage: page buffer size mismatch");
   }
   std::memcpy(out->data(), store_[id].get(), page_size_);
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -75,8 +75,34 @@ Status DiskManager::WritePage(PageId id, const Page& page) {
     return Status::InvalidArgument("WritePage: page buffer size mismatch");
   }
   std::memcpy(store_[id].get(), page.data(), page_size_);
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void DiskManager::PrefetchPages(std::span<const PageId> ids) {
+  uint64_t hinted = 0;
+  for (PageId id : ids) {
+    if (IsLive(id)) ++hinted;
+  }
+  if (hinted != 0) prefetch_hints_.fetch_add(hinted, std::memory_order_relaxed);
+}
+
+DiskStats DiskManager::stats() const {
+  DiskStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.prefetch_hints = prefetch_hints_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DiskManager::ResetStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  allocations_.store(0, std::memory_order_relaxed);
+  frees_.store(0, std::memory_order_relaxed);
+  prefetch_hints_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace segdb::io

@@ -3,11 +3,21 @@
 // exactly that abstraction: an addressable array of fixed-size pages with
 // read/write/allocate/free and per-operation counters. Backing memory is
 // RAM, which is irrelevant to the measured quantity (page transfers).
+//
+// Concurrency: the read path — ReadPage, PeekPage, PrefetchPages, the
+// stats snapshot — is safe from any number of threads (counters are
+// atomics; the page array is only ever read). Everything that mutates the
+// page set or page contents — AllocatePage, FreePage, WritePage,
+// ResetStats — requires external synchronization with no concurrent
+// readers; the BufferPool enforces this by funnelling writes through its
+// quiescent writer path.
 #ifndef SEGDB_IO_DISK_MANAGER_H_
 #define SEGDB_IO_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "io/page.h"
@@ -20,6 +30,7 @@ struct DiskStats {
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t frees = 0;
+  uint64_t prefetch_hints = 0;  // pages named in PrefetchPages calls
 };
 
 class DiskManager {
@@ -45,18 +56,24 @@ class DiskManager {
 
   // Like ReadPage but counts nothing — the buffer pool's audit compares
   // resident frames against disk without perturbing the I/O measurement
-  // protocol.
+  // protocol, and Prefetch stages pages whose read is charged later.
   Status PeekPage(PageId id, Page* out) const;
 
   // Stores the page contents. Counts one physical write.
   Status WritePage(PageId id, const Page& page);
 
+  // Read-ahead hint: a real device would queue the block reads here; the
+  // RAM-backed simulation only counts the hinted pages (invalid or dead
+  // ids are ignored). Thread-safe.
+  void PrefetchPages(std::span<const PageId> ids);
+
   // Number of pages currently allocated (space-usage experiments).
   uint64_t pages_in_use() const { return pages_in_use_; }
   uint64_t high_water_pages() const { return high_water_; }
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  // Snapshot of the atomic counters.
+  DiskStats stats() const;
+  void ResetStats();
 
  private:
   bool IsLive(PageId id) const;
@@ -67,7 +84,11 @@ class DiskManager {
   std::vector<PageId> free_list_;
   uint64_t pages_in_use_ = 0;
   uint64_t high_water_ = 0;
-  DiskStats stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint64_t> prefetch_hints_{0};
 };
 
 }  // namespace segdb::io

@@ -1,0 +1,79 @@
+// A fixed-size worker pool for CPU-parallel fan-out (the batch query
+// engine). Deliberately minimal: FIFO task queue, no futures, no work
+// stealing — callers that need completion tracking count tasks themselves
+// (see core::QueryEngine). Submitted tasks must not throw.
+#ifndef SEGDB_UTIL_THREAD_POOL_H_
+#define SEGDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace segdb::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads) {
+    SEGDB_CHECK(threads > 0) << "ThreadPool needs at least one worker";
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs every queued task, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SEGDB_DCHECK(!stop_) << "Submit after shutdown";
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace segdb::util
+
+#endif  // SEGDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,307 @@
+// Concurrent read-path tests: Fetch/Release storms against the sharded
+// buffer pool (hot/cold mixes, eviction pressure, prefetch interleaving)
+// and parallel QueryEngine batches against both two-level structures with
+// oracle-checked results. Run under the `tsan` CMake preset to verify the
+// synchronization, and in every build to verify the semantics:
+// CheckInvariants() must hold once quiesced, and cold-cache I/O counts
+// must not depend on the shard count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "geom/predicates.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb {
+namespace {
+
+using core::VerticalSegmentQuery;
+using geom::Segment;
+
+uint64_t Stamp(io::PageId id) { return 0x9e3779b97f4a7c15ULL * (id + 1); }
+
+// A disk full of pages whose contents are a function of their id, flushed
+// and quiesced so storms are pure read-path traffic.
+std::vector<io::PageId> FillPages(io::BufferPool* pool, size_t count) {
+  std::vector<io::PageId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto ref = pool->NewPage();
+    EXPECT_TRUE(ref.ok());
+    ref.value().page().WriteAt<uint64_t>(0, Stamp(ref.value().page_id()));
+    ref.value().MarkDirty();
+    ids.push_back(ref.value().page_id());
+  }
+  EXPECT_TRUE(pool->FlushAll().ok());
+  return ids;
+}
+
+void FetchStorm(io::BufferPool* pool, const std::vector<io::PageId>& ids,
+                size_t threads, size_t fetches_per_thread) {
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (size_t i = 0; i < fetches_per_thread; ++i) {
+        // Mixed hot/cold: mostly a small hot set, sometimes any page.
+        const io::PageId id = rng.Bernoulli(0.7)
+                                  ? ids[rng.Uniform(32)]
+                                  : ids[rng.Uniform(ids.size())];
+        auto ref = pool->Fetch(id);
+        if (!ref.ok()) {
+          // All-frames-pinned is legal under pressure; never silent decay.
+          if (ref.status().code() != StatusCode::kResourceExhausted) ++bad;
+          continue;
+        }
+        if (ref.value().page().ReadAt<uint64_t>(0) != Stamp(id)) ++bad;
+        // Occasionally hold a second overlapping pin on another page.
+        if (i % 7 == 0) {
+          const io::PageId other = ids[rng.Uniform(ids.size())];
+          auto second = pool->Fetch(other);
+          if (second.ok() &&
+              second.value().page().ReadAt<uint64_t>(0) != Stamp(other)) {
+            ++bad;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ConcurrencyTest, FetchStormShardedPool) {
+  io::DiskManager disk(256);
+  io::BufferPool pool(&disk, 4096);  // 4 shards
+  ASSERT_GT(pool.shard_count(), 1u);
+  auto ids = FillPages(&pool, 1024);
+  FetchStorm(&pool, ids, 8, 2000);
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.fetches);
+  EXPECT_GE(stats.fetches, 8u * 2000u);
+}
+
+TEST(ConcurrencyTest, FetchStormUnderEvictionPressure) {
+  io::DiskManager disk(256);
+  io::BufferPool pool(&disk, 128);  // 1 shard, working set 8x the frames
+  ASSERT_EQ(pool.shard_count(), 1u);
+  auto ids = FillPages(&pool, 1024);
+  FetchStorm(&pool, ids, 4, 2000);
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(ConcurrencyTest, CrossShardEvictionStorm) {
+  io::DiskManager disk(256);
+  io::BufferPool pool(&disk, 2048);  // 2 shards, evicting on both
+  ASSERT_EQ(pool.shard_count(), 2u);
+  auto ids = FillPages(&pool, 4096);
+  FetchStorm(&pool, ids, 6, 2000);
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(ConcurrencyTest, ConcurrentPrefetchAndFetch) {
+  io::DiskManager disk(256);
+  io::BufferPool pool(&disk, 4096);
+  auto ids = FillPages(&pool, 2048);
+  ASSERT_TRUE(pool.EvictAll().ok());
+  pool.ResetStats();
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < 6; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      std::vector<io::PageId> span;
+      for (size_t i = 0; i < 1500; ++i) {
+        if (t % 2 == 0) {
+          // Prefetcher: stage a small random run of pages.
+          span.clear();
+          const size_t base = rng.Uniform(ids.size() - 4);
+          for (size_t k = 0; k < 4; ++k) span.push_back(ids[base + k]);
+          pool.Prefetch(span);
+        } else {
+          const io::PageId id = ids[rng.Uniform(ids.size())];
+          auto ref = pool.Fetch(id);
+          if (!ref.ok() ||
+              ref.value().page().ReadAt<uint64_t>(0) != Stamp(id)) {
+            ++bad;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(bad.load(), 0u);
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.fetches);
+}
+
+TEST(ConcurrencyTest, ColdIoCountsIndependentOfShardCount) {
+  // The acceptance bar for the sharded stats: cold-cache per-query miss
+  // counts must equal the single-shard (pre-concurrency) counters.
+  auto run = [](size_t frames, size_t* shards, std::vector<uint64_t>* ios) {
+    io::DiskManager disk(1024);
+    io::BufferPool pool(&disk, frames);
+    *shards = pool.shard_count();
+    Rng rng(91);
+    auto segs = workload::GenMapLayer(rng, 1500, 120000);
+    core::TwoLevelIntervalIndex index(&pool);
+    ASSERT_TRUE(index.BulkLoad(segs).ok());
+    ASSERT_TRUE(pool.FlushAll().ok());
+    auto box = workload::ComputeBoundingBox(segs);
+    Rng qrng(7);
+    auto queries = workload::GenVsQueries(qrng, 25, box, 0.01);
+    for (const auto& q : queries) {
+      ASSERT_TRUE(pool.EvictAll().ok());
+      pool.ResetStats();
+      std::vector<Segment> out;
+      ASSERT_TRUE(
+          index.Query(VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out).ok());
+      ios->push_back(pool.stats().misses);
+    }
+  };
+  size_t shards_small = 0, shards_large = 0;
+  std::vector<uint64_t> ios_small, ios_large;
+  run(768, &shards_small, &ios_small);    // single shard
+  run(8192, &shards_large, &ios_large);   // sharded
+  EXPECT_EQ(shards_small, 1u);
+  EXPECT_GT(shards_large, 1u);
+  EXPECT_EQ(ios_small, ios_large);
+}
+
+std::vector<uint64_t> SortedIds(const std::vector<Segment>& segs) {
+  std::vector<uint64_t> ids;
+  for (const Segment& s : segs) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+template <typename Index>
+void RunEngineAgainstOracle(uint64_t seed) {
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 1 << 13);
+  Rng rng(seed);
+  auto segs = workload::GenMapLayer(rng, 2000, 100000);
+  Index index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+
+  auto box = workload::ComputeBoundingBox(segs);
+  Rng qrng(seed + 1);
+  auto vs = workload::GenVsQueries(qrng, 120, box, 0.02);
+  std::vector<VerticalSegmentQuery> queries;
+  for (const auto& q : vs) queries.push_back({q.x0, q.ylo, q.yhi});
+
+  // Serial reference, the plain Query loop.
+  std::vector<std::vector<Segment>> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(index.Query(queries[i], &serial[i]).ok());
+  }
+
+  // Single-thread engine: bit-identical to the loop.
+  core::QueryEngine one({.threads = 1});
+  std::vector<std::vector<Segment>> single;
+  ASSERT_TRUE(one.QueryBatch(index, queries, &single).ok());
+  ASSERT_EQ(single.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(single[i], serial[i]) << "query " << i;
+  }
+
+  // Parallel engine: same per-query answers, order preserved.
+  core::QueryEngine four({.threads = 4});
+  std::vector<std::vector<Segment>> parallel;
+  ASSERT_TRUE(four.QueryBatch(index, queries, &parallel).ok());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "query " << i;
+  }
+
+  // And all of it against the brute-force oracle.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<uint64_t> expect;
+    for (const Segment& s : segs) {
+      if (geom::IntersectsVerticalSegment(s, queries[i].x0, queries[i].ylo,
+                                          queries[i].yhi)) {
+        expect.push_back(s.id);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(SortedIds(parallel[i]), expect) << "query " << i;
+  }
+
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(ConcurrencyTest, QueryEngineSolutionAMatchesOracle) {
+  RunEngineAgainstOracle<core::TwoLevelBinaryIndex>(301);
+}
+
+TEST(ConcurrencyTest, QueryEngineSolutionBMatchesOracle) {
+  RunEngineAgainstOracle<core::TwoLevelIntervalIndex>(302);
+}
+
+TEST(ConcurrencyTest, QueryEnginePropagatesFirstError) {
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 1 << 10);
+  Rng rng(303);
+  auto segs = workload::GenMapLayer(rng, 500, 50000);
+  core::TwoLevelBinaryIndex index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  std::vector<VerticalSegmentQuery> queries(64,
+                                            VerticalSegmentQuery{0, -10, 10});
+  queries[5] = VerticalSegmentQuery{0, 10, -10};  // ylo > yhi
+  core::QueryEngine engine({.threads = 4});
+  std::vector<std::vector<Segment>> results;
+  const Status status = engine.QueryBatch(index, queries, &results);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConcurrencyTest, QueryEngineEmptyBatch) {
+  io::DiskManager disk(1024);
+  io::BufferPool pool(&disk, 64);
+  core::TwoLevelBinaryIndex index(&pool);
+  core::QueryEngine engine({.threads = 4});
+  std::vector<std::vector<Segment>> results{{Segment{}}};
+  ASSERT_TRUE(engine.QueryBatch(index, {}, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ConcurrencyTest, ThreadPoolRunsEverySubmittedTask) {
+  util::ThreadPool tp(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    tp.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  // Destructor drains the queue before joining.
+  {
+    util::ThreadPool drain(2);
+    for (int i = 0; i < 10; ++i) drain.Submit([&sum] { sum.fetch_add(1000); });
+  }
+  // Give the first pool's tasks a bounded wait via destruction too.
+  {
+    util::ThreadPool sync(1);
+    sync.Submit([] {});
+  }
+  while (sum.load() < 5050 + 10000) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 5050 + 10000);
+}
+
+}  // namespace
+}  // namespace segdb

@@ -236,6 +236,56 @@ TEST_F(BufferPoolTest, MoveTransfersPin) {
   EXPECT_TRUE(pool_.EvictAll().ok());
 }
 
+TEST_F(BufferPoolTest, MoveSemanticsRegressions) {
+  // Self-move must leave the ref either valid or harmlessly empty — never
+  // a dangling pin. Go through an alias so -Wself-move stays quiet.
+  auto ref = pool_.NewPage();
+  ASSERT_TRUE(ref.ok());
+  const PageId id = ref.value().page_id();
+  PageRef pin = std::move(ref.value());
+  PageRef& alias = pin;
+  pin = std::move(alias);
+  if (pin.valid()) {
+    EXPECT_EQ(pin.page_id(), id);
+    pin.Release();
+  }
+  // Double-Release is a no-op on the second call.
+  auto again = pool_.Fetch(id);
+  ASSERT_TRUE(again.ok());
+  again.value().Release();
+  again.value().Release();
+  EXPECT_FALSE(again.value().valid());
+  // A moved-from ref is empty and safely reusable as an assignment target.
+  auto a = pool_.Fetch(id);
+  ASSERT_TRUE(a.ok());
+  PageRef dst = std::move(a.value());
+  EXPECT_FALSE(a.value().valid());
+  a.value().Release();  // harmless on moved-from
+  dst.Release();
+  auto b = pool_.Fetch(id);
+  ASSERT_TRUE(b.ok());
+  a.value() = std::move(b.value());  // reuse the moved-from slot
+  EXPECT_TRUE(a.value().valid());
+  EXPECT_EQ(a.value().page_id(), id);
+  a.value().Release();
+  // After all of this, every pin must be balanced.
+  EXPECT_TRUE(pool_.EvictAll().ok());
+  ASSERT_TRUE(pool_.CheckInvariants().ok());
+}
+
+TEST_F(BufferPoolTest, MoveAssignReleasesOldPin) {
+  auto a = pool_.NewPage();
+  auto b = pool_.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const PageId a_id = a.value().page_id();
+  a.value() = std::move(b.value());  // must unpin a_id
+  EXPECT_NE(a.value().page_id(), a_id);
+  EXPECT_TRUE(pool_.FreePage(a_id).ok());  // unpinned -> freeable
+  a.value().Release();
+  EXPECT_TRUE(pool_.EvictAll().ok());
+}
+
 TEST_F(BufferPoolTest, ColdCacheMeasurementProtocol) {
   // The protocol every benchmark uses: build, flush, evict, reset, measure.
   std::vector<PageId> ids;

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the tracked benchmark set and writes machine-readable BENCH_*.json
+# next to the sources, so the perf trajectory is versioned with the code:
+#
+#   tools/bench.sh [build-dir]        # default build dir: ./build
+#
+# Produces:
+#   BENCH_micro.json  — google-benchmark CPU microbenchmarks
+#   BENCH_e3.json     — Solution A: cold I/O counts + parallel throughput
+#   BENCH_e4.json     — Solution B: cold I/O counts + parallel throughput
+#
+# SEGDB_BENCH_SCALE is honored (e.g. SEGDB_BENCH_SCALE=0.1 for smoke runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+for bin in bench_micro bench_e3_solution_a bench_e4_solution_b; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "error: $BUILD/bench/$bin not built (cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+done
+
+"$BUILD/bench/bench_micro" \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+"$BUILD/bench/bench_e3_solution_a" --json BENCH_e3.json
+"$BUILD/bench/bench_e4_solution_b" --json BENCH_e4.json
+
+echo "wrote BENCH_micro.json BENCH_e3.json BENCH_e4.json"
