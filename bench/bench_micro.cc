@@ -6,11 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/two_level_binary_index.h"
 #include "core/two_level_interval_index.h"
+#include "geom/filter_kernel.h"
 #include "geom/predicates.h"
+#include "io/columnar_page_view.h"
+#include "io/page.h"
 #include "geom/sweep.h"
 #include "io/buffer_pool.h"
 #include "io/disk_manager.h"
@@ -167,7 +172,141 @@ void BM_IntervalStab(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalStab);
 
+// --- scan_kernel: in-page filtering, rows vs columnar vs SIMD ------------
+// The tentpole comparison: the same VS-intersection filter over the same
+// records, as (a) a row-major page scan through the exact __int128
+// predicate (the pre-columnar hot loop), (b) the branchless scalar kernel
+// over columnar strips, and (c) the runtime-dispatched SIMD kernel.
+// items_per_second == segments filtered per second.
+
+struct ScanWorkload {
+  explicit ScanWorkload(uint32_t n)
+      : rows(n * static_cast<uint32_t>(sizeof(geom::Segment))),
+        cols(n * static_cast<uint32_t>(sizeof(geom::Segment))) {
+    Rng rng(11);
+    segs = workload::GenMapLayer(rng, n, 1 << 20);
+    rows.WriteArray<geom::Segment>(0, segs.data(), n);
+    io::ColumnarPageView view(&cols, 0, n);
+    view.WriteRange(0, segs.data(), n);
+    Rng qrng(12);
+    queries = workload::GenVsQueries(
+        qrng, 64, workload::ComputeBoundingBox(segs), 0.02);
+  }
+
+  std::vector<geom::Segment> segs;
+  io::Page rows;
+  io::Page cols;
+  std::vector<workload::VsQuery> queries;
+};
+
+void BM_ScanKernelRows(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const ScanWorkload w(n);
+  std::vector<geom::Segment> out;
+  size_t qi = 0;
+  for (auto _ : state) {
+    out.clear();
+    const auto& q = w.queries[qi];
+    for (uint32_t i = 0; i < n; ++i) {
+      const geom::Segment s = w.rows.ReadAt<geom::Segment>(
+          i * static_cast<uint32_t>(sizeof(geom::Segment)));
+      if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
+        out.push_back(s);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+    qi = (qi + 1) % w.queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScanKernelRows)->Arg(1 << 10)->Arg(1 << 14);
+
+void ScanKernelColumnar(benchmark::State& state,
+                        const geom::FilterKernel& kernel) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const ScanWorkload w(n);
+  const io::ConstColumnarPageView view(w.cols, 0, n);
+  const geom::SegmentStrips strips = view.strips();
+  geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+  std::vector<geom::Segment> out;
+  size_t qi = 0;
+  for (auto _ : state) {
+    out.clear();
+    const auto& q = w.queries[qi];
+    uint32_t* idx = scratch.ReserveIndices(n);
+    const uint32_t hits =
+        kernel.filter_vs(strips, n, q.x0, q.ylo, q.yhi, idx);
+    view.AppendMatches(idx, hits, &out);
+    benchmark::DoNotOptimize(out.data());
+    qi = (qi + 1) % w.queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(kernel.name);
+}
+
+void BM_ScanKernelColumnar(benchmark::State& state) {
+  ScanKernelColumnar(state, geom::ScalarFilterKernel());
+}
+BENCHMARK(BM_ScanKernelColumnar)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ScanKernelSimd(benchmark::State& state) {
+  if (geom::SimdFilterKernel() == nullptr) {
+    state.SkipWithError("SIMD kernel not compiled in or not supported");
+    return;
+  }
+  ScanKernelColumnar(state, *geom::SimdFilterKernel());
+}
+BENCHMARK(BM_ScanKernelSimd)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ScanKernelStabColumnar(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const ScanWorkload w(n);
+  const io::ConstColumnarPageView view(w.cols, 0, n);
+  const geom::SegmentStrips strips = view.strips();
+  geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& q = w.queries[qi];
+    uint32_t* idx = scratch.ReserveIndices(n);
+    benchmark::DoNotOptimize(
+        geom::ActiveFilterKernel().filter_stab(strips, n, q.x0, idx));
+    qi = (qi + 1) % w.queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(geom::ActiveFilterKernel().name);
+}
+BENCHMARK(BM_ScanKernelStabColumnar)->Arg(1 << 14);
+
 }  // namespace
 }  // namespace segdb
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): adds a --repeat N convenience
+// flag (mapped onto --benchmark_repetitions=N) for quick variance checks,
+// e.g. `bench_micro --repeat 5 --benchmark_filter=ScanKernel`.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeat" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_repetitions=") +
+                        argv[++i]);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      storage.push_back("--benchmark_repetitions=" +
+                        arg.substr(std::strlen("--repeat=")));
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

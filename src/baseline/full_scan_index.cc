@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "geom/filter_kernel.h"
 #include "geom/predicates.h"
+#include "io/columnar_page_view.h"
 
 namespace segdb::baseline {
 
@@ -33,7 +35,10 @@ Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
-    p.WriteArray<geom::Segment>(kHeader, segments.data() + i, take);
+    // Columnar strips at the fixed page capacity: Insert/Erase mutate
+    // counts in place, so the stride must not depend on the fill level.
+    io::ColumnarPageView(&p, kHeader, PerPage())
+        .WriteRange(0, segments.data() + i, take);
     ref.value().MarkDirty();
     pages_.push_back(ref.value().page_id());
     i += take;
@@ -49,8 +54,7 @@ Status FullScanIndex::Insert(const geom::Segment& segment) {
     io::Page& p = ref.value().page();
     const uint32_t count = p.ReadAt<uint32_t>(0);
     if (count < PerPage()) {
-      p.WriteAt<geom::Segment>(kHeader + count * sizeof(geom::Segment),
-                               segment);
+      io::ColumnarPageView(&p, kHeader, PerPage()).Set(count, segment);
       p.WriteAt<uint32_t>(0, count + 1);
       ref.value().MarkDirty();
       ++size_;
@@ -61,7 +65,7 @@ Status FullScanIndex::Insert(const geom::Segment& segment) {
   if (!ref.ok()) return ref.status();
   io::Page& p = ref.value().page();
   p.WriteAt<uint32_t>(0, 1);
-  p.WriteAt<geom::Segment>(kHeader, segment);
+  io::ColumnarPageView(&p, kHeader, PerPage()).Set(0, segment);
   ref.value().MarkDirty();
   pages_.push_back(ref.value().page_id());
   ++size_;
@@ -74,16 +78,13 @@ Status FullScanIndex::Erase(const geom::Segment& segment) {
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     const uint32_t count = p.ReadAt<uint32_t>(0);
+    io::ColumnarPageView view(&p, kHeader, PerPage());
     for (uint32_t i = 0; i < count; ++i) {
-      const geom::Segment s =
-          p.ReadAt<geom::Segment>(kHeader + i * sizeof(geom::Segment));
+      const geom::Segment s = view.Get(i);
       if (s == segment) {
         // Shift the tail left by one slot (pages may underfill).
         for (uint32_t k = i + 1; k < count; ++k) {
-          const geom::Segment t =
-              p.ReadAt<geom::Segment>(kHeader + k * sizeof(geom::Segment));
-          p.WriteAt<geom::Segment>(kHeader + (k - 1) * sizeof(geom::Segment),
-                                   t);
+          view.Set(k - 1, view.Get(k));
         }
         p.WriteAt<uint32_t>(0, count - 1);
         ref.value().MarkDirty();
@@ -103,13 +104,14 @@ Status FullScanIndex::Query(const core::VerticalSegmentQuery& q,
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
     const uint32_t count = p.ReadAt<uint32_t>(0);
-    for (uint32_t i = 0; i < count; ++i) {
-      const geom::Segment s =
-          p.ReadAt<geom::Segment>(kHeader + i * sizeof(geom::Segment));
-      if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
-        out->push_back(s);
-      }
-    }
+    // The baseline keeps its brute-force shape but scans each page with
+    // the same branchless kernel + bulk gather as the real indexes.
+    const io::ConstColumnarPageView view(p, kHeader, PerPage());
+    geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+    uint32_t* idx = scratch.ReserveIndices(count);
+    const uint32_t hits = geom::ActiveFilterKernel().filter_vs(
+        view.strips(), count, q.x0, q.ylo, q.yhi, idx);
+    view.AppendMatches(idx, hits, out);
   }
   return Status::OK();
 }

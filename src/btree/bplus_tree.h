@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "io/buffer_pool.h"
+#include "io/columnar_page_view.h"
 #include "util/status.h"
 #include "util/check.h"
 
@@ -146,9 +147,15 @@ class BPlusTree {
 
   // -- Node views ---------------------------------------------------------
   // Leaf layout:   [u8 is_leaf][u8 pad3][u32 count][PageId next][PageId prev]
-  //                [Record x count]
+  //                [records: io::PageRecordLayout<Record>, cap leaf_capacity_]
   // Internal:      [u8 is_leaf][u8 pad3][u32 count]
   //                [PageId child x (count+1)][Record sep x count]
+  // The leaf record region goes through PageRecordLayout: row-major for
+  // generic records, columnar strips for segment-like records with a
+  // specialization. Either layout fills exactly leaf_capacity_ *
+  // sizeof(Record) bytes, so capacities and page counts are layout-
+  // independent. Internal separators stay row-major — they are binary-
+  // searched individually, never scanned.
   // Separator semantics: sep[i] is a copy of the smallest record in
   // child[i+1]'s subtree; search descends into the first child i with
   // key < sep[i] (or the last child).
@@ -173,9 +180,6 @@ class BPlusTree {
     p.WriteAt<io::PageId>(12, id);
   }
 
-  static uint32_t LeafRecordOff(uint32_t i) {
-    return kLeafHeaderBytes + i * static_cast<uint32_t>(sizeof(Record));
-  }
   uint32_t ChildOff(uint32_t i) const {
     return kInternalHeaderBytes + i * sizeof(io::PageId);
   }
@@ -184,8 +188,23 @@ class BPlusTree {
            i * static_cast<uint32_t>(sizeof(Record));
   }
 
-  static Record LeafRecord(const io::Page& p, uint32_t i) {
-    return p.ReadAt<Record>(LeafRecordOff(i));
+  using LeafLayout = io::PageRecordLayout<Record>;
+
+  Record LeafRecord(const io::Page& p, uint32_t i) const {
+    return LeafLayout::Read(p, kLeafHeaderBytes, leaf_capacity_, i);
+  }
+  void SetLeafRecord(io::Page* p, uint32_t i, const Record& r) const {
+    LeafLayout::Write(p, kLeafHeaderBytes, leaf_capacity_, i, r);
+  }
+  void ReadLeafRecords(const io::Page& p, uint32_t first, Record* out,
+                       uint32_t count) const {
+    LeafLayout::ReadRange(p, kLeafHeaderBytes, leaf_capacity_, first, out,
+                          count);
+  }
+  void WriteLeafRecords(io::Page* p, uint32_t first, const Record* src,
+                        uint32_t count) const {
+    LeafLayout::WriteRange(p, kLeafHeaderBytes, leaf_capacity_, first, src,
+                           count);
   }
   io::PageId Child(const io::Page& p, uint32_t i) const {
     return p.ReadAt<io::PageId>(ChildOff(i));
@@ -326,7 +345,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
     SetCount(p, take);
     SetLeafPrev(p, prev);
     SetLeafNext(p, io::kInvalidPageId);
-    p.WriteArray<Record>(LeafRecordOff(0), sorted.data() + i, take);
+    WriteLeafRecords(&p, 0, sorted.data() + i, take);
     ref.value().MarkDirty();
     const io::PageId id = ref.value().page_id();
     if (positions != nullptr) {
@@ -389,7 +408,7 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     SetCount(p, 1);
     SetLeafNext(p, io::kInvalidPageId);
     SetLeafPrev(p, io::kInvalidPageId);
-    p.WriteAt<Record>(LeafRecordOff(0), record);
+    SetLeafRecord(&p, 0, record);
     ref.value().MarkDirty();
     root_ = ref.value().page_id();
     height_ = 1;
@@ -441,14 +460,13 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     // Assemble prefix + record + suffix directly (avoids vector::insert,
     // which trips a GCC-12 -Wstringop-overflow false positive here).
     std::vector<Record> recs(count + 1);
-    p.ReadArray<Record>(LeafRecordOff(0), recs.data(), pos);
+    ReadLeafRecords(p, 0, recs.data(), pos);
     recs[pos] = record;
     if (pos < count) {
-      p.ReadArray<Record>(LeafRecordOff(pos), recs.data() + pos + 1,
-                          count - pos);
+      ReadLeafRecords(p, pos, recs.data() + pos + 1, count - pos);
     }
     if (count + 1 <= leaf_capacity_) {
-      p.WriteArray<Record>(LeafRecordOff(0), recs.data(), count + 1);
+      WriteLeafRecords(&p, 0, recs.data(), count + 1);
       SetCount(p, count + 1);
       ref.value().MarkDirty();
       ++size_;
@@ -462,13 +480,13 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     io::Page& rp = right.value().page();
     SetLeaf(rp, true);
     SetCount(rp, right_n);
-    rp.WriteArray<Record>(LeafRecordOff(0), recs.data() + left_n, right_n);
+    WriteLeafRecords(&rp, 0, recs.data() + left_n, right_n);
     SetLeafPrev(rp, cur);
     SetLeafNext(rp, LeafNext(p));
     right.value().MarkDirty();
     const io::PageId right_id = right.value().page_id();
     const io::PageId old_next = LeafNext(p);
-    p.WriteArray<Record>(LeafRecordOff(0), recs.data(), left_n);
+    WriteLeafRecords(&p, 0, recs.data(), left_n);
     SetCount(p, left_n);
     SetLeafNext(p, right_id);
     ref.value().MarkDirty();
@@ -589,9 +607,9 @@ Status BPlusTree<Record, Compare>::Erase(const Record& record) {
       if (cmp_(r, record) > 0) return Status::NotFound("no match");
       if (std::memcmp(&r, &record, sizeof(Record)) == 0) {
         std::vector<Record> recs(count);
-        lp.ReadArray<Record>(LeafRecordOff(0), recs.data(), count);
+        ReadLeafRecords(lp, 0, recs.data(), count);
         recs.erase(recs.begin() + slot);
-        lp.WriteArray<Record>(LeafRecordOff(0), recs.data(), count - 1);
+        WriteLeafRecords(&lp, 0, recs.data(), count - 1);
         SetCount(lp, count - 1);
         leaf_ref.MarkDirty();
         --size_;
@@ -772,7 +790,7 @@ BPlusTree<Record, Compare>::ReadLeaf(io::PageId leaf) const {
   if (!IsLeaf(p)) return Status::InvalidArgument("ReadLeaf: not a leaf page");
   LeafView view;
   view.records.resize(Count(p));
-  p.ReadArray<Record>(LeafRecordOff(0), view.records.data(), Count(p));
+  ReadLeafRecords(p, 0, view.records.data(), Count(p));
   view.next = LeafNext(p);
   view.prev = LeafPrev(p);
   return view;

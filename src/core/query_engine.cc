@@ -27,8 +27,12 @@ QueryEngine::QueryEngine(QueryEngineOptions options)
 Status QueryEngine::QueryBatch(
     const SegmentIndex& index, std::span<const VerticalSegmentQuery> queries,
     std::vector<std::vector<geom::Segment>>* results) {
-  results->clear();
+  // Keep existing slot capacities across batches: the indexes emit results
+  // in bulk (kernel match-run gather into the slot), so a warm slot absorbs
+  // a whole query's output with zero allocations. clear()+resize() would
+  // drop every capacity each batch.
   results->resize(queries.size());
+  for (auto& slot : *results) slot.clear();
   if (queries.empty()) return Status::OK();
 
   if (threads_ == 1 || queries.size() == 1) {

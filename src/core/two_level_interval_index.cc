@@ -4,7 +4,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "geom/filter_kernel.h"
 #include "geom/predicates.h"
+#include "io/columnar_page_view.h"
 #include "util/check.h"
 
 namespace segdb::core {
@@ -70,7 +72,9 @@ Status TwoLevelIntervalIndex::WriteLeafPages(Node* node) {
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
-    p.WriteArray<Segment>(kLeafHeader, node->leaf_segments.data() + i, take);
+    // Columnar strips sized to the record count (see columnar_page_view.h).
+    io::ColumnarPageView(&p, kLeafHeader, take)
+        .WriteRange(0, node->leaf_segments.data() + i, take);
     ref.value().MarkDirty();
     node->leaf_pages.push_back(ref.value().page_id());
     i += take;
@@ -477,13 +481,13 @@ Status TwoLevelIntervalIndex::Query(const VerticalSegmentQuery& q,
         if (!ref.ok()) return ref.status();
         const io::Page& p = ref.value().page();
         const uint32_t count = p.ReadAt<uint32_t>(0);
-        for (uint32_t i = 0; i < count; ++i) {
-          const Segment s =
-              p.ReadAt<Segment>(kLeafHeader + i * sizeof(Segment));
-          if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
-            out->push_back(s);
-          }
-        }
+        // Kernel filter + one bulk gather per page (see Solution A).
+        const io::ConstColumnarPageView view(p, kLeafHeader, count);
+        geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+        uint32_t* idx = scratch.ReserveIndices(count);
+        const uint32_t hits = geom::ActiveFilterKernel().filter_vs(
+            view.strips(), count, q.x0, q.ylo, q.yhi, idx);
+        view.AppendMatches(idx, hits, out);
       }
       return Status::OK();
     }

@@ -1,0 +1,204 @@
+// Columnar (struct-of-arrays) segment layout inside data pages.
+//
+// A page region that used to hold a row-major Segment[capacity] array now
+// holds five contiguous strips of 8-byte lanes:
+//
+//   [x1[0..cap) | x2[0..cap) | y1[0..cap) | y2[0..cap) | id[0..cap)]
+//
+// Total bytes are capacity * 40 == capacity * sizeof(Segment), so every
+// capacity formula in the tree — and therefore every page boundary, page
+// count and fetch order — is unchanged from the row-major layout; only the
+// bytes *inside* each page move. Scans hand the strip pointers to the
+// branchless kernels in geom/filter_kernel.h, which is the point: the hot
+// predicate reads four dense int64 lanes instead of striding 40 bytes.
+//
+// Strip bases inherit the region's byte offset, which is not 8-aligned for
+// every layout (a line-PST node with odd fanout starts its segment region
+// at 4 mod 8), so all lane access is memcpy-based — same discipline as
+// Page::ReadAt — and the SIMD kernels use unaligned loads.
+#ifndef SEGDB_IO_COLUMNAR_PAGE_VIEW_H_
+#define SEGDB_IO_COLUMNAR_PAGE_VIEW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "geom/filter_kernel.h"
+#include "geom/segment.h"
+#include "io/page.h"
+#include "util/check.h"
+
+namespace segdb::io {
+
+// Read-only view of a columnar segment region: `capacity` records starting
+// at byte `base_off` of `page`. The capacity must be the value the region
+// was written with — strip offsets depend on it.
+class ConstColumnarPageView {
+ public:
+  static constexpr uint32_t kLaneBytes = 8;
+  static constexpr uint32_t kBytesPerRecord = 5 * kLaneBytes;
+  static_assert(kBytesPerRecord == sizeof(geom::Segment),
+                "columnar region must occupy exactly the row-major bytes");
+
+  ConstColumnarPageView(const Page& page, uint32_t base_off,
+                        uint32_t capacity)
+      : base_(page.data() + base_off), capacity_(capacity) {
+    SEGDB_DCHECK(uint64_t{base_off} +
+                     uint64_t{capacity} * kBytesPerRecord <=
+                 page.size());
+  }
+
+  uint32_t capacity() const { return capacity_; }
+
+  // Strip bases in layout order x1, x2, y1, y2, id.
+  const uint8_t* x1_strip() const { return Strip(0); }
+  const uint8_t* x2_strip() const { return Strip(1); }
+  const uint8_t* y1_strip() const { return Strip(2); }
+  const uint8_t* y2_strip() const { return Strip(3); }
+  const uint8_t* id_strip() const { return Strip(4); }
+
+  geom::SegmentStrips strips() const {
+    return geom::SegmentStrips{x1_strip(), x2_strip(), y1_strip(),
+                               y2_strip()};
+  }
+
+  geom::Segment Get(uint32_t i) const {
+    SEGDB_DCHECK(i < capacity_);
+    geom::Segment s;
+    s.x1 = LaneI64(0, i);
+    s.x2 = LaneI64(1, i);
+    s.y1 = LaneI64(2, i);
+    s.y2 = LaneI64(3, i);
+    std::memcpy(&s.id, Strip(4) + uint64_t{i} * kLaneBytes, kLaneBytes);
+    return s;
+  }
+
+  void ReadRange(uint32_t first, geom::Segment* out, uint32_t count) const {
+    SEGDB_DCHECK(uint64_t{first} + count <= capacity_);
+    for (uint32_t i = 0; i < count; ++i) out[i] = Get(first + i);
+  }
+
+  // Batch emission: bulk-appends the records named by a kernel's match-
+  // index run. One resize, then a gather — no per-segment push_back.
+  void AppendMatches(const uint32_t* idx, uint32_t n,
+                     std::vector<geom::Segment>* out) const {
+    if (n == 0) return;
+    const size_t old_size = out->size();
+    out->resize(old_size + n);
+    geom::Segment* dst = out->data() + old_size;
+    for (uint32_t j = 0; j < n; ++j) dst[j] = Get(idx[j]);
+  }
+
+ protected:
+  const uint8_t* Strip(uint32_t lane) const {
+    return base_ + uint64_t{lane} * capacity_ * kLaneBytes;
+  }
+
+  int64_t LaneI64(uint32_t lane, uint32_t i) const {
+    int64_t v;
+    std::memcpy(&v, Strip(lane) + uint64_t{i} * kLaneBytes, kLaneBytes);
+    return v;
+  }
+
+ private:
+  const uint8_t* base_;
+  uint32_t capacity_;
+};
+
+// Mutable view over the same layout.
+class ColumnarPageView : public ConstColumnarPageView {
+ public:
+  ColumnarPageView(Page* page, uint32_t base_off, uint32_t capacity)
+      : ConstColumnarPageView(*page, base_off, capacity),
+        mut_base_(page->data() + base_off) {}
+
+  void Set(uint32_t i, const geom::Segment& s) {
+    SEGDB_DCHECK(i < capacity());
+    StoreLane(0, i, s.x1);
+    StoreLane(1, i, s.x2);
+    StoreLane(2, i, s.y1);
+    StoreLane(3, i, s.y2);
+    std::memcpy(MutStrip(4) + uint64_t{i} * kLaneBytes, &s.id, kLaneBytes);
+  }
+
+  void WriteRange(uint32_t first, const geom::Segment* src, uint32_t count) {
+    SEGDB_DCHECK(uint64_t{first} + count <= capacity());
+    for (uint32_t i = 0; i < count; ++i) Set(first + i, src[i]);
+  }
+
+ private:
+  uint8_t* MutStrip(uint32_t lane) {
+    return mut_base_ + uint64_t{lane} * capacity() * kLaneBytes;
+  }
+
+  void StoreLane(uint32_t lane, uint32_t i, int64_t v) {
+    std::memcpy(MutStrip(lane) + uint64_t{i} * kLaneBytes, &v, kLaneBytes);
+  }
+
+  uint8_t* mut_base_;
+};
+
+// Leaf-record serialization policy for page-resident record arrays (the
+// BPlusTree leaf level). The primary template keeps the row-major layout —
+// correct for any trivially-copyable record and used by all non-segment
+// trees. Specializations (geom::Segment below; segtree's GFragment next to
+// its definition) switch the region to columnar strips without changing
+// the region's byte size, so leaf capacities stay identical either way.
+template <typename Record>
+struct PageRecordLayout {
+  static constexpr bool kColumnar = false;
+
+  static Record Read(const Page& page, uint32_t base, uint32_t /*capacity*/,
+                     uint32_t i) {
+    return page.ReadAt<Record>(
+        base + i * static_cast<uint32_t>(sizeof(Record)));
+  }
+
+  static void Write(Page* page, uint32_t base, uint32_t /*capacity*/,
+                    uint32_t i, const Record& r) {
+    page->WriteAt(base + i * static_cast<uint32_t>(sizeof(Record)), r);
+  }
+
+  static void ReadRange(const Page& page, uint32_t base,
+                        uint32_t /*capacity*/, uint32_t first, Record* out,
+                        uint32_t count) {
+    page.ReadArray(base + first * static_cast<uint32_t>(sizeof(Record)), out,
+                   count);
+  }
+
+  static void WriteRange(Page* page, uint32_t base, uint32_t /*capacity*/,
+                         uint32_t first, const Record* src, uint32_t count) {
+    page->WriteArray(base + first * static_cast<uint32_t>(sizeof(Record)),
+                     src, count);
+  }
+};
+
+template <>
+struct PageRecordLayout<geom::Segment> {
+  static constexpr bool kColumnar = true;
+
+  static geom::Segment Read(const Page& page, uint32_t base,
+                            uint32_t capacity, uint32_t i) {
+    return ConstColumnarPageView(page, base, capacity).Get(i);
+  }
+
+  static void Write(Page* page, uint32_t base, uint32_t capacity, uint32_t i,
+                    const geom::Segment& s) {
+    ColumnarPageView(page, base, capacity).Set(i, s);
+  }
+
+  static void ReadRange(const Page& page, uint32_t base, uint32_t capacity,
+                        uint32_t first, geom::Segment* out, uint32_t count) {
+    ConstColumnarPageView(page, base, capacity).ReadRange(first, out, count);
+  }
+
+  static void WriteRange(Page* page, uint32_t base, uint32_t capacity,
+                         uint32_t first, const geom::Segment* src,
+                         uint32_t count) {
+    ColumnarPageView(page, base, capacity).WriteRange(first, src, count);
+  }
+};
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_COLUMNAR_PAGE_VIEW_H_

@@ -33,10 +33,13 @@ class Page {
   void Zero() { std::memset(data_.data(), 0, data_.size()); }
 
   // Reads a trivially-copyable T stored at byte offset `off`.
+  // Bounds checks are evaluated in uint64_t: `off + sizeof(T) * count` in
+  // the operand types could wrap before the compare (uint32_t count, and
+  // size_t is only guaranteed 32 bits) and accept an out-of-page access.
   template <typename T>
   T ReadAt(uint32_t off) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    SEGDB_DCHECK(off + sizeof(T) <= data_.size());
+    SEGDB_DCHECK(uint64_t{off} + sizeof(T) <= data_.size());
     T value;
     std::memcpy(&value, data_.data() + off, sizeof(T));
     return value;
@@ -46,7 +49,7 @@ class Page {
   template <typename T>
   void WriteAt(uint32_t off, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    SEGDB_DCHECK(off + sizeof(T) <= data_.size());
+    SEGDB_DCHECK(uint64_t{off} + sizeof(T) <= data_.size());
     std::memcpy(data_.data() + off, &value, sizeof(T));
   }
 
@@ -55,7 +58,8 @@ class Page {
   template <typename T>
   void ReadArray(uint32_t off, T* out, uint32_t count) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    SEGDB_DCHECK(off + sizeof(T) * count <= data_.size());
+    SEGDB_DCHECK(uint64_t{off} + sizeof(T) * uint64_t{count} <=
+                 data_.size());
     if (count == 0) return;
     std::memcpy(out, data_.data() + off, sizeof(T) * count);
   }
@@ -65,7 +69,8 @@ class Page {
   template <typename T>
   void WriteArray(uint32_t off, const T* values, uint32_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    SEGDB_DCHECK(off + sizeof(T) * count <= data_.size());
+    SEGDB_DCHECK(uint64_t{off} + sizeof(T) * uint64_t{count} <=
+                 data_.size());
     if (count == 0) return;
     std::memcpy(data_.data() + off, values, sizeof(T) * count);
   }

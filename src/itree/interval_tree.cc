@@ -4,6 +4,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "geom/filter_kernel.h"
+#include "io/columnar_page_view.h"
 #include "util/check.h"
 
 namespace segdb::itree {
@@ -88,7 +90,9 @@ Status IntervalTree::WriteLeafPages(Node* node) {
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
-    p.WriteArray<Segment>(kLeafHeader, node->leaf_segments.data() + i, take);
+    // Columnar strips sized to the record count (see columnar_page_view.h).
+    io::ColumnarPageView(&p, kLeafHeader, take)
+        .WriteRange(0, node->leaf_segments.data() + i, take);
     ref.value().MarkDirty();
     node->leaf_pages.push_back(ref.value().page_id());
     i += take;
@@ -440,11 +444,13 @@ Status IntervalTree::Stab(int64_t x0, std::vector<Segment>* out) const {
         if (!ref.ok()) return ref.status();
         const io::Page& p = ref.value().page();
         const uint32_t count = p.ReadAt<uint32_t>(0);
-        for (uint32_t i = 0; i < count; ++i) {
-          const Segment s =
-              p.ReadAt<Segment>(kLeafHeader + i * sizeof(Segment));
-          if (s.x1 <= x0 && x0 <= s.x2) out->push_back(s);
-        }
+        // Stab kernel over the page's x-strips, then one bulk gather.
+        const io::ConstColumnarPageView view(p, kLeafHeader, count);
+        geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+        uint32_t* idx = scratch.ReserveIndices(count);
+        const uint32_t hits = geom::ActiveFilterKernel().filter_stab(
+            view.strips(), count, x0, idx);
+        view.AppendMatches(idx, hits, out);
       }
       return Status::OK();
     }

@@ -5,7 +5,9 @@
 #include <numeric>
 #include <string>
 
+#include "geom/filter_kernel.h"
 #include "geom/predicates.h"
+#include "io/columnar_page_view.h"
 #include "util/math.h"
 #include "util/check.h"
 
@@ -107,8 +109,9 @@ Status LinePst::CollectSubtree(io::PageId id,
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
     const NodeHeader hdr = p.ReadAt<NodeHeader>(0);
+    const io::ConstColumnarPageView view(p, SegOff(0), cap_);
     for (uint32_t i = 0; i < hdr.count; ++i) {
-      out->push_back(p.ReadAt<geom::Segment>(SegOff(i)));
+      out->push_back(view.Get(i));
     }
     for (uint32_t i = 0; i < hdr.num_children; ++i) {
       children.push_back(p.ReadAt<io::PageId>(ChildOff(i)));
@@ -186,7 +189,8 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
   hdr.num_children = k;
   hdr.subtree_size = n;
   p.WriteAt<NodeHeader>(0, hdr);
-  p.WriteArray<geom::Segment>(SegOff(0), node_segs.data(), take);
+  io::ColumnarPageView(&p, SegOff(0), cap_)
+      .WriteRange(0, node_segs.data(), take);
   ref.value().MarkDirty();
   ref.value().Release();  // children allocate pages; avoid holding pins
 
@@ -296,11 +300,12 @@ Status LinePst::Erase(const geom::Segment& segment) {
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
     const NodeHeader hdr = p.ReadAt<NodeHeader>(0);
+    const io::ConstColumnarPageView view(p, SegOff(0), cap_);
     // Binary search the node's base-ordered array for the exact segment.
     uint32_t lo = 0, hi = hdr.count;
     while (lo < hi) {
       const uint32_t mid = (lo + hi) / 2;
-      const geom::Segment s = p.ReadAt<geom::Segment>(SegOff(mid));
+      const geom::Segment s = view.Get(mid);
       const int c = BaseCompare(s, g);
       if (c < 0) {
         lo = mid + 1;
@@ -308,8 +313,7 @@ Status LinePst::Erase(const geom::Segment& segment) {
         hi = mid;
       }
     }
-    if (lo < hdr.count &&
-        BaseCompare(p.ReadAt<geom::Segment>(SegOff(lo)), g) == 0) {
+    if (lo < hdr.count && BaseCompare(view.Get(lo), g) == 0) {
       found_node = cur;
       found_slot = lo;
       path.push_back(Step{cur, 0});
@@ -341,10 +345,11 @@ Status LinePst::Erase(const geom::Segment& segment) {
     --hdr.subtree_size;
     if (path[i].node == found_node) {
       std::vector<geom::Segment> segs(hdr.count);
-      p.ReadArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+      io::ColumnarPageView view(&p, SegOff(0), cap_);
+      view.ReadRange(0, segs.data(), hdr.count);
       segs.erase(segs.begin() + found_slot);
       --hdr.count;
-      p.WriteArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+      view.WriteRange(0, segs.data(), hdr.count);
       p.WriteAt<NodeHeader>(0, hdr);
       ref.value().MarkDirty();
       break;
@@ -377,7 +382,7 @@ Status LinePst::InsertCanonical(geom::Segment g) {
     hdr.num_children = 0;
     hdr.subtree_size = 1;
     p.WriteAt<NodeHeader>(0, hdr);
-    p.WriteAt<geom::Segment>(SegOff(0), g);
+    io::ColumnarPageView(&p, SegOff(0), cap_).Set(0, g);
     ref.value().MarkDirty();
     root_ = ref.value().page_id();
     return Status::OK();
@@ -440,7 +445,8 @@ Status LinePst::InsertCanonical(geom::Segment g) {
     if (hdr.count < cap_) {
       // Insert g into this node's base-ordered array.
       std::vector<geom::Segment> segs(hdr.count);
-      p.ReadArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+      io::ColumnarPageView view(&p, SegOff(0), cap_);
+      view.ReadRange(0, segs.data(), hdr.count);
       auto it = std::lower_bound(segs.begin(), segs.end(), g,
                                  [&](const geom::Segment& a,
                                      const geom::Segment& b) {
@@ -449,14 +455,15 @@ Status LinePst::InsertCanonical(geom::Segment g) {
       segs.insert(it, g);
       hdr.count += 1;
       p.WriteAt<NodeHeader>(0, hdr);
-      p.WriteArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+      view.WriteRange(0, segs.data(), hdr.count);
       return Status::OK();
     }
 
     // Node full: if g out-reaches the weakest stored segment, g takes its
     // place and the weakest is pushed down (heap push-down).
     std::vector<geom::Segment> segs(hdr.count);
-    p.ReadArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+    io::ColumnarPageView seg_view(&p, SegOff(0), cap_);
+    seg_view.ReadRange(0, segs.data(), hdr.count);
     uint32_t min_idx = 0;
     for (uint32_t i = 1; i < hdr.count; ++i) {
       if (Reach(segs[i]) < Reach(segs[min_idx])) min_idx = i;
@@ -470,7 +477,7 @@ Status LinePst::InsertCanonical(geom::Segment g) {
                                    return BaseCompare(a, b) < 0;
                                  });
       segs.insert(it, g);
-      p.WriteArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+      seg_view.WriteRange(0, segs.data(), hdr.count);
       g = evicted;
     }
 
@@ -485,7 +492,7 @@ Status LinePst::InsertCanonical(geom::Segment g) {
       chdr.num_children = 0;
       chdr.subtree_size = 1;
       cp.WriteAt<NodeHeader>(0, chdr);
-      cp.WriteAt<geom::Segment>(SegOff(0), g);
+      io::ColumnarPageView(&cp, SegOff(0), cap_).Set(0, g);
       cref.value().MarkDirty();
       hdr.num_children = 1;
       p.WriteAt<NodeHeader>(0, hdr);
@@ -541,25 +548,56 @@ Status LinePst::Query(int64_t qx, int64_t ylo, int64_t yhi,
       direction_ == Direction::kRight ? qx : 2 * base_x_ - qx;
 
   QueryState st;
-  auto note_segment = [&](const geom::Segment& s, bool report) {
-    if (Reach(s) < cqx) return;  // does not attain the query abscissa
-    const int c_lo = geom::CompareYAtX(s, cqx, ylo);
-    if (c_lo < 0) {
-      if (!st.have_lf || BaseCompare(s, st.lf) > 0) {
-        st.lf = s;
-        st.have_lf = true;
+  // One branchless kernel pass classifies every stored segment of a node
+  // against (cqx, [ylo, yhi]). Stored segments satisfy x1 <= base_x <= cqx,
+  // so the kernel's span test x1 <= cqx <= x2 is exactly the old
+  // "Reach(s) < cqx" skip; below/in-range/above reproduce the CompareYAtX
+  // signs (filter_kernel.h). Below/above lanes tighten the fences with the
+  // same BaseCompare max/min as before; in-range lanes are bulk-gathered
+  // when reporting instead of being push_back-ed one at a time.
+  auto scan_node = [&](const io::Page& p, const NodeHeader& hdr,
+                       bool report) {
+    const io::ConstColumnarPageView view(p, SegOff(0), cap_);
+    geom::ResultBuffer& scratch = geom::GetThreadFilterScratch();
+    uint8_t* cls = scratch.ReserveClasses(hdr.count);
+    geom::ActiveFilterKernel().classify_vs(view.strips(), hdr.count, cqx,
+                                           ylo, yhi, cls);
+    uint32_t* idx = report ? scratch.ReserveIndices(hdr.count) : nullptr;
+    uint32_t hits = 0;
+    for (uint32_t i = 0; i < hdr.count; ++i) {
+      switch (cls[i]) {
+        case geom::kLaneBelow: {
+          const geom::Segment s = view.Get(i);
+          if (!st.have_lf || BaseCompare(s, st.lf) > 0) {
+            st.lf = s;
+            st.have_lf = true;
+          }
+          break;
+        }
+        case geom::kLaneAbove: {
+          const geom::Segment s = view.Get(i);
+          if (!st.have_rf || BaseCompare(s, st.rf) < 0) {
+            st.rf = s;
+            st.have_rf = true;
+          }
+          break;
+        }
+        case geom::kLaneInRange:
+          if (report) idx[hits++] = i;
+          break;
+        default:
+          break;
       }
-      return;
     }
-    const int c_hi = geom::CompareYAtX(s, cqx, yhi);
-    if (c_hi > 0) {
-      if (!st.have_rf || BaseCompare(s, st.rf) < 0) {
-        st.rf = s;
-        st.have_rf = true;
+    if (report && hits > 0) {
+      const size_t first = out->size();
+      view.AppendMatches(idx, hits, out);
+      if (direction_ == Direction::kLeft) {
+        for (size_t j = first; j < out->size(); ++j) {
+          (*out)[j] = Original((*out)[j]);
+        }
       }
-      return;
     }
-    if (report) out->push_back(Original(s));
   };
   // Prune test shared by every traversal: may child i of this page hold a
   // segment that is neither fence-dominated nor unreachable?
@@ -595,9 +633,7 @@ Status LinePst::Query(int64_t qx, int64_t ylo, int64_t yhi,
       if (!ref.ok()) return ref.status();
       const io::Page& p = ref.value().page();
       const NodeHeader hdr = p.ReadAt<NodeHeader>(0);
-      for (uint32_t i = 0; i < hdr.count; ++i) {
-        note_segment(p.ReadAt<geom::Segment>(SegOff(i)), /*report=*/false);
-      }
+      scan_node(p, hdr, /*report=*/false);
       // Descend toward the answer run's boundary. Separators are real
       // segments: whenever one reaches the query abscissa its side of the
       // range is decidable exactly; otherwise the current fence decides.
@@ -657,9 +693,7 @@ Status LinePst::Query(int64_t qx, int64_t ylo, int64_t yhi,
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
     const NodeHeader hdr = p.ReadAt<NodeHeader>(0);
-    for (uint32_t i = 0; i < hdr.count; ++i) {
-      note_segment(p.ReadAt<geom::Segment>(SegOff(i)), /*report=*/true);
-    }
+    scan_node(p, hdr, /*report=*/true);
     for (uint32_t i = hdr.num_children; i > 0; --i) {
       if (child_admissible(p, hdr, i - 1)) {
         stack.push_back(p.ReadAt<io::PageId>(ChildOff(i - 1)));
@@ -683,7 +717,8 @@ Status LinePst::CheckSubtree(io::PageId id, const geom::Segment* lo,
   }
 
   std::vector<geom::Segment> segs(hdr.count);
-  p.ReadArray<geom::Segment>(SegOff(0), segs.data(), hdr.count);
+  io::ConstColumnarPageView(p, SegOff(0), cap_)
+      .ReadRange(0, segs.data(), hdr.count);
   for (uint32_t i = 0; i < hdr.count; ++i) {
     if (i > 0 && BaseCompare(segs[i - 1], segs[i]) > 0) {
       return Status::Corruption("PST node segments out of base order");

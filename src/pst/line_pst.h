@@ -127,9 +127,16 @@ class LinePst {
 
   // Page layout: [NodeHeader][PageId child x fanout][u64 child_size x fanout]
   //              [Segment top x fanout][Segment sep x (fanout-1)]
-  //              [Segment seg x cap]
+  //              [columnar seg strips x cap]
   // child_size mirrors each child's subtree_size so the insert path can
   // detect imbalance top-down without fetching children.
+  //
+  // The directory records (tops, separators) stay row-major — they are
+  // individually random-accessed while routing. The stored-segment region
+  // at SegOff(0) holds io::ColumnarPageView strips (x1/x2/y1/y2/id lanes
+  // of cap each, same total bytes as Segment[cap]) so the query's node
+  // scan runs as one branchless kernel pass; always access it through a
+  // view constructed with capacity cap_, never via SegOff(i) for i > 0.
   uint32_t ChildOff(uint32_t i) const {
     return kHeaderBytes + i * sizeof(io::PageId);
   }

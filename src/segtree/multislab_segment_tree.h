@@ -44,6 +44,7 @@
 #include "geom/predicates.h"
 #include "geom/segment.h"
 #include "io/buffer_pool.h"
+#include "io/columnar_page_view.h"
 #include "util/status.h"
 
 namespace segdb::segtree {
@@ -67,6 +68,75 @@ struct GFragment {
 };
 static_assert(sizeof(GFragment) == 56);
 static_assert(std::is_trivially_copyable_v<GFragment>);
+
+}  // namespace segdb::segtree
+
+namespace segdb::io {
+
+// Columnar leaf codec for GFragment (declared next to the struct so every
+// translation unit instantiating BPlusTree<GFragment, ...> sees it — ODR).
+// The geometry goes into the shared segment strips; the cascading metadata
+// is random-accessed per record (bridge landings), so it stays row-major in
+// a 16-byte trailer array after the strips. 40 + 16 == sizeof(GFragment),
+// hence leaf capacities and page counts are unchanged from row-major.
+template <>
+struct PageRecordLayout<segtree::GFragment> {
+  static constexpr bool kColumnar = true;
+  static constexpr uint32_t kMetaBytes = 16;
+  static_assert(sizeof(segtree::GFragment) ==
+                ConstColumnarPageView::kBytesPerRecord + kMetaBytes);
+  static_assert(sizeof(PageId) == 4);
+
+  static uint32_t MetaOff(uint32_t base, uint32_t capacity, uint32_t i) {
+    return base + capacity * ConstColumnarPageView::kBytesPerRecord +
+           i * kMetaBytes;
+  }
+
+  static segtree::GFragment Read(const Page& page, uint32_t base,
+                                 uint32_t capacity, uint32_t i) {
+    segtree::GFragment g;
+    g.seg = ConstColumnarPageView(page, base, capacity).Get(i);
+    const uint32_t m = MetaOff(base, capacity, i);
+    g.land_left = page.ReadAt<PageId>(m);
+    g.land_right = page.ReadAt<PageId>(m + 4);
+    g.slot_left = page.ReadAt<uint16_t>(m + 8);
+    g.slot_right = page.ReadAt<uint16_t>(m + 10);
+    g.flags = page.ReadAt<uint8_t>(m + 12);
+    return g;
+  }
+
+  static void Write(Page* page, uint32_t base, uint32_t capacity, uint32_t i,
+                    const segtree::GFragment& g) {
+    ColumnarPageView(page, base, capacity).Set(i, g.seg);
+    const uint32_t m = MetaOff(base, capacity, i);
+    page->WriteAt(m, g.land_left);
+    page->WriteAt(m + 4, g.land_right);
+    page->WriteAt(m + 8, g.slot_left);
+    page->WriteAt(m + 10, g.slot_right);
+    const uint8_t tail[4] = {g.flags, 0, 0, 0};
+    page->WriteArray(m + 12, tail, 4);
+  }
+
+  static void ReadRange(const Page& page, uint32_t base, uint32_t capacity,
+                        uint32_t first, segtree::GFragment* out,
+                        uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      out[i] = Read(page, base, capacity, first + i);
+    }
+  }
+
+  static void WriteRange(Page* page, uint32_t base, uint32_t capacity,
+                         uint32_t first, const segtree::GFragment* src,
+                         uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      Write(page, base, capacity, first + i, src[i]);
+    }
+  }
+};
+
+}  // namespace segdb::io
+
+namespace segdb::segtree {
 
 // Multislab-list order: vertical order at the node's reference boundary.
 struct GFragmentCompare {

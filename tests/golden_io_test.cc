@@ -1,0 +1,131 @@
+// Golden I/O regression test for the columnar page layout.
+//
+// The paper's cost model counts page fetches, and the columnar rewrite is
+// required to be invisible to it: page *contents* changed from row-major
+// Segment[] to struct-of-arrays strips, but page boundaries, capacities and
+// fetch order did not. This test pins the cold-cache per-query buffer-pool
+// miss counts (the E3/E4 protocol, at reduced scale) for Solutions A and B
+// to the values measured on the row-major seed tree. Any layout or
+// traversal change that alters even one fetch fails loudly, query by query.
+//
+// Regenerating goldens (only after an *intentional* I/O-visible change):
+//   SEGDB_PRINT_GOLDEN=1 ./golden_io_test
+// and paste the printed arrays below.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+#include "gtest/gtest.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb {
+namespace {
+
+constexpr uint64_t kN = 8192;
+constexpr uint32_t kPageSize = 4096;
+constexpr uint64_t kNumQueries = 20;
+
+struct CostTrace {
+  std::vector<uint64_t> misses;  // cold buffer-pool misses, one per query
+  std::vector<uint64_t> output;  // reported segments, one per query
+};
+
+// The bench_common.h cold protocol: flush, evict everything, reset the
+// counters, run one query, read the miss counter.
+template <typename Index>
+CostTrace Measure(uint64_t data_seed, uint64_t query_seed) {
+  io::DiskManager disk(kPageSize);
+  io::BufferPool pool(&disk, 1 << 15);
+  Rng rng(data_seed);
+  auto segs = workload::GenMapLayer(rng, kN, 1 << 22);
+  Index index(&pool);
+  EXPECT_TRUE(index.BulkLoad(segs).ok());
+
+  Rng qrng(query_seed);
+  auto box = workload::ComputeBoundingBox(segs);
+  auto queries = workload::GenVsQueries(qrng, kNumQueries, box, 0.01);
+
+  CostTrace trace;
+  EXPECT_TRUE(pool.FlushAll().ok());
+  for (const workload::VsQuery& q : queries) {
+    EXPECT_TRUE(pool.EvictAll().ok());
+    pool.ResetStats();
+    std::vector<geom::Segment> out;
+    EXPECT_TRUE(
+        index.Query(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out)
+            .ok());
+    trace.misses.push_back(pool.stats().misses);
+    trace.output.push_back(out.size());
+  }
+  return trace;
+}
+
+void PrintArray(const char* name, const std::vector<uint64_t>& v) {
+  std::printf("constexpr uint64_t %s[] = {", name);
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(v[i]));
+  }
+  std::printf("};\n");
+}
+
+bool PrintGoldenMode() {
+  return std::getenv("SEGDB_PRINT_GOLDEN") != nullptr;
+}
+
+void CheckTrace(const CostTrace& trace, const char* tag,
+                const std::vector<uint64_t>& golden_misses,
+                const std::vector<uint64_t>& golden_output) {
+  if (PrintGoldenMode()) {
+    PrintArray((std::string("kGolden") + tag + "Misses").c_str(),
+               trace.misses);
+    PrintArray((std::string("kGolden") + tag + "Output").c_str(),
+               trace.output);
+    return;
+  }
+  EXPECT_EQ(trace.misses, golden_misses) << tag << ": per-query cold miss "
+      "counts drifted from the row-major seed — an I/O-visible change";
+  EXPECT_EQ(trace.output, golden_output) << tag << ": per-query result "
+      "counts drifted — the layout change altered query answers";
+}
+
+// Captured from the row-major seed tree (commit d95053f) at N=8192,
+// page_size=4096, GenMapLayer(seed)/GenVsQueries(seed, 20, box, 0.01).
+constexpr uint64_t kGoldenSolutionAMisses[] = {14, 15, 15, 15, 15, 15, 16,
+                                               15, 14, 17, 15, 15, 15, 15,
+                                               12, 15, 17, 15, 13, 12};
+constexpr uint64_t kGoldenSolutionAOutput[] = {1, 2, 0, 0, 0, 2, 0, 1, 0, 0,
+                                               1, 1, 0, 0, 1, 1, 0, 0, 1, 1};
+constexpr uint64_t kGoldenSolutionBMisses[] = {16, 15, 17, 17, 14, 16, 15,
+                                               17, 15, 11, 15, 16, 16, 16,
+                                               12, 16, 17, 16, 10, 15};
+constexpr uint64_t kGoldenSolutionBOutput[] = {1, 0, 0, 0, 0, 0, 0, 1, 0, 1,
+                                               1, 0, 0, 0, 0, 2, 0, 0, 0, 1};
+
+template <typename T, size_t N>
+std::vector<uint64_t> ToVec(const T (&a)[N]) {
+  return std::vector<uint64_t>(a, a + N);
+}
+
+TEST(GoldenIoTest, SolutionAColdMissCountsMatchSeed) {
+  const CostTrace trace = Measure<core::TwoLevelBinaryIndex>(1003, 11);
+  CheckTrace(trace, "SolutionA", ToVec(kGoldenSolutionAMisses),
+             ToVec(kGoldenSolutionAOutput));
+}
+
+TEST(GoldenIoTest, SolutionBColdMissCountsMatchSeed) {
+  const CostTrace trace = Measure<core::TwoLevelIntervalIndex>(1004, 13);
+  CheckTrace(trace, "SolutionB", ToVec(kGoldenSolutionBMisses),
+             ToVec(kGoldenSolutionBOutput));
+}
+
+}  // namespace
+}  // namespace segdb

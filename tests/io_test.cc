@@ -29,6 +29,21 @@ TEST(PageTest, ReadWriteArrays) {
   EXPECT_EQ(std::memcmp(values, out, sizeof(values)), 0);
 }
 
+TEST(PageTest, AccessAtExactPageEnd) {
+  // The bounds DCHECKs compute in uint64_t so an offset near UINT32_MAX
+  // cannot wrap past the page size; accesses ending exactly at the page
+  // boundary stay legal.
+  Page p(kPageSize);
+  p.WriteAt<uint64_t>(kPageSize - 8, 0x0123456789abcdefULL);
+  EXPECT_EQ(p.ReadAt<uint64_t>(kPageSize - 8), 0x0123456789abcdefULL);
+  const int64_t values[2] = {-1, 1};
+  p.WriteArray<int64_t>(kPageSize - 16, values, 2);
+  int64_t out[2] = {};
+  p.ReadArray<int64_t>(kPageSize - 16, out, 2);
+  EXPECT_EQ(out[0], -1);
+  EXPECT_EQ(out[1], 1);
+}
+
 TEST(PageTest, ZeroClearsContents) {
   Page p(kPageSize);
   p.WriteAt<uint64_t>(0, ~0ULL);

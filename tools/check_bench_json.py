@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schema validation for google-benchmark JSON output (CI bench smoke).
+
+Usage: tools/check_bench_json.py BENCH.json [required-name-substring ...]
+
+Checks (stdlib only, no third-party deps):
+  * top level has `context` and a non-empty `benchmarks` list;
+  * context names the host (`host_name`) and CPU count (`num_cpus`);
+  * every benchmark entry has a name, iterations >= 1, finite non-negative
+    real_time/cpu_time, and a time unit;
+  * aggregate rows (from --repeat) are allowed and recognized;
+  * benchmarks that errored (`error_occurred`) fail validation unless the
+    error is the documented SIMD-unavailable skip;
+  * each extra argv substring must match at least one benchmark name
+    (defaults to requiring the scan_kernel section).
+"""
+import json
+import math
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py BENCH.json [required-substring ...]")
+    path = sys.argv[1]
+    required = sys.argv[2:] or ["ScanKernel"]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        fail("missing context object")
+    for key in ("host_name", "num_cpus", "date"):
+        if key not in context:
+            fail(f"context.{key} missing")
+
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail("benchmarks missing or empty")
+
+    allowed_skip = "SIMD kernel not compiled in or not supported"
+    names = []
+    for b in benches:
+        name = b.get("name")
+        if not isinstance(name, str) or not name:
+            fail("benchmark without a name")
+        if b.get("error_occurred"):
+            if b.get("error_message") == allowed_skip:
+                continue
+            fail(f"{name}: error_occurred: {b.get('error_message')}")
+        names.append(name)
+        if b.get("run_type") == "aggregate":
+            continue  # mean/median/stddev rows from --repeat
+        iters = b.get("iterations")
+        if not isinstance(iters, int) or iters < 1:
+            fail(f"{name}: bad iterations {iters!r}")
+        for key in ("real_time", "cpu_time"):
+            v = b.get(key)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"{name}: bad {key} {v!r}")
+        if b.get("time_unit") not in ("ns", "us", "ms", "s"):
+            fail(f"{name}: bad time_unit {b.get('time_unit')!r}")
+
+    for sub in required:
+        if not any(sub in n for n in names):
+            fail(f"no successful benchmark matching {sub!r}")
+
+    print(f"check_bench_json: OK: {len(names)} benchmarks in {path}")
+
+
+if __name__ == "__main__":
+    main()
