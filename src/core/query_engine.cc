@@ -1,9 +1,9 @@
 #include "core/query_engine.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace segdb::core {
 
@@ -45,19 +45,25 @@ Status QueryEngine::QueryBatch(
   // Shared-cursor fan-out: each worker repeatedly claims the next
   // unclaimed query, so per-query cost skew balances dynamically while
   // every result still lands in its own slot (ordering preserved).
+  // `mu` guards only the completion count; the cursor is an atomic, and
+  // statuses[i] / (*results)[i] are owned by whichever worker claimed i
+  // (the final mutex hand-off publishes them to the waiting caller).
   struct BatchState {
     std::atomic<size_t> next{0};
     std::vector<Status> statuses;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t workers_left = 0;
+    util::Mutex mu;
+    util::CondVar done_cv;
+    size_t workers_left SEGDB_GUARDED_BY(mu) = 0;
   };
   BatchState state;
   state.statuses.assign(queries.size(), Status::OK());
 
   const size_t workers =
       std::min<size_t>(threads_, queries.size());
-  state.workers_left = workers;
+  {
+    util::MutexLock lock(&state.mu);
+    state.workers_left = workers;
+  }
 
   auto worker = [&index, &queries, results, &state] {
     for (;;) {
@@ -65,14 +71,14 @@ Status QueryEngine::QueryBatch(
       if (i >= queries.size()) break;
       state.statuses[i] = index.Query(queries[i], &(*results)[i]);
     }
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (--state.workers_left == 0) state.done_cv.notify_all();
+    util::MutexLock lock(&state.mu);
+    if (--state.workers_left == 0) state.done_cv.NotifyAll();
   };
 
   for (size_t w = 0; w < workers; ++w) pool_->Submit(worker);
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done_cv.wait(lock, [&state] { return state.workers_left == 0; });
+    util::MutexLock lock(&state.mu);
+    while (state.workers_left != 0) state.done_cv.Wait(state.mu);
   }
 
   for (Status& s : state.statuses) {

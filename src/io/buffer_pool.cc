@@ -121,7 +121,7 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   ++shard.stats.fetches;
   // Single probe on the hit path: try_emplace either finds the resident
   // frame or leaves a placeholder we fill (or erase) below.
@@ -165,7 +165,7 @@ Result<PageRef> BufferPool::NewPage() {
   Result<PageId> id = disk_->AllocatePage();
   if (!id.ok()) return id.status();
   Shard& shard = ShardFor(id.value());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   Result<size_t> frame = GrabFrame(shard);
   if (!frame.ok()) return frame.status();
   Frame& f = frames_[frame.value()];
@@ -182,7 +182,7 @@ Result<PageRef> BufferPool::NewPage() {
 Status BufferPool::FreePage(PageId id) {
   Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     auto it = shard.page_table.find(id);
     if (it != shard.page_table.end()) {
       Frame& f = frames_[it->second];
@@ -203,7 +203,7 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
   for (PageId id : ids) {
     if (id == kInvalidPageId) continue;
     Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     if (shard.page_table.find(id) != shard.page_table.end()) continue;
     // Free frames only: read-ahead must never displace demand-resident
     // pages, or it would perturb the measured hit/miss pattern.
@@ -231,7 +231,7 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
 
 Status BufferPool::FlushAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     for (size_t idx : shard.frames) {
       Frame& f = frames_[idx];
       if (f.id != kInvalidPageId && f.dirty.load(std::memory_order_relaxed)) {
@@ -246,7 +246,7 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::EvictAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     for (size_t idx : shard.frames) {
       Frame& f = frames_[idx];
       if (f.id == kInvalidPageId) continue;
@@ -269,7 +269,7 @@ Status BufferPool::EvictAll() {
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     total.fetches += shard.stats.fetches;
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
@@ -281,18 +281,25 @@ BufferPoolStats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     shard.stats = BufferPoolStats();
   }
 }
 
 Status BufferPool::CheckInvariants() const {
-  const uint64_t tick_now = tick_.load(std::memory_order_relaxed);
+  uint64_t tick_now = tick_.load(std::memory_order_relaxed);
   std::vector<bool> owned(frames_.size(), false);
   size_t resident = 0;
   size_t table_total = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = shards_[s];
+    // Hold the shard's mutex while auditing it. The audit is documented
+    // quiescent-only (the frame-vs-disk byte compare can race with pinned
+    // writers), but the page-table and stats reads are guarded state, and
+    // the thread-safety analysis rightly rejected the previous lock-free
+    // walk: an audit concurrent with a Fetch storm on another shard is
+    // legal and must not tear this shard's map.
+    util::MutexLock lock(&shard.mu);
     for (size_t idx : shard.frames) {
       if (idx >= frames_.size() || owned[idx]) {
         return Status::Corruption("frame owned by no or several shards");
@@ -303,7 +310,14 @@ Status BufferPool::CheckInvariants() const {
         return Status::Corruption("frame with negative pin count");
       }
       if (f.lru_tick.load(std::memory_order_relaxed) > tick_now) {
-        return Status::Corruption("frame LRU tick ahead of the pool clock");
+        // Unpins stamp frame ticks lock-free, so a concurrent reader can
+        // legitimately advance a frame past our clock snapshot; refresh
+        // the snapshot (the clock is monotonic) before calling it
+        // corruption.
+        tick_now = tick_.load(std::memory_order_relaxed);
+        if (f.lru_tick.load(std::memory_order_relaxed) > tick_now) {
+          return Status::Corruption("frame LRU tick ahead of the pool clock");
+        }
       }
       if (f.id == kInvalidPageId) {
         if (f.pin_count.load(std::memory_order_relaxed) != 0) {

@@ -18,13 +18,30 @@
 // writer with no concurrent readers (quiescence). Stats are kept per shard
 // and aggregated by stats(), so the miss counter still equals the paper's
 // I/O count.
+//
+// Lock discipline (compile-time checked on Clang, DESIGN.md section 12).
+// Each Shard::mu is a capability guarding that shard's page_table, stats,
+// and the shard-owned frames' non-atomic metadata (Frame::id,
+// Frame::prefetched). Shard mutexes are leaves and are never nested —
+// every public method locks at most one shard at a time (the quiescent
+// sweeps lock shards strictly one after another). Three fields
+// deliberately live OUTSIDE the capability as atomics:
+//   - Frame::pin_count: decremented lock-free by PageRef::Release from any
+//     thread (taking the shard lock on every unpin would serialize readers
+//     that never touch the page table); its release/acquire pairing with
+//     the eviction scan is documented at the use sites.
+//   - Frame::lru_tick: a monotonic recency stamp written on pin/unpin;
+//     eviction reads it only for *unpinned* frames under the shard lock,
+//     so a stale value can at worst pick a slightly older victim.
+//   - Frame::dirty: set by MarkDirty through a pinned PageRef without the
+//     shard lock; the pin itself keeps eviction away, and the unpin
+//     release-store publishes it to the next eviction scan.
 #ifndef SEGDB_IO_BUFFER_POOL_H_
 #define SEGDB_IO_BUFFER_POOL_H_
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +49,7 @@
 #include "io/disk_manager.h"
 #include "io/page.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace segdb::io {
 
@@ -129,8 +147,13 @@ class BufferPool {
 
   // Audits the pool: page-table/frame agreement, pin and LRU bookkeeping,
   // stats consistency, and clean resident frames matching their on-disk
-  // contents (via DiskManager::PeekPage, so no I/O is counted).
-  // Quiescent only.
+  // contents (via DiskManager::PeekPage, so no I/O is counted). Takes each
+  // shard's mutex while auditing it, so it may run concurrently with the
+  // pure read path (Fetch/Release/Prefetch of clean pages) — PR 4 fixed
+  // the lock-free shard walk the thread-safety annotations flagged. It
+  // must still not overlap writers: the clean-frame-vs-disk byte compare
+  // races with writes through a pinned PageRef, which no pool lock can
+  // exclude.
   Status CheckInvariants() const;
 
  private:
@@ -143,17 +166,25 @@ class BufferPool {
     std::atomic<int> pin_count{0};
     std::atomic<bool> dirty{false};
     // Resident via Prefetch but not yet demand-fetched: the first Fetch
-    // charges the miss and clears this. Guarded by the shard mutex.
+    // charges the miss and clears this. Guarded by the owning shard's
+    // mutex — a per-frame fact the annotation language cannot name from
+    // here (the frame does not know its shard), so the guard is enforced
+    // by SEGDB_REQUIRES on every helper that touches it instead of
+    // SEGDB_GUARDED_BY.
     bool prefetched = false;
     std::atomic<uint64_t> lru_tick{0};
   };
 
   struct Shard {
-    mutable std::mutex mu;  // stats() aggregates under it from const context
+    // mutable: stats() and CheckInvariants() aggregate under it from
+    // const context.
+    mutable util::Mutex mu;
     // page id -> global frame index; all mapped frames belong to `frames`.
-    std::unordered_map<PageId, size_t> page_table;
-    std::vector<size_t> frames;  // global frame indices owned by the shard
-    BufferPoolStats stats;       // guarded by mu
+    std::unordered_map<PageId, size_t> page_table SEGDB_GUARDED_BY(mu);
+    // Global frame indices owned by the shard. Fixed at construction,
+    // read-only afterwards — no guard needed.
+    std::vector<size_t> frames;
+    BufferPoolStats stats SEGDB_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id) { return shards_[id % shards_.size()]; }
@@ -162,11 +193,9 @@ class BufferPool {
   }
 
   void Unpin(size_t frame);
-  // Finds a free or evictable frame in `shard` (mutex held); writes back
-  // the victim if dirty.
-  Result<size_t> GrabFrame(Shard& shard);
-  // Installs page `id` into `frame` after a physical read (mutex held).
-  void InstallFrame(Shard& shard, size_t frame, PageId id, bool pinned);
+  // Finds a free or evictable frame in `shard`; writes back the victim if
+  // dirty.
+  Result<size_t> GrabFrame(Shard& shard) SEGDB_REQUIRES(shard.mu);
 
   DiskManager* disk_;
   const uint32_t page_size_;  // hoisted off the disk for the fetch path

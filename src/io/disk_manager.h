@@ -11,6 +11,15 @@
 // ResetStats — requires external synchronization with no concurrent
 // readers; the BufferPool enforces this by funnelling writes through its
 // quiescent writer path.
+//
+// Lock discipline (DESIGN.md section 12): DiskManager intentionally holds
+// NO capability of its own — there is no mutex here for the thread-safety
+// analysis to track, because the quiescence contract above is a phase
+// discipline (build vs. query), not a lock. The compile-time layer that
+// protects this class is tools/segdb_lint.py instead: ReadPage/WritePage
+// may only be called from src/io/ (the BufferPool), which keeps the
+// paper's I/O accounting — pool misses == charged block reads — from
+// being bypassed by an index structure talking to the disk directly.
 #ifndef SEGDB_IO_DISK_MANAGER_H_
 #define SEGDB_IO_DISK_MANAGER_H_
 

@@ -1,0 +1,169 @@
+// Synchronization primitives with Clang Thread Safety Analysis capability
+// annotations (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// This header is the ONLY place in src/ allowed to touch std::mutex and
+// friends — tools/segdb_lint.py enforces that. Everything concurrent in
+// segdb locks through util::Mutex / util::MutexLock / util::CondVar so
+// that a Clang build with -DSEGDB_THREAD_SAFETY=ON (which adds
+// -Werror=thread-safety) proves the locking contracts at compile time:
+//
+//   - data members annotated SEGDB_GUARDED_BY(mu) can only be touched
+//     while `mu` is held;
+//   - functions annotated SEGDB_REQUIRES(mu) can only be called while
+//     `mu` is held;
+//   - a SEGDB_SCOPED_CAPABILITY guard (MutexLock) acquires in its
+//     constructor and provably releases on every scope exit.
+//
+// On non-Clang compilers (the container toolchain is GCC) every macro
+// expands to nothing and Mutex/MutexLock behave exactly like
+// std::mutex/std::lock_guard — zero overhead, zero semantic change. The
+// analysis is purely static; a GCC binary and a Clang binary run the same
+// code.
+//
+// Escape hatch: SEGDB_NO_THREAD_SAFETY_ANALYSIS turns the analysis off
+// for one function. Every use MUST carry a `// SAFETY:` comment on the
+// same or the preceding line explaining why the access is sound;
+// tools/segdb_lint.py rejects naked suppressions.
+#ifndef SEGDB_UTIL_SYNC_H_
+#define SEGDB_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros. Clang-only; no-ops elsewhere.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SEGDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SEGDB_THREAD_ANNOTATION_
+#define SEGDB_THREAD_ANNOTATION_(x)
+#endif
+
+// Declares a type to be a capability ("mutex" names it in diagnostics).
+#define SEGDB_CAPABILITY(x) SEGDB_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII type whose lifetime equals a capability hold.
+#define SEGDB_SCOPED_CAPABILITY SEGDB_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member: may only be read or written while holding `x`.
+#define SEGDB_GUARDED_BY(x) SEGDB_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define SEGDB_PT_GUARDED_BY(x) SEGDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function precondition: caller must hold the capability (and keeps it).
+#define SEGDB_REQUIRES(...) \
+  SEGDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SEGDB_REQUIRES_SHARED(...) \
+  SEGDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define SEGDB_ACQUIRE(...) \
+  SEGDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SEGDB_ACQUIRE_SHARED(...) \
+  SEGDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define SEGDB_RELEASE(...) \
+  SEGDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SEGDB_RELEASE_SHARED(...) \
+  SEGDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define SEGDB_TRY_ACQUIRE(...) \
+  SEGDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Function precondition: caller must NOT hold the capability (anti-
+// deadlock: e.g. a public method that locks internally).
+#define SEGDB_EXCLUDES(...) SEGDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations between capabilities.
+#define SEGDB_ACQUIRED_BEFORE(...) \
+  SEGDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SEGDB_ACQUIRED_AFTER(...) \
+  SEGDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (teaches the analysis).
+#define SEGDB_ASSERT_CAPABILITY(x) \
+  SEGDB_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function returns a reference to a capability.
+#define SEGDB_RETURN_CAPABILITY(x) SEGDB_THREAD_ANNOTATION_(lock_returned(x))
+
+// Disables the analysis for one function. Requires a `// SAFETY:` comment
+// (enforced by tools/segdb_lint.py).
+#define SEGDB_NO_THREAD_SAFETY_ANALYSIS \
+  SEGDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace segdb::util {
+
+class CondVar;
+
+// std::mutex with a capability identity. Prefer MutexLock over manual
+// Lock/Unlock pairs; the scoped form is what the analysis checks best.
+class SEGDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SEGDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() SEGDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() SEGDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex, the segdb replacement for std::lock_guard /
+// std::unique_lock. Scoped capability: the analysis knows the mutex is
+// held from construction to every scope exit (return, continue, throw).
+class SEGDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SEGDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SEGDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable for util::Mutex. Wait takes the mutex explicitly so
+// the analysis can match the caller's held capability against the wait
+// precondition (a stored Mutex* would be opaque to it). As with
+// std::condition_variable, Wait can wake spuriously — always re-check the
+// predicate in a loop (or use the predicate overload).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and re-acquires `mu` before
+  // returning. The caller must hold `mu`, and still holds it afterwards —
+  // REQUIRES (not RELEASE+ACQUIRE) is the annotation that models the net
+  // effect across the call.
+  void Wait(Mutex& mu) SEGDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  // No predicate overload on purpose: the analysis does not carry the
+  // held capability into a lambda body, so a predicate reading guarded
+  // state would warn. Write the `while (!pred) cv.Wait(mu);` loop inline,
+  // where the guard is visible to the analysis.
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace segdb::util
+
+#endif  // SEGDB_UTIL_SYNC_H_

@@ -2,19 +2,22 @@
 // engine). Deliberately minimal: FIFO task queue, no futures, no work
 // stealing — callers that need completion tracking count tasks themselves
 // (see core::QueryEngine). Submitted tasks must not throw.
+//
+// Lock discipline (checked by Clang Thread Safety Analysis, see
+// util/sync.h): the queue and the stop flag are guarded by `mu_`; workers
+// block on `cv_` under `mu_` and drain the queue before exiting.
 #ifndef SEGDB_UTIL_THREAD_POOL_H_
 #define SEGDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace segdb::util {
 
@@ -34,31 +37,31 @@ class ThreadPool {
   // Runs every queued task, then joins the workers.
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
   size_t size() const { return workers_.size(); }
 
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) SEGDB_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       SEGDB_DCHECK(!stop_) << "Submit after shutdown";
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() SEGDB_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stop_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -68,10 +71,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SEGDB_GUARDED_BY(mu_);
+  bool stop_ SEGDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace segdb::util

@@ -283,6 +283,80 @@ TEST(ConcurrencyTest, QueryEngineEmptyBatch) {
   EXPECT_TRUE(results.empty());
 }
 
+// Regression for a PR 4 lock-discipline finding surfaced by the
+// thread-safety annotations: CheckInvariants walked every shard's page
+// table and stats without holding the shard mutexes, so an audit
+// overlapping a read storm raced the map mutations (a TSan hit, and a
+// potential crash on a rehash). The audit now locks each shard while
+// inspecting it and tolerates lock-free unpin tick advances, making it
+// legal concurrently with the *pure* read path (clean pages, no writers).
+TEST(ConcurrencyTest, AuditConcurrentWithReadStorm) {
+  io::DiskManager disk(256);
+  // 2 shards with a working set twice the frames: the storm must keep
+  // evicting, i.e. keep mutating the page tables the audit walks — with
+  // an all-resident working set the map never changes and the pre-fix
+  // race would not fire.
+  io::BufferPool pool(&disk, 2048);
+  auto ids = FillPages(&pool, 4096);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(4000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const io::PageId id = ids[rng.Uniform(ids.size())];
+        auto ref = pool.Fetch(id);
+        if (!ref.ok()) {
+          if (ref.status().code() != StatusCode::kResourceExhausted) ++bad;
+          continue;
+        }
+        if (ref.value().page().ReadAt<uint64_t>(0) != Stamp(id)) ++bad;
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Status audit = pool.CheckInvariants();
+    EXPECT_TRUE(audit.ok()) << audit.message();
+  }
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(bad.load(), 0u);
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(ConcurrencyTest, StatsConsistentDuringFetchStorm) {
+  // stats() aggregates per-shard counters under the shard locks; polled
+  // mid-storm it must always satisfy hits + misses == fetches and stay
+  // monotone (each shard's triple is updated atomically under its mutex).
+  io::DiskManager disk(256);
+  io::BufferPool pool(&disk, 4096);
+  auto ids = FillPages(&pool, 512);
+  pool.ResetStats();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(5000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto ref = pool.Fetch(ids[rng.Uniform(ids.size())]);
+        if (!ref.ok()) continue;  // all-pinned under pressure is legal
+      }
+    });
+  }
+  uint64_t last_fetches = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = pool.stats();
+    EXPECT_EQ(s.hits + s.misses, s.fetches);
+    EXPECT_GE(s.fetches, last_fetches);
+    last_fetches = s.fetches;
+  }
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, s.fetches);
+}
+
 TEST(ConcurrencyTest, ThreadPoolRunsEverySubmittedTask) {
   util::ThreadPool tp(4);
   std::atomic<int> sum{0};

@@ -1,21 +1,35 @@
 #!/usr/bin/env bash
-# clang-tidy over every segdb translation unit, using the checked-in
-# .clang-tidy and the compilation database of an existing build directory.
+# segdb lint driver: the architecture linter (tools/segdb_lint.py, pure
+# Python, always runs) followed by clang-tidy over every translation unit,
+# using the checked-in .clang-tidy and the compilation database of an
+# existing build directory.
 #
 # Usage: tools/lint.sh [build-dir]     (default: build)
 #
-# Exits 0 with a notice when clang-tidy is not installed, so the CMake
+# clang-tidy is skipped with a notice when not installed, so the CMake
 # `lint` target stays runnable on minimal toolchains; CI installs
-# clang-tidy and gets the real pass.
+# clang-tidy and gets the real pass. segdb_lint.py has no toolchain
+# dependency and its failures always fail this script.
+#
+# Exit-code discipline: each stage runs even if an earlier one failed
+# (`|| status=1` keeps `set -e` from aborting between stages), and the
+# combined status is propagated at the end — previously a clang-tidy
+# warnings-as-errors failure under `set -euo pipefail` aborted the script
+# mid-stream, which the CMake `lint` target reported without ever running
+# the remaining stages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
+status=0
+
+echo "lint.sh: segdb_lint.py (architecture rules)"
+python3 tools/segdb_lint.py || status=1
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "lint.sh: clang-tidy not found on PATH; skipping lint." >&2
+  echo "lint.sh: clang-tidy not found on PATH; skipping clang-tidy." >&2
   echo "lint.sh: install clang-tidy (e.g. apt-get install clang-tidy) to run it." >&2
-  exit 0
+  exit "${status}"
 fi
 
 if [ ! -f "${build_dir}/compile_commands.json" ]; then
@@ -35,5 +49,11 @@ if [ "${#files[@]}" -eq 0 ]; then
 fi
 
 echo "lint.sh: clang-tidy over ${#files[@]} files (database: ${build_dir})"
-clang-tidy -p "${build_dir}" --quiet "${files[@]}"
-echo "lint.sh: OK"
+clang-tidy -p "${build_dir}" --quiet "${files[@]}" || status=1
+
+if [ "${status}" -eq 0 ]; then
+  echo "lint.sh: OK"
+else
+  echo "lint.sh: FAILED (see diagnostics above)" >&2
+fi
+exit "${status}"

@@ -1,0 +1,378 @@
+#!/usr/bin/env python3
+"""segdb architecture linter.
+
+Enforces repo-specific invariants that clang-tidy cannot express. Runs
+everywhere (no clang needed): plain-stdlib Python over the checked-in
+sources. Wired into tools/lint.sh, the CMake `segdb-lint` target, ctest
+(SegdbLintTree), and CI.
+
+Rules
+-----
+layering        src/ is a DAG of layers (util <- geom <- io <- {btree,
+                pst, itree, segtree} <- core <- baseline; workload sits
+                beside core). A quoted #include may only point at the
+                file's own layer or a layer it is allowed to depend on —
+                no back-edges, ever. New top-level src/ directories must
+                be added to ALLOWED_DEPS or the linter rejects them.
+raw-sync        std::mutex / std::lock_guard / std::condition_variable
+                and friends appear only in src/util/sync.h. Everything
+                else locks through the annotated util::Mutex wrappers so
+                Clang Thread Safety Analysis sees every lock site.
+io-bypass       DiskManager::ReadPage / WritePage are called only from
+                src/io/ (the BufferPool). Index code that talked to the
+                disk directly would silently corrupt the paper's I/O
+                accounting (pool misses == charged block reads).
+naked-suppression
+                Every NO_THREAD_SAFETY_ANALYSIS use carries a
+                `// SAFETY:` justification on the same or one of the two
+                preceding lines.
+thread-local    `thread_local` only in the audited allowlist (per-worker
+                result arenas); ad-hoc thread-locals hide cross-thread
+                lifetime bugs from the annotations.
+
+Comment and string-literal contents are ignored for every rule except
+naked-suppression's justification search (which looks for comments).
+
+Usage: segdb_lint.py [--root DIR] [files...]
+Files default to `git ls-files` (tracked + untracked, ignoring ignored)
+under src/ tests/ bench/ examples/, falling back to a directory walk when
+git is unavailable. Exits non-zero iff any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+# Allowed #include dependencies between the top-level src/ layers
+# (self-includes are always allowed). This is the layering DAG; edges not
+# listed here are back-edges and fail the lint.
+ALLOWED_DEPS = {
+    "util": set(),
+    "geom": {"util"},
+    "io": {"geom", "util"},
+    "btree": {"io", "geom", "util"},
+    "pst": {"io", "geom", "util"},
+    "itree": {"pst", "btree", "io", "geom", "util"},
+    "segtree": {"btree", "io", "geom", "util"},
+    "core": {"pst", "itree", "segtree", "btree", "io", "geom", "util"},
+    "baseline": {"core", "pst", "itree", "segtree", "btree", "io", "geom",
+                 "util"},
+    "workload": {"geom", "util"},
+}
+
+# The only file in src/ allowed to use raw standard-library sync types.
+SYNC_HEADER = "src/util/sync.h"
+
+# Files allowed to declare thread_local state. Additions need the same
+# review as a new mutex: who owns the lifetime, which threads see it.
+THREAD_LOCAL_ALLOWLIST = {
+    "src/geom/filter_kernel.cc",  # per-worker ResultBuffer arena
+}
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any"
+    r")\b")
+IO_BYPASS_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
+# Matched on stripped lines (so commented-out includes don't count); the
+# path itself is re-extracted from the raw line because the stripper
+# blanks string-literal contents, include paths included.
+INCLUDE_DIRECTIVE_RE = re.compile(r'^\s*#\s*include\s*"')
+INCLUDE_PATH_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+SUPPRESSION_TOKEN = "NO_THREAD_SAFETY_ANALYSIS"
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+SAFETY_COMMENT_RE = re.compile(r"//.*\bSAFETY:")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Comment / string stripping (line structure preserved)
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, keeping newlines so
+    line numbers survive. Handles //, /* */, escape sequences, and the
+    simple R"( )" raw-string form."""
+    out = []
+    i = 0
+    n = len(text)
+    CODE, LINE, BLOCK, STR, CHAR, RAW = range(6)
+    state = CODE
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == CODE:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                if i > 0 and text[i - 1] == "R" and (
+                        i < 2 or not text[i - 2].isalnum()):
+                    m = re.match(r'"([^()\\ ]{0,16})\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = RAW
+                        out.append('"')
+                        i += 1
+                        continue
+                state = STR
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == LINE:
+            if c == "\n":
+                state = CODE
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = CODE
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == STR:
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = CODE
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = CODE
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # RAW
+            if text.startswith(raw_delim, i):
+                state = CODE
+                out.append(raw_delim)
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rules (each takes the repo-relative path plus raw and stripped lines)
+# --------------------------------------------------------------------------
+
+def check_layering(rel, raw_lines, code_lines):
+    if not rel.startswith("src/"):
+        return
+    parts = rel.split("/")
+    if len(parts) < 3:  # src/CMakeLists.txt etc.
+        return
+    layer = parts[1]
+    if layer not in ALLOWED_DEPS:
+        yield Violation(rel, 1, "layering",
+                        f"unknown src/ layer '{layer}'; add it to "
+                        "ALLOWED_DEPS in tools/segdb_lint.py")
+        return
+    allowed = ALLOWED_DEPS[layer] | {layer}
+    for lineno, line in enumerate(code_lines, 1):
+        if not INCLUDE_DIRECTIVE_RE.match(line):
+            continue
+        m = INCLUDE_PATH_RE.search(raw_lines[lineno - 1])
+        if not m:
+            continue
+        included = m.group(1)
+        target = included.split("/")[0] if "/" in included else layer
+        if target not in ALLOWED_DEPS:
+            yield Violation(rel, lineno, "layering",
+                            f'include "{included}" does not resolve to a '
+                            "known src/ layer")
+        elif target not in allowed:
+            yield Violation(
+                rel, lineno, "layering",
+                f"layer '{layer}' must not include layer '{target}' "
+                f"(allowed: {', '.join(sorted(allowed))})")
+
+
+def check_raw_sync(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel == SYNC_HEADER:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            yield Violation(
+                rel, lineno, "raw-sync",
+                f"std::{m.group(1)} outside {SYNC_HEADER}; use the "
+                "annotated util::Mutex / util::MutexLock / util::CondVar")
+
+
+def check_io_bypass(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel.startswith("src/io/"):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = IO_BYPASS_RE.search(line)
+        if m:
+            yield Violation(
+                rel, lineno, "io-bypass",
+                f"{m.group(1)}() outside src/io/ bypasses the BufferPool "
+                "and breaks the paper's I/O accounting; fetch pages "
+                "through io::BufferPool")
+
+
+def check_naked_suppression(rel, raw_lines, code_lines):
+    for lineno, line in enumerate(code_lines, 1):
+        if SUPPRESSION_TOKEN not in line:
+            continue
+        if line.lstrip().startswith("#"):
+            continue  # the macro's own #define / #ifdef plumbing
+        window = raw_lines[max(0, lineno - 3):lineno]
+        if any(SAFETY_COMMENT_RE.search(raw) for raw in window):
+            continue
+        yield Violation(
+            rel, lineno, "naked-suppression",
+            f"{SUPPRESSION_TOKEN} without a '// SAFETY:' justification on "
+            "the same or one of the two preceding lines")
+
+
+def check_thread_local(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel in THREAD_LOCAL_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        if THREAD_LOCAL_RE.search(line):
+            yield Violation(
+                rel, lineno, "thread-local",
+                "thread_local outside the allowlist in tools/segdb_lint.py; "
+                "per-thread state needs a lifetime review before it is "
+                "exempted")
+
+
+RULES = (check_layering, check_raw_sync, check_io_bypass,
+         check_naked_suppression, check_thread_local)
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def lint_text(rel: str, text: str) -> list[Violation]:
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    # splitlines() on stripped text always matches raw line count: the
+    # stripper preserves every newline.
+    violations = []
+    for rule in RULES:
+        violations.extend(rule(rel, raw_lines, code_lines))
+    return violations
+
+
+def collect_files(root: str) -> list[str]:
+    """Repo-relative source files: git (tracked + unignored untracked)
+    when available, else a filesystem walk skipping build trees."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "ls-files", "-co", "--exclude-standard",
+             "--", *SOURCE_DIRS],
+            capture_output=True, text=True, check=True).stdout
+        files = [f for f in out.splitlines() if f.endswith(SOURCE_EXTENSIONS)]
+        if files:
+            return sorted(files)
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    files = []
+    for top in SOURCE_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in filenames:
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    files.append(os.path.relpath(full, root).replace(
+                        os.sep, "/"))
+    return sorted(files)
+
+
+def run(root: str, files: list[str] | None = None) -> list[Violation]:
+    if files is None:
+        files = collect_files(root)
+    violations = []
+    for rel in files:
+        rel = rel.replace(os.sep, "/")
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            violations.extend(lint_text(rel, fh.read()))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("files", nargs="*",
+                        help="repo-relative files to lint (default: all "
+                             "sources under src/ tests/ bench/ examples/)")
+    args = parser.parse_args(argv)
+
+    violations = run(args.root, args.files or None)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"segdb_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("segdb_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
