@@ -26,13 +26,18 @@ Status FullScanIndex::Clear() {
 }
 
 Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
-  SEGDB_RETURN_IF_ERROR(Clear());
+  // Build the new page list aside, then swap: a failed allocation
+  // mid-build must leave the previous contents intact.
+  std::vector<io::PageId> fresh;
   size_t i = 0;
   while (i < segments.size()) {
     const uint32_t take = static_cast<uint32_t>(
         std::min<size_t>(PerPage(), segments.size() - i));
     auto ref = pool_->NewPage();
-    if (!ref.ok()) return ref.status();
+    if (!ref.ok()) {
+      for (io::PageId id : fresh) pool_->FreePage(id).IgnoreError();
+      return ref.status();
+    }
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
     // Columnar strips at the fixed page capacity: Insert/Erase mutate
@@ -40,9 +45,11 @@ Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
     io::ColumnarPageView(&p, kHeader, PerPage())
         .WriteRange(0, segments.data() + i, take);
     ref.value().MarkDirty();
-    pages_.push_back(ref.value().page_id());
+    fresh.push_back(ref.value().page_id());
     i += take;
   }
+  SEGDB_RETURN_IF_ERROR(Clear());  // FreePage is reliable by contract
+  pages_ = std::move(fresh);
   size_ = segments.size();
   return Status::OK();
 }

@@ -54,13 +54,23 @@ Result<io::PageId> RTreeIndex::PackLevel(std::vector<Entry> entries,
                                          bool leaf_level, uint32_t* height) {
   // STR: tile by x into vertical strips of ~sqrt(slices) pages, sort each
   // strip by y-center, pack runs of `capacity_`.
+  //
+  // Fault-atomic: a failed allocation frees every page this pack already
+  // claimed before the error returns, so callers see an all-or-nothing
+  // build.
+  std::vector<io::PageId> allocated;
+  const auto unwind = [&](const Status& st) {
+    for (io::PageId id : allocated) pool_->FreePage(id).IgnoreError();
+    page_count_ -= allocated.size();
+    return st;
+  };
   *height = 1;
   bool leaf = leaf_level;
   while (true) {
     const uint64_t pages_needed = CeilDiv(entries.size(), capacity_);
     if (pages_needed <= 1) {
       auto ref = pool_->NewPage();
-      if (!ref.ok()) return ref.status();
+      if (!ref.ok()) return unwind(ref.status());
       io::Page& p = ref.value().page();
       SetLeaf(p, leaf);
       SetCount(p, static_cast<uint32_t>(entries.size()));
@@ -90,7 +100,7 @@ Result<io::PageId> RTreeIndex::PackLevel(std::vector<Entry> entries,
         const uint32_t take = static_cast<uint32_t>(
             std::min<size_t>(capacity_, end - i));
         auto ref = pool_->NewPage();
-        if (!ref.ok()) return ref.status();
+        if (!ref.ok()) return unwind(ref.status());
         io::Page& p = ref.value().page();
         SetLeaf(p, leaf);
         SetCount(p, take);
@@ -101,6 +111,7 @@ Result<io::PageId> RTreeIndex::PackLevel(std::vector<Entry> entries,
         }
         ref.value().MarkDirty();
         ++page_count_;
+        allocated.push_back(ref.value().page_id());
         Entry parent{};
         parent.rect = mbr;
         parent.child = ref.value().page_id();
@@ -132,25 +143,31 @@ Status RTreeIndex::FreeSubtree(io::PageId id) {
 }
 
 Status RTreeIndex::BulkLoad(std::span<const Segment> segments) {
+  // Pack the replacement tree aside, then swap: a failed allocation
+  // mid-pack must leave the previous contents intact and queryable.
+  io::PageId fresh_root = io::kInvalidPageId;
+  uint32_t fresh_height = 0;
+  if (!segments.empty()) {
+    std::vector<Entry> entries;
+    entries.reserve(segments.size());
+    for (const Segment& s : segments) {
+      Entry e{};
+      e.rect = BoundsOf(s);
+      e.child = io::kInvalidPageId;
+      e.seg = s;
+      entries.push_back(e);
+    }
+    Result<io::PageId> root =
+        PackLevel(std::move(entries), true, &fresh_height);
+    if (!root.ok()) return root.status();
+    fresh_root = root.value();
+  }
   if (root_ != io::kInvalidPageId) {
-    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
-    root_ = io::kInvalidPageId;
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));  // reliable metadata ops
   }
+  root_ = fresh_root;
+  height_ = fresh_height;
   size_ = segments.size();
-  height_ = 0;
-  if (segments.empty()) return Status::OK();
-  std::vector<Entry> entries;
-  entries.reserve(segments.size());
-  for (const Segment& s : segments) {
-    Entry e{};
-    e.rect = BoundsOf(s);
-    e.child = io::kInvalidPageId;
-    e.seg = s;
-    entries.push_back(e);
-  }
-  Result<io::PageId> root = PackLevel(std::move(entries), true, &height_);
-  if (!root.ok()) return root.status();
-  root_ = root.value();
   return Status::OK();
 }
 
@@ -208,7 +225,8 @@ void RTreeIndex::LinearSplit(std::vector<Entry>& all,
 }
 
 Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
-    io::PageId node, uint32_t level, const Entry& entry, Rect* new_rect) {
+    io::PageId node, uint32_t level, const Entry& entry, Rect* new_rect,
+    std::vector<io::PageId>* reserve) {
   auto ref = pool_->Fetch(node);
   if (!ref.ok()) return ref.status();
   io::Page& p = ref.value().page();
@@ -241,7 +259,12 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
     ref.value().MarkDirty();
     const bool was_leaf = IsLeaf(p);
     ref.value().Release();
-    auto nref = pool_->NewPage();
+    // The sibling comes from the pre-allocated reserve, so the cascade
+    // cannot fail here with the node already truncated to its left half.
+    SEGDB_DCHECK(!reserve->empty());
+    const io::PageId sibling = reserve->back();
+    reserve->pop_back();
+    auto nref = pool_->Fetch(sibling);
     if (!nref.ok()) return nref.status();
     ++page_count_;
     io::Page& np = nref.value().page();
@@ -279,7 +302,7 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
   ref.value().Release();
   Rect child_rect{};
   Result<SplitResult> sub =
-      InsertRecursive(chosen.child, level - 1, entry, &child_rect);
+      InsertRecursive(chosen.child, level - 1, entry, &child_rect, reserve);
   if (!sub.ok()) return sub.status();
 
   auto wref = pool_->Fetch(node);
@@ -313,7 +336,10 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
         lr = Merge(lr, left[i].rect);
       }
       wref.value().Release();
-      auto nref = pool_->NewPage();
+      SEGDB_DCHECK(!reserve->empty());
+      const io::PageId sibling = reserve->back();
+      reserve->pop_back();
+      auto nref = pool_->Fetch(sibling);
       if (!nref.ok()) return nref.status();
       ++page_count_;
       io::Page& np = nref.value().page();
@@ -347,7 +373,6 @@ Status RTreeIndex::Insert(const Segment& segment) {
   entry.rect = BoundsOf(segment);
   entry.child = io::kInvalidPageId;
   entry.seg = segment;
-  ++size_;
   if (root_ == io::kInvalidPageId) {
     auto ref = pool_->NewPage();
     if (!ref.ok()) return ref.status();
@@ -359,14 +384,35 @@ Status RTreeIndex::Insert(const Segment& segment) {
     ref.value().MarkDirty();
     root_ = ref.value().page_id();
     height_ = 1;
+    ++size_;
     return Status::OK();
+  }
+  // Pre-allocate the worst-case split cascade (one sibling per level plus
+  // a new root) before touching any node: every allocation that can fail
+  // happens while the tree is still untouched, so a fault leaves it
+  // exactly as it was. Unused reserves are returned afterwards.
+  std::vector<io::PageId> reserve;
+  reserve.reserve(height_ + 1);
+  for (uint32_t i = 0; i < height_ + 1; ++i) {
+    auto ref = pool_->NewPage();
+    if (!ref.ok()) {
+      for (io::PageId id : reserve) pool_->FreePage(id).IgnoreError();
+      return ref.status();
+    }
+    reserve.push_back(ref.value().page_id());
   }
   Rect new_rect{};
   Result<SplitResult> result =
-      InsertRecursive(root_, height_, entry, &new_rect);
-  if (!result.ok()) return result.status();
+      InsertRecursive(root_, height_, entry, &new_rect, &reserve);
+  if (!result.ok()) {
+    for (io::PageId id : reserve) pool_->FreePage(id).IgnoreError();
+    return result.status();
+  }
   if (result.value().split) {
-    auto ref = pool_->NewPage();
+    SEGDB_DCHECK(!reserve.empty());
+    const io::PageId new_root = reserve.back();
+    reserve.pop_back();
+    auto ref = pool_->Fetch(new_root);
     if (!ref.ok()) return ref.status();
     ++page_count_;
     io::Page& p = ref.value().page();
@@ -380,9 +426,13 @@ Status RTreeIndex::Insert(const Segment& segment) {
     p.WriteAt<Entry>(EntryOff(0), l);
     p.WriteAt<Entry>(EntryOff(1), r);
     ref.value().MarkDirty();
-    root_ = ref.value().page_id();
+    root_ = new_root;
     ++height_;
   }
+  for (io::PageId id : reserve) {
+    pool_->FreePage(id).IgnoreError();  // unused cascade reserves
+  }
+  ++size_;
   return Status::OK();
 }
 

@@ -85,8 +85,12 @@ class RTreeIndex final : public core::SegmentIndex {
     Rect left_rect{}, right_rect{};
     io::PageId right = io::kInvalidPageId;
   };
+  // `reserve` holds pre-allocated page ids for the worst-case split
+  // cascade (one per level plus a new root), so no allocation can fail
+  // after the first page of the tree has been touched.
   Result<SplitResult> InsertRecursive(io::PageId node, uint32_t level,
-                                      const Entry& entry, Rect* new_rect);
+                                      const Entry& entry, Rect* new_rect,
+                                      std::vector<io::PageId>* reserve);
   static void LinearSplit(std::vector<Entry>& all, std::vector<Entry>* left,
                           std::vector<Entry>* right);
 

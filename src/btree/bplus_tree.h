@@ -327,6 +327,20 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
   }
 #endif
 
+  // On a mid-build failure, release every page built so far and leave the
+  // tree in its (empty) post-Clear state rather than leaking a half-built
+  // level with stale counters.
+  std::vector<io::PageId> built;
+  auto unwind = [&](Status cause) {
+    for (io::PageId id : built) pool_->FreePage(id).IgnoreError();
+    root_ = io::kInvalidPageId;
+    height_ = 0;
+    size_ = 0;
+    page_count_ = 0;
+    if (positions != nullptr) positions->clear();
+    return cause;
+  };
+
   // Level 0: packed leaves.
   struct Entry {
     Record first;
@@ -339,7 +353,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
     const uint32_t take = static_cast<uint32_t>(
         std::min<size_t>(leaf_capacity_, sorted.size() - i));
     auto ref = pool_->NewPage();
-    if (!ref.ok()) return ref.status();
+    if (!ref.ok()) return unwind(ref.status());
     io::Page& p = ref.value().page();
     SetLeaf(p, true);
     SetCount(p, take);
@@ -353,10 +367,11 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
         positions->push_back(Position{id, k, true});
       }
     }
+    built.push_back(id);
     if (prev != io::kInvalidPageId) {
       ref.value().Release();
       auto prev_ref = pool_->Fetch(prev);
-      if (!prev_ref.ok()) return prev_ref.status();
+      if (!prev_ref.ok()) return unwind(prev_ref.status());
       SetLeafNext(prev_ref.value().page(), id);
       prev_ref.value().MarkDirty();
     }
@@ -377,7 +392,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
       // Avoid leaving a single orphan child for the last node.
       if (level.size() - j - take == 1) --take;
       auto ref = pool_->NewPage();
-      if (!ref.ok()) return ref.status();
+      if (!ref.ok()) return unwind(ref.status());
       io::Page& p = ref.value().page();
       SetLeaf(p, false);
       SetCount(p, take - 1);
@@ -386,6 +401,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
         if (k > 0) p.WriteAt<Record>(SepOff(k - 1), level[j + k].first);
       }
       ref.value().MarkDirty();
+      built.push_back(ref.value().page_id());
       next_level.push_back(Entry{level[j].first, ref.value().page_id()});
       ++page_count_;
       j += take;
@@ -417,10 +433,11 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     return Status::OK();
   }
 
-  // Descend, remembering the path for splits.
+  // Descend, remembering the path (and node fill) for splits.
   struct PathEntry {
     io::PageId id;
     uint32_t child_index;
+    uint32_t count;
   };
   std::vector<PathEntry> path;
   io::PageId cur = root_;
@@ -430,13 +447,19 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     io::Page& p = ref.value().page();
     if (IsLeaf(p)) break;
     const uint32_t ci = PickChildUpper(p, record);
-    path.push_back(PathEntry{cur, ci});
+    path.push_back(PathEntry{cur, ci, Count(p)});
     cur = Child(p, ci);
   }
 
-  // Insert into the leaf; on overflow split and propagate.
+  // Insert into the leaf; on overflow split and propagate. Every page the
+  // split cascade can need is allocated up front, before the first byte of
+  // the tree changes: an allocation failure mid-cascade would otherwise
+  // leave a split leaf whose records the directory cannot reach and whose
+  // insert was never counted.
   Record carry_sep{};
   io::PageId carry_child = io::kInvalidPageId;
+  std::vector<io::PageRef> spare;
+  size_t spare_next = 0;
   {
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
@@ -472,26 +495,51 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
       ++size_;
       return Status::OK();
     }
-    // Split the leaf.
+    // Split the leaf. One spare page per full node on the path suffix,
+    // plus one for the leaf and one more when the cascade grows a root.
+    uint32_t need = 1;
+    size_t full_suffix = 0;
+    for (auto it = path.rbegin();
+         it != path.rend() && it->count == internal_capacity_; ++it) {
+      ++full_suffix;
+    }
+    need += static_cast<uint32_t>(full_suffix);
+    if (full_suffix == path.size()) ++need;  // the root splits too
+    spare.reserve(need);
+    for (uint32_t k = 0; k < need; ++k) {
+      auto sref = pool_->NewPage();
+      if (!sref.ok()) {
+        std::vector<io::PageId> ids;
+        ids.reserve(spare.size());
+        for (io::PageRef& r : spare) {
+          ids.push_back(r.page_id());
+          r.Release();
+        }
+        spare.clear();
+        for (io::PageId id : ids) pool_->FreePage(id).IgnoreError();
+        return sref.status();
+      }
+      spare.push_back(std::move(sref.value()));
+    }
+
     const uint32_t left_n = (count + 1) / 2;
     const uint32_t right_n = count + 1 - left_n;
-    auto right = pool_->NewPage();
-    if (!right.ok()) return right.status();
-    io::Page& rp = right.value().page();
+    io::PageRef right = std::move(spare[spare_next++]);
+    io::Page& rp = right.page();
     SetLeaf(rp, true);
     SetCount(rp, right_n);
     WriteLeafRecords(&rp, 0, recs.data() + left_n, right_n);
     SetLeafPrev(rp, cur);
     SetLeafNext(rp, LeafNext(p));
-    right.value().MarkDirty();
-    const io::PageId right_id = right.value().page_id();
+    right.MarkDirty();
+    const io::PageId right_id = right.page_id();
     const io::PageId old_next = LeafNext(p);
     WriteLeafRecords(&p, 0, recs.data(), left_n);
     SetCount(p, left_n);
     SetLeafNext(p, right_id);
     ref.value().MarkDirty();
     ref.value().Release();
-    right.value().Release();
+    right.Release();
     if (old_next != io::kInvalidPageId) {
       auto nref = pool_->Fetch(old_next);
       if (!nref.ok()) return nref.status();
@@ -532,9 +580,8 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     // Split the internal node: middle separator moves up.
     const uint32_t total = count + 1;              // separators
     const uint32_t mid = total / 2;                // promoted index
-    auto right = pool_->NewPage();
-    if (!right.ok()) return right.status();
-    io::Page& rp = right.value().page();
+    io::PageRef right = std::move(spare[spare_next++]);
+    io::Page& rp = right.page();
     SetLeaf(rp, false);
     const uint32_t right_seps = total - mid - 1;
     SetCount(rp, right_seps);
@@ -544,7 +591,7 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     for (uint32_t k = 0; k <= right_seps; ++k) {
       rp.WriteAt<io::PageId>(ChildOff(k), kids[mid + 1 + k]);
     }
-    right.value().MarkDirty();
+    right.MarkDirty();
     SetCount(p, mid);
     for (uint32_t k = 0; k < mid; ++k) p.WriteAt<Record>(SepOff(k), seps[k]);
     for (uint32_t k = 0; k <= mid; ++k) {
@@ -552,25 +599,25 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     }
     ref.value().MarkDirty();
     carry_sep = seps[mid];
-    carry_child = right.value().page_id();
+    carry_child = right.page_id();
     ++page_count_;
   }
 
   if (carry_child != io::kInvalidPageId) {
     // Grow a new root.
-    auto ref = pool_->NewPage();
-    if (!ref.ok()) return ref.status();
-    io::Page& p = ref.value().page();
+    io::PageRef rootref = std::move(spare[spare_next++]);
+    io::Page& p = rootref.page();
     SetLeaf(p, false);
     SetCount(p, 1);
     p.WriteAt<io::PageId>(ChildOff(0), root_);
     p.WriteAt<io::PageId>(ChildOff(1), carry_child);
     p.WriteAt<Record>(SepOff(0), carry_sep);
-    ref.value().MarkDirty();
-    root_ = ref.value().page_id();
+    rootref.MarkDirty();
+    root_ = rootref.page_id();
     ++height_;
     ++page_count_;
   }
+  SEGDB_DCHECK(spare_next == spare.size()) << "split pre-allocation mismatch";
   ++size_;
   return Status::OK();
 }

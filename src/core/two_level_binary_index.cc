@@ -50,21 +50,26 @@ pst::LinePstOptions TwoLevelBinaryIndex::PstOptions() const {
 }
 
 Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
-  for (io::PageId id : node->leaf_pages) {
-    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
-  }
-  node->leaf_pages.clear();
+  // Allocate-then-swap: the replacement pages are fully materialized before
+  // the old ones are freed, so a failed allocation mid-way (e.g. an
+  // injected fault) releases the partial batch and leaves the node's pages
+  // — and hence every query — exactly as they were. The old free-first
+  // order silently truncated query results after a mid-write failure.
   const uint32_t per_page = LeafCapacity() < ((pool_->page_size() - kLeafHeader) /
                                               sizeof(Segment))
                                 ? LeafCapacity()
                                 : (pool_->page_size() - kLeafHeader) /
                                       sizeof(Segment);
+  std::vector<io::PageId> fresh;
   size_t i = 0;
   while (i < node->leaf_segments.size()) {
     const uint32_t take = static_cast<uint32_t>(
         std::min<size_t>(per_page, node->leaf_segments.size() - i));
     auto ref = pool_->NewPage();
-    if (!ref.ok()) return ref.status();
+    if (!ref.ok()) {
+      for (io::PageId id : fresh) pool_->FreePage(id).IgnoreError();
+      return ref.status();
+    }
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
     // Columnar strips sized to the record count: the page holds exactly the
@@ -72,15 +77,17 @@ Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
     io::ColumnarPageView(&p, kLeafHeader, take)
         .WriteRange(0, node->leaf_segments.data() + i, take);
     ref.value().MarkDirty();
-    node->leaf_pages.push_back(ref.value().page_id());
+    fresh.push_back(ref.value().page_id());
     i += take;
   }
+  for (io::PageId id : node->leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));  // reliable metadata op
+  }
+  node->leaf_pages = std::move(fresh);
   return Status::OK();
 }
 
-Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
-    std::vector<Segment> segments) {
-  SEGDB_DCHECK(!segments.empty());
+int32_t TwoLevelBinaryIndex::AllocNode() {
   int32_t idx;
   if (!free_nodes_.empty()) {
     idx = free_nodes_.back();
@@ -90,6 +97,27 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     idx = static_cast<int32_t>(nodes_.size());
     nodes_.emplace_back();
   }
+  return idx;
+}
+
+Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
+    std::vector<Segment> segments) {
+  SEGDB_DCHECK(!segments.empty());
+  const int32_t idx = AllocNode();
+  Status built = BuildSubtreeAt(idx, std::move(segments));
+  if (!built.ok()) {
+    // Unwind the partial build: FreeSubtree releases exactly what was
+    // attached before the failure (children recurse, unset fields are
+    // skipped). FreePage is reliable, and the PSTs keep their shape in
+    // memory, so the unwind itself cannot fault on the simulated device.
+    FreeSubtree(idx).IgnoreError();
+    return built;
+  }
+  return idx;
+}
+
+Status TwoLevelBinaryIndex::BuildSubtreeAt(int32_t idx,
+                                           std::vector<Segment> segments) {
   {
     auto meta = pool_->NewPage();
     if (!meta.ok()) return meta.status();
@@ -101,8 +129,7 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
   if (segments.size() <= LeafCapacity()) {
     nodes_[idx].is_leaf = true;
     nodes_[idx].leaf_segments = std::move(segments);
-    SEGDB_RETURN_IF_ERROR(WriteLeafPages(&nodes_[idx]));
-    return idx;
+    return WriteLeafPages(&nodes_[idx]);
   }
 
   // Median endpoint x as the base line (paper: the vertical line splitting
@@ -139,9 +166,10 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     for (const Segment& s : on_line) {
       points.push_back(pst::PointRecord{s.y1, s.y2, s.id});
     }
-    auto c = std::make_unique<pst::PointPst>(pool_, PstOptions());
-    SEGDB_RETURN_IF_ERROR(c->BulkLoad(points));
-    nodes_[idx].c = std::move(c);
+    // Attach before loading: if the load faults mid-way, FreeSubtree's
+    // unwind reaches the PST and Clear()s whatever it managed to build.
+    nodes_[idx].c = std::make_unique<pst::PointPst>(pool_, PstOptions());
+    SEGDB_RETURN_IF_ERROR(nodes_[idx].c->BulkLoad(points));
   }
   std::vector<Segment> lefts, rights;
   for (const Segment& s : crossing) {
@@ -149,16 +177,14 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     if (s.x2 > blx) rights.push_back(s);  // non-degenerate right part
   }
   if (!lefts.empty()) {
-    auto l = std::make_unique<pst::LinePst>(pool_, blx, pst::Direction::kLeft,
-                                            PstOptions());
-    SEGDB_RETURN_IF_ERROR(l->BulkLoad(lefts));
-    nodes_[idx].l = std::move(l);
+    nodes_[idx].l = std::make_unique<pst::LinePst>(
+        pool_, blx, pst::Direction::kLeft, PstOptions());
+    SEGDB_RETURN_IF_ERROR(nodes_[idx].l->BulkLoad(lefts));
   }
   if (!rights.empty()) {
-    auto r = std::make_unique<pst::LinePst>(pool_, blx, pst::Direction::kRight,
-                                            PstOptions());
-    SEGDB_RETURN_IF_ERROR(r->BulkLoad(rights));
-    nodes_[idx].r = std::move(r);
+    nodes_[idx].r = std::make_unique<pst::LinePst>(
+        pool_, blx, pst::Direction::kRight, PstOptions());
+    SEGDB_RETURN_IF_ERROR(nodes_[idx].r->BulkLoad(rights));
   }
   if (!left.empty()) {
     Result<int32_t> child = BuildSubtree(std::move(left));
@@ -170,7 +196,7 @@ Result<int32_t> TwoLevelBinaryIndex::BuildSubtree(
     if (!child.ok()) return child.status();
     nodes_[idx].right = child.value();
   }
-  return idx;
+  return Status::OK();
 }
 
 Status TwoLevelBinaryIndex::FreeSubtree(int32_t idx) {
@@ -222,16 +248,19 @@ Status TwoLevelBinaryIndex::CollectSubtree(int32_t idx,
 }
 
 Status TwoLevelBinaryIndex::BulkLoad(std::span<const Segment> segments) {
-  if (root_ >= 0) {
-    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
-    root_ = -1;
+  // Build the replacement tree before freeing the old one: a load that
+  // faults mid-build leaves the previous contents fully intact (the
+  // partial build unwinds itself), so a failed BulkLoad is a no-op.
+  int32_t new_root = -1;
+  if (!segments.empty()) {
+    Result<int32_t> root =
+        BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
+    if (!root.ok()) return root.status();
+    new_root = root.value();
   }
+  if (root_ >= 0) SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+  root_ = new_root;
   size_ = segments.size();
-  if (segments.empty()) return Status::OK();
-  Result<int32_t> root =
-      BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
-  if (!root.ok()) return root.status();
-  root_ = root.value();
   return Status::OK();
 }
 
@@ -243,19 +272,29 @@ Status TwoLevelBinaryIndex::InsertAtNode(int32_t idx, const Segment& s) {
       return node.c->Insert(pst::PointRecord{s.y1, s.y2, s.id});
     }
     case Route::kCrossing: {
-      if (s.x1 < node.bl_x) {
+      // A segment crossing on both sides must land in L and R together or
+      // not at all — the audit matches the two by id. If the second insert
+      // faults, roll the first one back (pure removal, no allocation, so
+      // the rollback cannot itself fault on the simulated device).
+      const bool into_l = s.x1 < node.bl_x;
+      const bool into_r = s.x2 > node.bl_x;
+      if (into_l) {
         if (!node.l) {
           node.l = std::make_unique<pst::LinePst>(
               pool_, node.bl_x, pst::Direction::kLeft, PstOptions());
         }
         SEGDB_RETURN_IF_ERROR(node.l->Insert(s));
       }
-      if (s.x2 > node.bl_x) {
+      if (into_r) {
         if (!node.r) {
           node.r = std::make_unique<pst::LinePst>(
               pool_, node.bl_x, pst::Direction::kRight, PstOptions());
         }
-        SEGDB_RETURN_IF_ERROR(node.r->Insert(s));
+        Status right = node.r->Insert(s);
+        if (!right.ok()) {
+          if (into_l) node.l->Erase(s).IgnoreError();
+          return right;
+        }
       }
       return Status::OK();
     }
@@ -265,23 +304,40 @@ Status TwoLevelBinaryIndex::InsertAtNode(int32_t idx, const Segment& s) {
 }
 
 Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
-  ++size_;
+  // Bookkeeping is deferred: size_ and the per-node subtree_size /
+  // updates_since_rebuild counters along the descent path are committed
+  // only once the structural work has succeeded. A faulted insert thus
+  // leaves the index exactly as it was — audit-clean and retryable —
+  // instead of stranding phantom counts the audit would flag.
   if (root_ < 0) {
     Result<int32_t> root = BuildSubtree({segment});
     if (!root.ok()) return root.status();
     root_ = root.value();
+    ++size_;
     return Status::OK();
   }
+  std::vector<int32_t> path;  // nodes whose subtree gains the segment
+  // Commits the deferred counters for the first `count` path nodes.
+  const auto commit = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Node& n = nodes_[path[i]];
+      ++n.subtree_size;
+      ++n.updates_since_rebuild;
+    }
+    ++size_;
+  };
   int32_t cur = root_;
   int32_t parent = -1;
   bool parent_left = false;
   for (;;) {
+    path.push_back(cur);
     Node& node = nodes_[cur];
-    ++node.subtree_size;
-    ++node.updates_since_rebuild;
 
     // BB[alpha]-style partial rebuilding, checked top-down; the
-    // updates_since_rebuild guard keeps rebuilds amortized.
+    // updates_since_rebuild guard keeps rebuilds amortized. The counters
+    // are evaluated as if this insert were already counted (the pre-fault
+    // code incremented on the way down), so the rebuild cadence is
+    // unchanged.
     const uint64_t ls =
         node.left >= 0 ? nodes_[node.left].subtree_size : 0;
     const uint64_t rs =
@@ -291,16 +347,18 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
         options_.rebuild_fraction * static_cast<double>(below) +
         LeafCapacity();
     if (below > 2 * static_cast<uint64_t>(LeafCapacity()) &&
-        node.updates_since_rebuild * 8 > node.subtree_size &&
+        (node.updates_since_rebuild + 1) * 8 > node.subtree_size + 1 &&
         (static_cast<double>(ls) > limit ||
          static_cast<double>(rs) > limit)) {
       std::vector<Segment> all;
-      all.reserve(node.subtree_size);
+      all.reserve(node.subtree_size + 1);
       SEGDB_RETURN_IF_ERROR(CollectSubtree(cur, &all));
       all.push_back(segment);
-      SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+      // Build the replacement before freeing the old subtree: a faulted
+      // rebuild unwinds itself and the insert fails as a clean no-op.
       Result<int32_t> rebuilt = BuildSubtree(std::move(all));
       if (!rebuilt.ok()) return rebuilt.status();
+      SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
       if (parent < 0) {
         root_ = rebuilt.value();
       } else if (parent_left) {
@@ -308,17 +366,23 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
       } else {
         nodes_[parent].right = rebuilt.value();
       }
+      commit(path.size() - 1);  // cur was replaced; its count is built in
       return Status::OK();
     }
 
     if (node.is_leaf) {
       node.leaf_segments.push_back(segment);
       if (node.leaf_segments.size() > 2 * LeafCapacity()) {
-        // Split the leaf by rebuilding it as a (small) subtree.
-        std::vector<Segment> all = std::move(node.leaf_segments);
-        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        // Split the leaf by rebuilding it as a (small) subtree. Copy the
+        // segments: on a faulted build the pushed entry is popped and the
+        // leaf (pages untouched) reverts to its pre-insert state.
+        std::vector<Segment> all = node.leaf_segments;
         Result<int32_t> rebuilt = BuildSubtree(std::move(all));
-        if (!rebuilt.ok()) return rebuilt.status();
+        if (!rebuilt.ok()) {
+          nodes_[cur].leaf_segments.pop_back();
+          return rebuilt.status();
+        }
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
         if (parent < 0) {
           root_ = rebuilt.value();
         } else if (parent_left) {
@@ -326,14 +390,23 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
         } else {
           nodes_[parent].right = rebuilt.value();
         }
+        commit(path.size() - 1);
         return Status::OK();
       }
-      return WriteLeafPages(&node);
+      Status written = WriteLeafPages(&node);
+      if (!written.ok()) {
+        node.leaf_segments.pop_back();
+        return written;
+      }
+      commit(path.size());
+      return Status::OK();
     }
 
     const Route route = Classify(segment, node.bl_x);
     if (route == Route::kOnLine || route == Route::kCrossing) {
-      return InsertAtNode(cur, segment);
+      SEGDB_RETURN_IF_ERROR(InsertAtNode(cur, segment));
+      commit(path.size());
+      return Status::OK();
     }
     const bool go_left = route == Route::kLeft;
     int32_t child = go_left ? node.left : node.right;
@@ -345,6 +418,7 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
       } else {
         nodes_[cur].right = fresh.value();
       }
+      commit(path.size());
       return Status::OK();
     }
     parent = cur;
@@ -371,7 +445,13 @@ Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
                           node.leaf_segments.end(), segment);
       if (it == node.leaf_segments.end()) return removed;
       node.leaf_segments.erase(it);
-      SEGDB_RETURN_IF_ERROR(WriteLeafPages(&node));
+      Status written = WriteLeafPages(&node);
+      if (!written.ok()) {
+        // Pages are untouched on failure; restore the mirror (leaf order
+        // is immaterial) so the failed erase is a no-op.
+        node.leaf_segments.push_back(segment);
+        return written;
+      }
       removed = Status::OK();
       break;
     }
@@ -384,7 +464,8 @@ Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
       break;
     }
     if (route == Route::kCrossing) {
-      if (segment.x1 < node.bl_x) {
+      const bool from_l = segment.x1 < node.bl_x;
+      if (from_l) {
         if (node.l == nullptr) return removed;
         SEGDB_RETURN_IF_ERROR(node.l->Erase(segment));
         removed = Status::OK();
@@ -395,7 +476,13 @@ Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
                      ? Status::Corruption("crossing segment missing in R")
                      : removed;
         }
-        SEGDB_RETURN_IF_ERROR(node.r->Erase(segment));
+        Status right = node.r->Erase(segment);
+        if (!right.ok()) {
+          // Keep L and R mirrored (the audit matches them by id): undo the
+          // L-side removal before surfacing the failure.
+          if (from_l) node.l->Insert(segment).IgnoreError();
+          return right;
+        }
         removed = Status::OK();
       }
       break;

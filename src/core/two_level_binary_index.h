@@ -104,7 +104,13 @@ class TwoLevelBinaryIndex final : public SegmentIndex {
   uint32_t LeafCapacity() const;
   pst::LinePstOptions PstOptions() const;
 
+  // Takes a node slot from the free list (or grows the arena).
+  int32_t AllocNode();
+  // Builds a subtree for `segments`. Fault-atomic: on failure every page
+  // and arena slot the partial build claimed is released before the error
+  // returns, so a failed build is a no-op on the index.
   Result<int32_t> BuildSubtree(std::vector<geom::Segment> segments);
+  Status BuildSubtreeAt(int32_t idx, std::vector<geom::Segment> segments);
   Status FreeSubtree(int32_t idx);
   Status CollectSubtree(int32_t idx, std::vector<geom::Segment>* out) const;
   Status WriteLeafPages(Node* node);

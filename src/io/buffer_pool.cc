@@ -149,6 +149,9 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   Frame& f = frames_[frame.value()];
   Status read = disk_->ReadPage(id, &f.page);
   if (!read.ok()) {
+    // Failed demand read: drop the placeholder and leave the grabbed frame
+    // free (its id was never set), so a retry of the same Fetch starts
+    // from a clean slate. The miss stays counted — the device was asked.
     shard.page_table.erase(it);
     return read;
   }
@@ -167,7 +170,14 @@ Result<PageRef> BufferPool::NewPage() {
   Shard& shard = ShardFor(id.value());
   util::MutexLock lock(&shard.mu);
   Result<size_t> frame = GrabFrame(shard);
-  if (!frame.ok()) return frame.status();
+  if (!frame.ok()) {
+    // Return the just-allocated disk page or it leaks: the id is in no
+    // page table and no caller ever learns it. FreePage is a reliable
+    // metadata op (never fault-injected), but free of a page we no longer
+    // track is best-effort by nature.
+    disk_->FreePage(id.value()).IgnoreError();
+    return frame.status();
+  }
   Frame& f = frames_[frame.value()];
   f.page.Zero();
   f.id = id.value();
@@ -217,7 +227,12 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
     if (free_frame == frames_.size()) continue;
     Frame& f = frames_[free_frame];
     // PeekPage copies the bytes without counting a demand read; the
-    // charge is taken by the first Fetch of the staged page.
+    // charge is taken by the first Fetch of the staged page. On a failed
+    // read (e.g. an injected fault) the frame must stay FREE — unmapped,
+    // unpinned, clean — so the stage is a no-op: f.id is still
+    // kInvalidPageId and no page-table entry exists yet, and the partial
+    // bytes in f.page are unreachable until some later read succeeds into
+    // the frame. The fault-injection suite pins this down.
     if (!disk_->PeekPage(id, &f.page).ok()) continue;
     f.id = id;
     f.pin_count.store(0, std::memory_order_relaxed);

@@ -42,11 +42,15 @@ struct DiskStats {
   uint64_t prefetch_hints = 0;  // pages named in PrefetchPages calls
 };
 
+// The five page operations are virtual so io::FaultInjectingDiskManager can
+// interpose a seeded fault plan between the pool and the backing store; the
+// base class remains the reliable device every other test uses.
 class DiskManager {
  public:
   // `page_size_bytes` is the simulated block size; it determines B (records
   // per block) for every structure built on this disk.
   explicit DiskManager(uint32_t page_size_bytes);
+  virtual ~DiskManager() = default;
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -54,22 +58,25 @@ class DiskManager {
   uint32_t page_size() const { return page_size_; }
 
   // Allocates a zeroed page and returns its id.
-  Result<PageId> AllocatePage();
+  virtual Result<PageId> AllocatePage();
 
   // Returns a page to the free list. The caller must not use the id again.
-  Status FreePage(PageId id);
+  // Free is a metadata operation on the simulated device and is defined to
+  // be reliable (never injected with faults): rollback and rebuild paths
+  // depend on being able to return pages unconditionally.
+  virtual Status FreePage(PageId id);
 
   // Copies the page contents into `out` (which must have matching size).
   // Counts one physical read.
-  Status ReadPage(PageId id, Page* out);
+  virtual Status ReadPage(PageId id, Page* out);
 
   // Like ReadPage but counts nothing — the buffer pool's audit compares
   // resident frames against disk without perturbing the I/O measurement
   // protocol, and Prefetch stages pages whose read is charged later.
-  Status PeekPage(PageId id, Page* out) const;
+  virtual Status PeekPage(PageId id, Page* out) const;
 
   // Stores the page contents. Counts one physical write.
-  Status WritePage(PageId id, const Page& page);
+  virtual Status WritePage(PageId id, const Page& page);
 
   // Read-ahead hint: a real device would queue the block reads here; the
   // RAM-backed simulation only counts the hinted pages (invalid or dead

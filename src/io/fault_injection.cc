@@ -1,0 +1,130 @@
+#include "io/fault_injection.h"
+
+#include <cstring>
+#include <string>
+
+namespace segdb::io {
+
+namespace {
+
+std::string FaultMsg(const char* what, PageId id, uint64_t op_index) {
+  std::string msg = "injected ";
+  msg += what;
+  msg += " (op #";
+  msg += std::to_string(op_index);
+  if (id != kInvalidPageId) {
+    msg += ", page ";
+    msg += std::to_string(id);
+  }
+  msg += ")";
+  return msg;
+}
+
+}  // namespace
+
+Status FaultInjectingDiskManager::Decide(Op op, PageId id,
+                                         uint32_t* torn_prefix_bytes) const {
+  if (!enabled_) return Status::OK();
+  ++ops_seen_;
+  if (scheduled_countdown_.has_value()) {
+    if (--*scheduled_countdown_ == 0) {
+      scheduled_countdown_.reset();
+      ++faults_injected_;
+      return Status::IoError(FaultMsg("scheduled fault", id, ops_seen_));
+    }
+  }
+  switch (op) {
+    case Op::kAlloc:
+      if (allocs_granted_ >= plan_.alloc_budget) {
+        ++faults_injected_;
+        return Status::ResourceExhausted(
+            FaultMsg("allocation budget exhausted", id, ops_seen_));
+      }
+      if (plan_.alloc_fault_rate > 0 &&
+          rng_.Bernoulli(plan_.alloc_fault_rate)) {
+        ++faults_injected_;
+        return Status::IoError(FaultMsg("allocation fault", id, ops_seen_));
+      }
+      break;
+    case Op::kRead:
+    case Op::kPeek:
+      if (plan_.read_fault_rate > 0 && rng_.Bernoulli(plan_.read_fault_rate)) {
+        ++faults_injected_;
+        return Status::IoError(FaultMsg("read fault", id, ops_seen_));
+      }
+      break;
+    case Op::kWrite:
+      if (plan_.torn_write_rate > 0 &&
+          rng_.Bernoulli(plan_.torn_write_rate)) {
+        // Non-empty strict prefix: at least one byte lands, at least one
+        // byte of the old page survives.
+        *torn_prefix_bytes = static_cast<uint32_t>(
+            1 + rng_.Uniform(page_size() > 1 ? page_size() - 1 : 1));
+        ++faults_injected_;
+        return Status::IoError(FaultMsg("torn write", id, ops_seen_));
+      }
+      if (plan_.write_fault_rate > 0 &&
+          rng_.Bernoulli(plan_.write_fault_rate)) {
+        ++faults_injected_;
+        return Status::IoError(FaultMsg("write fault", id, ops_seen_));
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  {
+    util::MutexLock lock(&mu_);
+    uint32_t unused = 0;
+    Status fate = Decide(Op::kAlloc, kInvalidPageId, &unused);
+    if (!fate.ok()) return fate;
+  }
+  Result<PageId> id = DiskManager::AllocatePage();
+  if (id.ok()) {
+    util::MutexLock lock(&mu_);
+    if (enabled_) ++allocs_granted_;
+  }
+  return id;
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, Page* out) {
+  {
+    util::MutexLock lock(&mu_);
+    uint32_t unused = 0;
+    SEGDB_RETURN_IF_ERROR(Decide(Op::kRead, id, &unused));
+  }
+  return DiskManager::ReadPage(id, out);
+}
+
+Status FaultInjectingDiskManager::PeekPage(PageId id, Page* out) const {
+  {
+    util::MutexLock lock(&mu_);
+    uint32_t unused = 0;
+    SEGDB_RETURN_IF_ERROR(Decide(Op::kPeek, id, &unused));
+  }
+  return DiskManager::PeekPage(id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id, const Page& page) {
+  uint32_t torn_prefix = 0;
+  Status fate;
+  {
+    util::MutexLock lock(&mu_);
+    fate = Decide(Op::kWrite, id, &torn_prefix);
+  }
+  if (fate.ok()) return DiskManager::WritePage(id, page);
+  if (torn_prefix == 0) return fate;  // clean failure: nothing stored
+  // Torn write: a prefix of the new page reaches the store merged over the
+  // old bytes, and the caller still sees the error. The merged image is
+  // built from the current stored page so the suffix keeps its old
+  // contents. If the page is dead the device would have rejected the write
+  // anyway; report the injected error without touching the store.
+  Page merged(page_size());
+  if (!DiskManager::PeekPage(id, &merged).ok()) return fate;
+  std::memcpy(merged.data(), page.data(), torn_prefix);
+  DiskManager::WritePage(id, merged).IgnoreError();
+  return fate;
+}
+
+}  // namespace segdb::io

@@ -76,10 +76,9 @@ void IntervalTree::AllocateMultislab(const Node& node, int32_t mnode,
 }
 
 Status IntervalTree::WriteLeafPages(Node* node) {
-  for (io::PageId id : node->leaf_pages) {
-    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));
-  }
-  node->leaf_pages.clear();
+  // Allocate the new pages first, then free the old ones: a failed
+  // allocation mid-rewrite must leave the leaf's stored pages intact.
+  std::vector<io::PageId> fresh;
   const uint32_t per_page =
       (pool_->page_size() - kLeafHeader) / sizeof(Segment);
   size_t i = 0;
@@ -87,16 +86,23 @@ Status IntervalTree::WriteLeafPages(Node* node) {
     const uint32_t take = static_cast<uint32_t>(
         std::min<size_t>(per_page, node->leaf_segments.size() - i));
     auto ref = pool_->NewPage();
-    if (!ref.ok()) return ref.status();
+    if (!ref.ok()) {
+      for (io::PageId id : fresh) pool_->FreePage(id).IgnoreError();
+      return ref.status();
+    }
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
     // Columnar strips sized to the record count (see columnar_page_view.h).
     io::ColumnarPageView(&p, kLeafHeader, take)
         .WriteRange(0, node->leaf_segments.data() + i, take);
     ref.value().MarkDirty();
-    node->leaf_pages.push_back(ref.value().page_id());
+    fresh.push_back(ref.value().page_id());
     i += take;
   }
+  for (io::PageId id : node->leaf_pages) {
+    SEGDB_RETURN_IF_ERROR(pool_->FreePage(id));  // reliable metadata op
+  }
+  node->leaf_pages = std::move(fresh);
   return Status::OK();
 }
 
@@ -110,21 +116,39 @@ Status IntervalTree::InsertAtNode(Node* node, const Segment& s) {
     if (!bl.c) bl.c = std::make_unique<IdTree>(pool_, ById{});
     return bl.c->Insert(s);
   }
+  // A segment lands in up to L + R + several multislab lists; a failed
+  // later insert rolls back the earlier ones. B+-tree erases never
+  // allocate pages, so the rollbacks themselves cannot fault.
+  bool in_l = false, in_r = false;
   if (s.x1 < node->boundaries[first]) {
     BoundaryLists& bl = node->per_boundary[first];
     if (!bl.l) bl.l = std::make_unique<LoTree>(pool_, ByLoAsc{});
     SEGDB_RETURN_IF_ERROR(bl.l->Insert(s));
+    in_l = true;
   }
   if (s.x2 > node->boundaries[last]) {
     BoundaryLists& bl = node->per_boundary[last];
     if (!bl.r) bl.r = std::make_unique<HiTree>(pool_, ByHiDesc{});
-    SEGDB_RETURN_IF_ERROR(bl.r->Insert(s));
+    const Status st = bl.r->Insert(s);
+    if (!st.ok()) {
+      if (in_l) node->per_boundary[first].l->Erase(s).IgnoreError();
+      return st;
+    }
+    in_r = true;
   }
   if (last > first && node->mroot >= 0) {
     std::vector<int32_t> alloc;
     AllocateMultislab(*node, node->mroot, first + 1, last, &alloc);
-    for (int32_t mi : alloc) {
-      SEGDB_RETURN_IF_ERROR(node->mtree[mi].list->Insert(s));
+    for (size_t i = 0; i < alloc.size(); ++i) {
+      const Status st = node->mtree[alloc[i]].list->Insert(s);
+      if (!st.ok()) {
+        for (size_t j = 0; j < i; ++j) {
+          node->mtree[alloc[j]].list->Erase(s).IgnoreError();
+        }
+        if (in_r) node->per_boundary[last].r->Erase(s).IgnoreError();
+        if (in_l) node->per_boundary[first].l->Erase(s).IgnoreError();
+        return st;
+      }
     }
   }
   return Status::OK();
@@ -170,17 +194,33 @@ Status IntervalTree::EraseAtNode(Node* node, const Segment& s) {
   return removed;
 }
 
-Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
-  SEGDB_DCHECK(!segments.empty());
-  int32_t idx;
+int32_t IntervalTree::AllocNode() {
   if (!free_nodes_.empty()) {
-    idx = free_nodes_.back();
+    const int32_t idx = free_nodes_.back();
     free_nodes_.pop_back();
     nodes_[idx] = Node{};
-  } else {
-    idx = static_cast<int32_t>(nodes_.size());
-    nodes_.emplace_back();
+    return idx;
   }
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
+  const int32_t idx = AllocNode();
+  Status built = BuildSubtreeAt(idx, std::move(segments));
+  if (!built.ok()) {
+    // The partial node is structurally consistent (children default to
+    // -1, lists may be empty), so FreeSubtree unwinds whatever the build
+    // managed to claim and returns the slot to the free list.
+    FreeSubtree(idx).IgnoreError();
+    return built;
+  }
+  return idx;
+}
+
+Status IntervalTree::BuildSubtreeAt(int32_t idx,
+                                    std::vector<Segment> segments) {
+  SEGDB_DCHECK(!segments.empty());
   {
     auto meta = pool_->NewPage();
     if (!meta.ok()) return meta.status();
@@ -192,8 +232,7 @@ Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
   if (segments.size() <= LeafCapacity()) {
     nodes_[idx].is_leaf = true;
     nodes_[idx].leaf_segments = std::move(segments);
-    SEGDB_RETURN_IF_ERROR(WriteLeafPages(&nodes_[idx]));
-    return idx;
+    return WriteLeafPages(&nodes_[idx]);
   }
 
   std::vector<int64_t> xs;
@@ -243,7 +282,7 @@ Result<int32_t> IntervalTree::BuildSubtree(std::vector<Segment> segments) {
     if (!child.ok()) return child.status();
     nodes_[idx].children[k] = child.value();
   }
-  return idx;
+  return Status::OK();
 }
 
 Status IntervalTree::FreeSubtree(int32_t idx) {
@@ -298,34 +337,55 @@ Status IntervalTree::CollectSubtree(int32_t idx,
 }
 
 Status IntervalTree::BulkLoad(std::span<const Segment> segments) {
-  if (root_ >= 0) {
-    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
-    root_ = -1;
+  // Build the replacement tree aside, then swap: a failed allocation
+  // mid-build must leave the previous contents intact and queryable.
+  int32_t fresh = -1;
+  if (!segments.empty()) {
+    Result<int32_t> built =
+        BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
+    if (!built.ok()) return built.status();
+    fresh = built.value();
   }
+  if (root_ >= 0) {
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));  // reliable metadata ops
+  }
+  root_ = fresh;
   size_ = segments.size();
-  if (segments.empty()) return Status::OK();
-  Result<int32_t> root =
-      BuildSubtree(std::vector<Segment>(segments.begin(), segments.end()));
-  if (!root.ok()) return root.status();
-  root_ = root.value();
   return Status::OK();
 }
 
 Status IntervalTree::Insert(const Segment& segment) {
-  ++size_;
   if (root_ < 0) {
     Result<int32_t> root = BuildSubtree({segment});
     if (!root.ok()) return root.status();
     root_ = root.value();
+    ++size_;
     return Status::OK();
   }
-  int32_t cur = root_;
-  int32_t parent = -1;
+  // Path bookkeeping (subtree_size / inserts_since_rebuild / size_) is
+  // deferred until the structural mutation has fully succeeded: a failed
+  // allocation mid-insert must leave every counter exactly as it was.
+  std::vector<int32_t> path;
+  const auto commit = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      ++nodes_[path[i]].subtree_size;
+      ++nodes_[path[i]].inserts_since_rebuild;
+    }
+    ++size_;
+  };
+  // Reattaches a rebuilt subtree where path.back() used to hang.
   size_t parent_slot = 0;
+  const auto attach = [&](int32_t rebuilt) {
+    if (path.size() == 1) {
+      root_ = rebuilt;
+    } else {
+      nodes_[path[path.size() - 2]].children[parent_slot] = rebuilt;
+    }
+  };
+  int32_t cur = root_;
   for (;;) {
+    path.push_back(cur);
     Node& node = nodes_[cur];
-    ++node.subtree_size;
-    ++node.inserts_since_rebuild;
     if (!node.is_leaf) {
       uint64_t below = 0, max_child = 0;
       for (int32_t child : node.children) {
@@ -335,44 +395,54 @@ Status IntervalTree::Insert(const Segment& segment) {
       }
       const double share = static_cast<double>(below) /
                            static_cast<double>(node.children.size());
+      // Counters are as-if-incremented (+1) since the path bookkeeping
+      // has not been committed yet.
       if (below > 2 * static_cast<uint64_t>(LeafCapacity()) &&
-          node.inserts_since_rebuild * 8 > node.subtree_size &&
+          (node.inserts_since_rebuild + 1) * 8 > node.subtree_size + 1 &&
           static_cast<double>(max_child) >
               options_.rebuild_factor * share + LeafCapacity()) {
         std::vector<Segment> all;
-        all.reserve(node.subtree_size);
+        all.reserve(node.subtree_size + 1);
         SEGDB_RETURN_IF_ERROR(CollectSubtree(cur, &all));
         all.push_back(segment);
-        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        // Build the replacement first; the old subtree stays live until
+        // the build has succeeded, so failure leaves the tree untouched.
         Result<int32_t> rebuilt = BuildSubtree(std::move(all));
         if (!rebuilt.ok()) return rebuilt.status();
-        if (parent < 0) {
-          root_ = rebuilt.value();
-        } else {
-          nodes_[parent].children[parent_slot] = rebuilt.value();
-        }
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));  // reliable metadata ops
+        attach(rebuilt.value());
+        commit(path.size() - 1);  // the rebuilt node has fresh counters
         return Status::OK();
       }
     }
     if (node.is_leaf) {
       node.leaf_segments.push_back(segment);
       if (node.leaf_segments.size() > 2 * LeafCapacity()) {
-        std::vector<Segment> all = std::move(node.leaf_segments);
-        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        // Copy (not move) so a failed rebuild only needs a pop_back.
+        std::vector<Segment> all = node.leaf_segments;
         Result<int32_t> rebuilt = BuildSubtree(std::move(all));
-        if (!rebuilt.ok()) return rebuilt.status();
-        if (parent < 0) {
-          root_ = rebuilt.value();
-        } else {
-          nodes_[parent].children[parent_slot] = rebuilt.value();
+        if (!rebuilt.ok()) {
+          nodes_[cur].leaf_segments.pop_back();  // arena may have grown
+          return rebuilt.status();
         }
+        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
+        attach(rebuilt.value());
+        commit(path.size() - 1);
         return Status::OK();
       }
-      return WriteLeafPages(&node);
+      const Status written = WriteLeafPages(&node);
+      if (!written.ok()) {
+        node.leaf_segments.pop_back();
+        return written;
+      }
+      commit(path.size());
+      return Status::OK();
     }
     uint32_t first, last;
     if (TouchedRange(node.boundaries, segment, &first, &last)) {
-      return InsertAtNode(&node, segment);
+      SEGDB_RETURN_IF_ERROR(InsertAtNode(&node, segment));
+      commit(path.size());
+      return Status::OK();
     }
     const uint32_t k = static_cast<uint32_t>(
         std::lower_bound(node.boundaries.begin(), node.boundaries.end(),
@@ -381,10 +451,10 @@ Status IntervalTree::Insert(const Segment& segment) {
     if (node.children[k] < 0) {
       Result<int32_t> fresh = BuildSubtree({segment});
       if (!fresh.ok()) return fresh.status();
-      nodes_[cur].children[k] = fresh.value();
+      nodes_[cur].children[k] = fresh.value();  // arena may have grown
+      commit(path.size());
       return Status::OK();
     }
-    parent = cur;
     parent_slot = k;
     cur = node.children[k];
   }
@@ -405,8 +475,16 @@ Status IntervalTree::Erase(const Segment& segment) {
       auto it = std::find(node.leaf_segments.begin(),
                           node.leaf_segments.end(), segment);
       if (it == node.leaf_segments.end()) return removed;
+      const size_t at = static_cast<size_t>(it - node.leaf_segments.begin());
       node.leaf_segments.erase(it);
-      SEGDB_RETURN_IF_ERROR(WriteLeafPages(&node));
+      const Status written = WriteLeafPages(&node);
+      if (!written.ok()) {
+        // The old pages are still intact (allocate-then-swap), so restore
+        // the in-memory mirror to match them.
+        node.leaf_segments.insert(
+            node.leaf_segments.begin() + static_cast<ptrdiff_t>(at), segment);
+        return written;
+      }
       removed = Status::OK();
       break;
     }

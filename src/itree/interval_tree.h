@@ -124,7 +124,12 @@ class IntervalTree {
   void AllocateMultislab(const Node& node, int32_t mnode, uint32_t lo,
                          uint32_t hi, std::vector<int32_t>* out) const;
 
+  // Takes a node slot from the free list (or grows the arena).
+  int32_t AllocNode();
+  // Fault-atomic: on failure every page and arena slot the partial build
+  // claimed is released before the error returns (no-op on the tree).
   Result<int32_t> BuildSubtree(std::vector<geom::Segment> segments);
+  Status BuildSubtreeAt(int32_t idx, std::vector<geom::Segment> segments);
   Status FreeSubtree(int32_t idx);
   Status CollectSubtree(int32_t idx, std::vector<geom::Segment>* out) const;
   Status WriteLeafPages(Node* node);

@@ -184,9 +184,13 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
          std::max<uint64_t>(2, CeilDiv(rest.size(), cap_))}));
   }
 
+  // The header goes to disk with num_children == 0 until every child has
+  // been built: a build that faults mid-way unwinds by freeing the
+  // children it completed (their ids are still local) plus this page, and
+  // no on-disk state ever points at a half-attached child.
   NodeHeader hdr;
   hdr.count = take;
-  hdr.num_children = k;
+  hdr.num_children = 0;
   hdr.subtree_size = n;
   p.WriteAt<NodeHeader>(0, hdr);
   io::ColumnarPageView(&p, SegOff(0), cap_)
@@ -195,10 +199,17 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
   ref.value().Release();  // children allocate pages; avoid holding pins
 
   if (k > 0) {
-    std::vector<io::PageId> child_ids(k);
+    std::vector<io::PageId> child_ids;
     std::vector<uint64_t> child_sizes(k);
     std::vector<geom::Segment> tops(k);
     std::vector<geom::Segment> seps;
+    child_ids.reserve(k);
+    const auto unwind = [&](const Status& cause) {
+      for (io::PageId c : child_ids) FreeSubtree(c).IgnoreError();
+      pool_->FreePage(id).IgnoreError();
+      --page_count_;
+      return cause;
+    };
     const size_t q = rest.size() / k;
     const size_t r = rest.size() % k;
     size_t begin = 0;
@@ -209,14 +220,14 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
       if (i > 0) seps.push_back(chunk.front());
       geom::Segment child_top;
       Result<io::PageId> child = BuildSubtree(std::move(chunk), &child_top);
-      if (!child.ok()) return child.status();
-      child_ids[i] = child.value();
+      if (!child.ok()) return unwind(child.status());
+      child_ids.push_back(child.value());
       child_sizes[i] = len;
       tops[i] = child_top;
       begin += len;
     }
     auto wref = pool_->Fetch(id);
-    if (!wref.ok()) return wref.status();
+    if (!wref.ok()) return unwind(wref.status());
     io::Page& wp = wref.value().page();
     for (uint32_t i = 0; i < k; ++i) {
       wp.WriteAt<io::PageId>(ChildOff(i), child_ids[i]);
@@ -224,14 +235,17 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
       wp.WriteAt<geom::Segment>(TopOff(i), tops[i]);
       if (i > 0) wp.WriteAt<geom::Segment>(SepOff(i - 1), seps[i - 1]);
     }
+    hdr.num_children = k;
+    wp.WriteAt<NodeHeader>(0, hdr);
     wref.value().MarkDirty();
   }
   return id;
 }
 
 Status LinePst::BulkLoad(std::span<const geom::Segment> segments) {
-  SEGDB_RETURN_IF_ERROR(Clear());
-  if (segments.empty()) return Status::OK();
+  // Validate and build the replacement tree before freeing the old one: a
+  // faulted load unwinds its partial build and leaves the previous
+  // contents untouched, so a failed BulkLoad is a no-op.
   std::vector<geom::Segment> canonical;
   canonical.reserve(segments.size());
   for (const geom::Segment& s : segments) {
@@ -243,10 +257,18 @@ Status LinePst::BulkLoad(std::span<const geom::Segment> segments) {
             [&](const geom::Segment& a, const geom::Segment& b) {
               return BaseCompare(a, b) < 0;
             });
-  geom::Segment top;
-  Result<io::PageId> root = BuildSubtree(std::move(canonical), &top);
-  if (!root.ok()) return root.status();
-  root_ = root.value();
+  io::PageId new_root = io::kInvalidPageId;
+  if (!canonical.empty()) {
+    geom::Segment top;
+    Result<io::PageId> root = BuildSubtree(std::move(canonical), &top);
+    if (!root.ok()) return root.status();
+    new_root = root.value();
+  }
+  if (root_ != io::kInvalidPageId) {
+    // FreeSubtree (not Clear) so page_count_ keeps counting the new tree.
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+  }
+  root_ = new_root;
   size_ = segments.size();
   packed_size_ = segments.size();
   return Status::OK();
@@ -259,23 +281,31 @@ Status LinePst::Insert(const geom::Segment& segment) {
 }
 
 Status LinePst::RebuildAll() {
+  // Repack by building the packed replacement first; the old tree is freed
+  // only once the build has fully succeeded, so a faulted repack leaves
+  // the (valid, merely unpacked) tree in place.
   std::vector<geom::Segment> all;
   if (root_ != io::kInvalidPageId) {
     SEGDB_RETURN_IF_ERROR(CollectSubtree(root_, &all));
-    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
-    root_ = io::kInvalidPageId;
   }
-  size_ = all.size();
-  packed_size_ = all.size();
-  if (all.empty()) return Status::OK();
-  std::sort(all.begin(), all.end(),
-            [&](const geom::Segment& a, const geom::Segment& b) {
-              return BaseCompare(a, b) < 0;
-            });
-  geom::Segment top;
-  Result<io::PageId> root = BuildSubtree(std::move(all), &top);
-  if (!root.ok()) return root.status();
-  root_ = root.value();
+  const uint64_t n = all.size();
+  io::PageId new_root = io::kInvalidPageId;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end(),
+              [&](const geom::Segment& a, const geom::Segment& b) {
+                return BaseCompare(a, b) < 0;
+              });
+    geom::Segment top;
+    Result<io::PageId> root = BuildSubtree(std::move(all), &top);
+    if (!root.ok()) return root.status();
+    new_root = root.value();
+  }
+  if (root_ != io::kInvalidPageId) {
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
+  }
+  root_ = new_root;
+  size_ = n;
+  packed_size_ = n;
   return Status::OK();
 }
 
@@ -363,15 +393,27 @@ Status LinePst::Erase(const geom::Segment& segment) {
   --size_;
 
   // Repack once half the packed content is gone (amortized O(1) page
-  // writes per deletion); an empty tree releases everything.
+  // writes per deletion); an empty tree releases everything. A faulted
+  // repack is absorbed, not surfaced: the removal above already succeeded
+  // and the tree is still valid (RebuildAll keeps the old tree on
+  // failure), so the erase reports success and the still-true density
+  // trigger re-runs the repack on a later erase.
   if (size_ == 0 || (packed_size_ >= 2 && size_ * 2 < packed_size_)) {
-    return RebuildAll();
+    RebuildAll().IgnoreError();
   }
   return Status::OK();
 }
 
 Status LinePst::InsertCanonical(geom::Segment g) {
-  ++size_;
+  // Two-phase insert, for fault atomicity. Phase 1 walks the tree
+  // READ-ONLY and decides the terminal action: insert into a non-full
+  // node, open a fresh child page, or rebuild an overgrown subtree. Every
+  // operation that can fail on the simulated device — the child-page
+  // allocation, the replacement-subtree build — then runs BEFORE phase 2
+  // re-walks the same (unchanged) path applying header increments, heap
+  // push-down swaps and child bookkeeping. A failure therefore surfaces
+  // while the index is still byte-for-byte in its pre-insert state, so a
+  // faulted insert is audit-clean and simply retryable.
   if (root_ == io::kInvalidPageId) {
     auto ref = pool_->NewPage();
     if (!ref.ok()) return ref.status();
@@ -385,14 +427,173 @@ Status LinePst::InsertCanonical(geom::Segment g) {
     io::ColumnarPageView(&p, SegOff(0), cap_).Set(0, g);
     ref.value().MarkDirty();
     root_ = ref.value().page_id();
+    ++size_;
     return Status::OK();
   }
 
-  io::PageId cur = root_;
-  io::PageId parent = io::kInvalidPageId;
-  uint32_t parent_slot = 0;
-  for (;;) {
-    auto ref = pool_->Fetch(cur);
+  const auto base_less = [&](const geom::Segment& a, const geom::Segment& b) {
+    return BaseCompare(a, b) < 0;
+  };
+  // Heap push-down at a full node: if *carry out-reaches the weakest
+  // stored segment it takes its slot and the weakest continues down.
+  const auto apply_swap = [&](io::Page* p, const NodeHeader& hdr,
+                              geom::Segment* carry) {
+    std::vector<geom::Segment> segs(hdr.count);
+    io::ColumnarPageView view(p, SegOff(0), cap_);
+    view.ReadRange(0, segs.data(), hdr.count);
+    uint32_t min_idx = 0;
+    for (uint32_t i = 1; i < hdr.count; ++i) {
+      if (Reach(segs[i]) < Reach(segs[min_idx])) min_idx = i;
+    }
+    if (Reach(*carry) > Reach(segs[min_idx])) {
+      const geom::Segment evicted = segs[min_idx];
+      segs.erase(segs.begin() + min_idx);
+      segs.insert(std::lower_bound(segs.begin(), segs.end(), *carry,
+                                   base_less),
+                  *carry);
+      view.WriteRange(0, segs.data(), hdr.count);
+      *carry = evicted;
+    }
+  };
+
+  // --- Phase 1: read-only probe. ------------------------------------------
+  enum class Action { kInsertHere, kOpenChild, kRebuild };
+  Action action = Action::kInsertHere;
+  std::vector<io::PageId> path;  // root ... terminal node
+  std::vector<uint32_t> slots;   // child slot taken from path[i]
+  geom::Segment probe = g;       // value carried down (after swaps)
+  geom::Segment arrival = g;     // value as it arrives at the terminal node
+  {
+    io::PageId cur = root_;
+    for (;;) {
+      arrival = probe;
+      path.push_back(cur);
+      auto ref = pool_->Fetch(cur);
+      if (!ref.ok()) return ref.status();
+      const io::Page& p = ref.value().page();
+      const NodeHeader hdr = p.ReadAt<NodeHeader>(0);
+
+      // BB[alpha]-style partial rebuilding: when one child subtree has
+      // grown past its tolerated share, rebuild this whole subtree packed.
+      // The trigger depends only on this node's child sizes, which phase 2
+      // has not touched yet, so both phases agree on the decision.
+      if (hdr.num_children > 0) {
+        uint64_t below = 0;
+        uint64_t max_child = 0;
+        for (uint32_t i = 0; i < hdr.num_children; ++i) {
+          const uint64_t cs = p.ReadAt<uint64_t>(ChildSizeOff(i));
+          below += cs;
+          max_child = std::max(max_child, cs);
+        }
+        const double share =
+            static_cast<double>(below) / static_cast<double>(hdr.num_children);
+        const double limit = cap_ + imbalance_ * share;
+        if (below >= 2 * static_cast<uint64_t>(cap_) &&
+            static_cast<double>(max_child) > limit) {
+          action = Action::kRebuild;
+          break;
+        }
+      }
+      if (hdr.count < cap_) {
+        action = Action::kInsertHere;
+        break;
+      }
+      // Full node: compute the displaced value without writing it.
+      std::vector<geom::Segment> segs(hdr.count);
+      io::ConstColumnarPageView(p, SegOff(0), cap_)
+          .ReadRange(0, segs.data(), hdr.count);
+      uint32_t min_idx = 0;
+      for (uint32_t i = 1; i < hdr.count; ++i) {
+        if (Reach(segs[i]) < Reach(segs[min_idx])) min_idx = i;
+      }
+      if (Reach(probe) > Reach(segs[min_idx])) probe = segs[min_idx];
+      if (hdr.num_children == 0) {
+        action = Action::kOpenChild;
+        break;
+      }
+      uint32_t j = 0;
+      for (uint32_t i = 1; i < hdr.num_children; ++i) {
+        const geom::Segment sep = p.ReadAt<geom::Segment>(SepOff(i - 1));
+        if (BaseCompare(probe, sep) >= 0) {
+          j = i;
+        } else {
+          break;
+        }
+      }
+      slots.push_back(j);
+      cur = p.ReadAt<io::PageId>(ChildOff(j));
+    }
+  }
+  SEGDB_DCHECK(slots.size() + 1 == path.size());
+
+  // --- Phase 2a: subtree rebuild. -----------------------------------------
+  if (action == Action::kRebuild) {
+    const io::PageId target = path.back();
+    std::vector<geom::Segment> all;
+    SEGDB_RETURN_IF_ERROR(CollectSubtree(target, &all));
+    all.push_back(arrival);
+    std::sort(all.begin(), all.end(), base_less);
+    // Build the replacement before freeing the old subtree or touching any
+    // ancestor: a faulted build unwinds itself and the insert is a no-op.
+    geom::Segment top;
+    Result<io::PageId> rebuilt = BuildSubtree(std::move(all), &top);
+    if (!rebuilt.ok()) return rebuilt.status();
+    SEGDB_RETURN_IF_ERROR(FreeSubtree(target));
+    // Ancestor bookkeeping and displacement swaps, root to parent. Every
+    // ancestor is a full routed node (the descent only passes full nodes).
+    geom::Segment carry = g;
+    for (size_t d = 0; d + 1 < path.size(); ++d) {
+      auto ref = pool_->Fetch(path[d]);
+      if (!ref.ok()) return ref.status();
+      io::Page& p = ref.value().page();
+      NodeHeader hdr = p.ReadAt<NodeHeader>(0);
+      ++hdr.subtree_size;
+      p.WriteAt<NodeHeader>(0, hdr);
+      apply_swap(&p, hdr, &carry);
+      const uint32_t j = slots[d];
+      p.WriteAt<uint64_t>(ChildSizeOff(j),
+                          p.ReadAt<uint64_t>(ChildSizeOff(j)) + 1);
+      const geom::Segment jtop = p.ReadAt<geom::Segment>(TopOff(j));
+      if (Reach(carry) > Reach(jtop)) p.WriteAt<geom::Segment>(TopOff(j), carry);
+      ref.value().MarkDirty();
+    }
+    if (path.size() == 1) {
+      root_ = rebuilt.value();
+    } else {
+      auto pref = pool_->Fetch(path[path.size() - 2]);
+      if (!pref.ok()) return pref.status();
+      io::Page& pp = pref.value().page();
+      const uint32_t pslot = slots[path.size() - 2];
+      pp.WriteAt<io::PageId>(ChildOff(pslot), rebuilt.value());
+      pp.WriteAt<geom::Segment>(TopOff(pslot), top);
+      pref.value().MarkDirty();
+    }
+    ++size_;
+    return Status::OK();
+  }
+
+  // --- Phase 2b: pre-allocate, then apply. --------------------------------
+  io::PageId fresh_child = io::kInvalidPageId;
+  if (action == Action::kOpenChild) {
+    // The only page this insert can need, allocated before any mutation;
+    // `probe` is the final displaced value the new child will hold.
+    auto cref = pool_->NewPage();
+    if (!cref.ok()) return cref.status();
+    ++page_count_;
+    io::Page& cp = cref.value().page();
+    NodeHeader chdr;
+    chdr.count = 1;
+    chdr.num_children = 0;
+    chdr.subtree_size = 1;
+    cp.WriteAt<NodeHeader>(0, chdr);
+    io::ColumnarPageView(&cp, SegOff(0), cap_).Set(0, probe);
+    cref.value().MarkDirty();
+    fresh_child = cref.value().page_id();
+  }
+
+  geom::Segment carry = g;
+  for (size_t d = 0; d < path.size(); ++d) {
+    auto ref = pool_->Fetch(path[d]);
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     NodeHeader hdr = p.ReadAt<NodeHeader>(0);
@@ -400,128 +601,42 @@ Status LinePst::InsertCanonical(geom::Segment g) {
     p.WriteAt<NodeHeader>(0, hdr);
     ref.value().MarkDirty();
 
-    // BB[alpha]-style partial rebuilding: when one child subtree has grown
-    // past its tolerated share, rebuild this whole subtree packed.
-    if (hdr.num_children > 0) {
-      uint64_t below = 0;
-      uint64_t max_child = 0;
-      for (uint32_t i = 0; i < hdr.num_children; ++i) {
-        const uint64_t cs = p.ReadAt<uint64_t>(ChildSizeOff(i));
-        below += cs;
-        max_child = std::max(max_child, cs);
-      }
-      const double share =
-          static_cast<double>(below) / static_cast<double>(hdr.num_children);
-      const double limit = cap_ + imbalance_ * share;
-      if (below >= 2 * static_cast<uint64_t>(cap_) &&
-          static_cast<double>(max_child) > limit) {
-        ref.value().Release();
-        std::vector<geom::Segment> all;
-        all.reserve(hdr.subtree_size);
-        SEGDB_RETURN_IF_ERROR(CollectSubtree(cur, &all));
-        all.push_back(g);
-        std::sort(all.begin(), all.end(),
-                  [&](const geom::Segment& a, const geom::Segment& b) {
-                    return BaseCompare(a, b) < 0;
-                  });
-        SEGDB_RETURN_IF_ERROR(FreeSubtree(cur));
-        geom::Segment top;
-        Result<io::PageId> rebuilt = BuildSubtree(std::move(all), &top);
-        if (!rebuilt.ok()) return rebuilt.status();
-        if (parent == io::kInvalidPageId) {
-          root_ = rebuilt.value();
-        } else {
-          auto pref = pool_->Fetch(parent);
-          if (!pref.ok()) return pref.status();
-          io::Page& pp = pref.value().page();
-          pp.WriteAt<io::PageId>(ChildOff(parent_slot), rebuilt.value());
-          pp.WriteAt<geom::Segment>(TopOff(parent_slot), top);
-          pref.value().MarkDirty();
-        }
-        return Status::OK();
-      }
-    }
-
-    if (hdr.count < cap_) {
-      // Insert g into this node's base-ordered array.
-      std::vector<geom::Segment> segs(hdr.count);
-      io::ColumnarPageView view(&p, SegOff(0), cap_);
-      view.ReadRange(0, segs.data(), hdr.count);
-      auto it = std::lower_bound(segs.begin(), segs.end(), g,
-                                 [&](const geom::Segment& a,
-                                     const geom::Segment& b) {
-                                   return BaseCompare(a, b) < 0;
-                                 });
-      segs.insert(it, g);
-      hdr.count += 1;
-      p.WriteAt<NodeHeader>(0, hdr);
-      view.WriteRange(0, segs.data(), hdr.count);
-      return Status::OK();
-    }
-
-    // Node full: if g out-reaches the weakest stored segment, g takes its
-    // place and the weakest is pushed down (heap push-down).
-    std::vector<geom::Segment> segs(hdr.count);
-    io::ColumnarPageView seg_view(&p, SegOff(0), cap_);
-    seg_view.ReadRange(0, segs.data(), hdr.count);
-    uint32_t min_idx = 0;
-    for (uint32_t i = 1; i < hdr.count; ++i) {
-      if (Reach(segs[i]) < Reach(segs[min_idx])) min_idx = i;
-    }
-    if (Reach(g) > Reach(segs[min_idx])) {
-      geom::Segment evicted = segs[min_idx];
-      segs.erase(segs.begin() + min_idx);
-      auto it = std::lower_bound(segs.begin(), segs.end(), g,
-                                 [&](const geom::Segment& a,
-                                     const geom::Segment& b) {
-                                   return BaseCompare(a, b) < 0;
-                                 });
-      segs.insert(it, g);
-      seg_view.WriteRange(0, segs.data(), hdr.count);
-      g = evicted;
-    }
-
-    if (hdr.num_children == 0) {
-      // Open the first child with g alone.
-      auto cref = pool_->NewPage();
-      if (!cref.ok()) return cref.status();
-      ++page_count_;
-      io::Page& cp = cref.value().page();
-      NodeHeader chdr;
-      chdr.count = 1;
-      chdr.num_children = 0;
-      chdr.subtree_size = 1;
-      cp.WriteAt<NodeHeader>(0, chdr);
-      io::ColumnarPageView(&cp, SegOff(0), cap_).Set(0, g);
-      cref.value().MarkDirty();
-      hdr.num_children = 1;
-      p.WriteAt<NodeHeader>(0, hdr);
-      p.WriteAt<io::PageId>(ChildOff(0), cref.value().page_id());
-      p.WriteAt<uint64_t>(ChildSizeOff(0), 1);
-      p.WriteAt<geom::Segment>(TopOff(0), g);
-      return Status::OK();
-    }
-
-    // Route g to the child whose base-order interval contains it.
-    uint32_t j = 0;
-    for (uint32_t i = 1; i < hdr.num_children; ++i) {
-      const geom::Segment sep = p.ReadAt<geom::Segment>(SepOff(i - 1));
-      if (BaseCompare(g, sep) >= 0) {
-        j = i;
+    if (d + 1 == path.size()) {
+      if (action == Action::kInsertHere) {
+        SEGDB_DCHECK(hdr.count < cap_);
+        std::vector<geom::Segment> segs(hdr.count);
+        io::ColumnarPageView view(&p, SegOff(0), cap_);
+        view.ReadRange(0, segs.data(), hdr.count);
+        segs.insert(
+            std::lower_bound(segs.begin(), segs.end(), carry, base_less),
+            carry);
+        hdr.count += 1;
+        p.WriteAt<NodeHeader>(0, hdr);
+        view.WriteRange(0, segs.data(), hdr.count);
       } else {
-        break;
+        // Open the first child with the displaced segment.
+        apply_swap(&p, hdr, &carry);
+        hdr.num_children = 1;
+        p.WriteAt<NodeHeader>(0, hdr);
+        p.WriteAt<io::PageId>(ChildOff(0), fresh_child);
+        p.WriteAt<uint64_t>(ChildSizeOff(0), 1);
+        p.WriteAt<geom::Segment>(TopOff(0), carry);
       }
+      ++size_;
+      return Status::OK();
     }
+
+    // Interior step: full node that routes `carry` onward.
+    apply_swap(&p, hdr, &carry);
+    const uint32_t j = slots[d];
     p.WriteAt<uint64_t>(ChildSizeOff(j),
                         p.ReadAt<uint64_t>(ChildSizeOff(j)) + 1);
     const geom::Segment jtop = p.ReadAt<geom::Segment>(TopOff(j));
-    if (Reach(g) > Reach(jtop)) {
-      p.WriteAt<geom::Segment>(TopOff(j), g);
+    if (Reach(carry) > Reach(jtop)) {
+      p.WriteAt<geom::Segment>(TopOff(j), carry);
     }
-    parent = cur;
-    parent_slot = j;
-    cur = p.ReadAt<io::PageId>(ChildOff(j));
   }
+  return Status::Internal("InsertCanonical: fell off the apply walk");
 }
 
 namespace {

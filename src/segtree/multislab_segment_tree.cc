@@ -120,7 +120,6 @@ std::vector<int32_t> MultislabSegmentTree::PathToSlab(uint32_t k) const {
 }
 
 Status MultislabSegmentTree::Build(std::span<const Segment> segments) {
-  SEGDB_RETURN_IF_ERROR(Clear());
   std::vector<std::vector<Segment>> per_node(nodes_.size());
   for (const Segment& s : segments) {
     uint32_t first, last;
@@ -133,29 +132,50 @@ Status MultislabSegmentTree::Build(std::span<const Segment> segments) {
     Allocate(root_, first + 1, last, &alloc);
     for (int32_t nidx : alloc) per_node[nidx].push_back(s);
   }
+  // BuildLists constructs every new list aside and commits only on full
+  // success, so a failed (re)build leaves the previous contents intact.
+  SEGDB_RETURN_IF_ERROR(BuildLists(std::move(per_node)));
+  if (delta_) SEGDB_RETURN_IF_ERROR(delta_->Clear());
   size_ = segments.size();
-  return BuildLists(std::move(per_node));
+  return Status::OK();
 }
 
 Status MultislabSegmentTree::BuildLists(
     std::vector<std::vector<Segment>> per_node) {
+  // Build-aside for fault atomicity: every replacement list is loaded into
+  // a fresh tree first and swapped in only after all of them succeeded. An
+  // early return drops the fresh trees (their destructors free the pages
+  // they claimed) with the live lists untouched.
+  std::vector<std::unique_ptr<FragTree>> fresh(nodes_.size());
+  std::vector<Position> heads(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    fresh[i] =
+        std::make_unique<FragTree>(pool_, GFragmentCompare{nodes_[i].cx});
+  }
+  const auto commit = [&]() {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].list = std::move(fresh[i]);  // old tree frees its pages
+      nodes_[i].head = heads[i];
+    }
+    return Status::OK();
+  };
+
   if (!options_.fractional_cascading) {
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      GNode& node = nodes_[i];
       std::vector<GFragment> frags;
       frags.reserve(per_node[i].size());
       for (const Segment& s : per_node[i]) frags.push_back(GFragment{.seg = s});
-      GFragmentCompare cmp{node.cx};
+      GFragmentCompare cmp{nodes_[i].cx};
       std::sort(frags.begin(), frags.end(),
                 [&](const GFragment& a, const GFragment& b) {
                   return cmp(a, b) < 0;
                 });
-      SEGDB_RETURN_IF_ERROR(node.list->BulkLoad(frags));
-      auto head = node.list->HeadPosition();
+      SEGDB_RETURN_IF_ERROR(fresh[i]->BulkLoad(frags));
+      auto head = fresh[i]->HeadPosition();
       if (!head.ok()) return head.status();
-      node.head = head.value();
+      heads[i] = head.value();
     }
-    return Status::OK();
+    return commit();
   }
 
   // --- Fractional cascading (Section 4.3) --------------------------------
@@ -273,7 +293,8 @@ Status MultislabSegmentTree::BuildLists(
   }
 
   // Bottom-up materialization: children first so parents can embed the
-  // landing positions of their bridges.
+  // landing positions of their bridges (heads[] carries the fresh trees'
+  // head positions — the live nodes_ heads still describe the old lists).
   std::unordered_map<uint64_t, Position> position_of;
   for (auto it = bfs.rbegin(); it != bfs.rend(); ++it) {
     const int32_t ni = *it;
@@ -290,9 +311,8 @@ Status MultislabSegmentTree::BuildLists(
     // Propagate nearest-bridge-at-or-before landings into every record.
     std::vector<GFragment> frags;
     frags.reserve(list.size());
-    Position last_left = node.left >= 0 ? nodes_[node.left].head : Position{};
-    Position last_right =
-        node.right >= 0 ? nodes_[node.right].head : Position{};
+    Position last_left = node.left >= 0 ? heads[node.left] : Position{};
+    Position last_right = node.right >= 0 ? heads[node.right] : Position{};
     for (const Entry& e : list) {
       if (e.link_left != kNoUid) {
         auto pit = position_of.find(e.link_left);
@@ -316,18 +336,18 @@ Status MultislabSegmentTree::BuildLists(
       frags.push_back(f);
     }
     std::vector<Position> positions;
-    SEGDB_RETURN_IF_ERROR(node.list->BulkLoadWithPositions(frags, &positions));
+    SEGDB_RETURN_IF_ERROR(fresh[ni]->BulkLoadWithPositions(frags, &positions));
     for (size_t k = 0; k < list.size(); ++k) {
       position_of[list[k].uid] = positions[k];
     }
-    auto head = node.list->HeadPosition();
+    auto head = fresh[ni]->HeadPosition();
     if (!head.ok()) return head.status();
-    node.head = head.value();
+    heads[ni] = head.value();
     (void)cmp;
   }
   // Heads may have been recorded into parents before a child was built;
   // rebuild-order above is bottom-up so child heads were already final.
-  return Status::OK();
+  return commit();
 }
 
 Status MultislabSegmentTree::Insert(const Segment& segment) {
@@ -338,18 +358,30 @@ Status MultislabSegmentTree::Insert(const Segment& segment) {
         " crosses fewer than two boundaries (no long part)");
   }
   if (options_.fractional_cascading) {
-    ++size_;
     // Re-inserting a segment whose tombstone is still buffered simply
     // cancels the tombstone (the packed lists still hold the original).
     GFragment tomb{.seg = segment};
     tomb.flags |= GFragment::kTombstone;
-    if (delta_->Erase(tomb).ok()) return Status::OK();
-    return delta_->Insert(GFragment{.seg = segment});
+    if (!delta_->Erase(tomb).ok()) {
+      SEGDB_RETURN_IF_ERROR(delta_->Insert(GFragment{.seg = segment}));
+    }
+    ++size_;
+    return Status::OK();
   }
   std::vector<int32_t> alloc;
   Allocate(root_, first + 1, last, &alloc);
-  for (int32_t nidx : alloc) {
-    SEGDB_RETURN_IF_ERROR(nodes_[nidx].list->Insert(GFragment{.seg = segment}));
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    const Status inserted =
+        nodes_[alloc[i]].list->Insert(GFragment{.seg = segment});
+    if (!inserted.ok()) {
+      // Un-insert from the lists already updated. The rollback is pure
+      // removal — no page allocation — so it cannot trip over another
+      // injected allocation fault.
+      for (size_t j = 0; j < i; ++j) {
+        nodes_[alloc[j]].list->Erase(GFragment{.seg = segment}).IgnoreError();
+      }
+      return inserted;
+    }
   }
   ++size_;
   return Status::OK();

@@ -28,6 +28,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // A transient device-level I/O failure (e.g. injected by
+  // io::FaultInjectingDiskManager). Unlike kCorruption, the operation is
+  // expected to succeed when retried.
+  kIoError,
 };
 
 // A lightweight status object: a code plus an optional message. The OK
@@ -60,6 +64,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
@@ -94,6 +101,7 @@ class [[nodiscard]] Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIoError: return "IoError";
     }
     return "Unknown";
   }

@@ -1,0 +1,192 @@
+// Deterministic differential fuzzing of every SegmentIndex implementation
+// against the in-memory oracle, with and without injected disk faults.
+// See fuzz_harness.h for the op stream and the fault/retry contract, and
+// DESIGN.md Section 13 for the reproducer workflow.
+//
+// The *Randomized* tests read SEGDB_FUZZ_SEED / SEGDB_FUZZ_OPS from the
+// environment (skipped when unset): CI's time-boxed fuzz job sets a fresh
+// seed per run and logs it; a failure replays locally with
+//   SEGDB_FUZZ_SEED=<S> SEGDB_FUZZ_OPS=<K> ctest -R Randomized
+
+#include "fuzz_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/full_scan_index.h"
+#include "baseline/interval_stab_index.h"
+#include "baseline/rtree_index.h"
+#include "core/two_level_binary_index.h"
+#include "core/two_level_interval_index.h"
+
+namespace segdb::fuzz {
+namespace {
+
+struct Config {
+  std::string label;
+  IndexFactory factory;
+  bool supports_erase = true;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  configs.push_back({"two-level-binary", [](io::BufferPool* pool) {
+                       return std::make_unique<core::TwoLevelBinaryIndex>(
+                           pool);
+                     }});
+  configs.push_back({"two-level-interval", [](io::BufferPool* pool) {
+                       return std::make_unique<core::TwoLevelIntervalIndex>(
+                           pool);
+                     }});
+  configs.push_back(
+      {"sheared-two-level-binary", [](io::BufferPool* pool) {
+         return std::make_unique<ShearedAdapter>(
+             std::make_unique<core::TwoLevelBinaryIndex>(pool));
+       }});
+  configs.push_back({"full-scan", [](io::BufferPool* pool) {
+                       return std::make_unique<baseline::FullScanIndex>(pool);
+                     }});
+  configs.push_back({"interval-stab", [](io::BufferPool* pool) {
+                       return std::make_unique<baseline::IntervalStabIndex>(
+                           pool);
+                     }});
+  // The R-tree has no deletion path: erase steps degrade to queries.
+  configs.push_back({"rtree",
+                     [](io::BufferPool* pool) {
+                       return std::make_unique<baseline::RTreeIndex>(pool);
+                     },
+                     /*supports_erase=*/false});
+  return configs;
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  Config config() const { return AllConfigs()[GetParam()]; }
+};
+
+// Reliable device: 10k ops per implementation, zero divergence allowed.
+TEST_P(DifferentialFuzzTest, TenThousandOpsNoFaults) {
+  const Config cfg = config();
+  FuzzOptions options;
+  options.seed = 20260805;
+  options.ops = 10000;
+  options.supports_erase = cfg.supports_erase;
+  FuzzStats stats;
+  const Status s =
+      RunDifferentialFuzz(cfg.label, cfg.factory, options, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.executed, options.ops);
+  EXPECT_EQ(stats.faulted_ops, 0u);
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_GT(stats.mutations, 0u);
+}
+
+// 1% transient-fault regime: every faulted op must return non-OK, leave
+// the structure audit-clean, and succeed when retried over a reliable
+// device — and the answers must still match the oracle throughout.
+TEST_P(DifferentialFuzzTest, SurvivesOnePercentFaultRegime) {
+  const Config cfg = config();
+  FuzzOptions options;
+  options.seed = 8152026;
+  options.ops = 4000;
+  options.supports_erase = cfg.supports_erase;
+  options.mutation_alloc_fault_rate = 0.01;
+  options.query_read_fault_rate = 0.01;
+  // A small pool forces cold reads so query-time read faults actually
+  // trigger (mutations are insulated by design: they draw alloc faults).
+  options.pool_frames = 64;
+  FuzzStats stats;
+  const Status s =
+      RunDifferentialFuzz(cfg.label, cfg.factory, options, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.executed, options.ops);
+  // The regime must actually bite, and every bite must have healed.
+  EXPECT_GT(stats.faulted_ops, 0u) << cfg.label;
+  EXPECT_EQ(stats.retried_ok, stats.faulted_ops) << cfg.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, DifferentialFuzzTest,
+                         ::testing::Range<size_t>(0, AllConfigs().size()),
+                         [](const auto& info) {
+                           std::string name = AllConfigs()[info.param].label;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// The harness itself must be replayable: identical (seed, ops) must
+// produce identical op streams, fault placement, and statistics.
+TEST(FuzzHarnessTest, RunsAreDeterministic) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.ops = 1500;
+  options.mutation_alloc_fault_rate = 0.02;
+  options.query_read_fault_rate = 0.02;
+  options.pool_frames = 64;
+  const IndexFactory factory = [](io::BufferPool* pool) {
+    return std::make_unique<core::TwoLevelIntervalIndex>(pool);
+  };
+  FuzzStats a, b;
+  ASSERT_TRUE(RunDifferentialFuzz("replay-a", factory, options, &a).ok());
+  ASSERT_TRUE(RunDifferentialFuzz("replay-b", factory, options, &b).ok());
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.mutations, b.mutations);
+  EXPECT_EQ(a.faulted_ops, b.faulted_ops);
+  EXPECT_EQ(a.retried_ok, b.retried_ok);
+  EXPECT_EQ(a.audits, b.audits);
+}
+
+// Env-driven randomized entry points for the CI fuzz job (and for local
+// reproduction of a CI-reported seed). Skipped unless SEGDB_FUZZ_SEED is
+// set; SEGDB_FUZZ_OPS optionally overrides the op count.
+std::optional<uint64_t> EnvU64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::strtoull(value, nullptr, 10);
+}
+
+TEST(RandomizedFuzzTest, AllIndexesNoFaults) {
+  const auto seed = EnvU64("SEGDB_FUZZ_SEED");
+  if (!seed.has_value()) GTEST_SKIP() << "SEGDB_FUZZ_SEED not set";
+  FuzzOptions options;
+  options.seed = *seed;
+  options.ops = EnvU64("SEGDB_FUZZ_OPS").value_or(10000);
+  std::printf("[fuzz] randomized no-fault run: --seed=%llu --ops=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.ops));
+  for (const Config& cfg : AllConfigs()) {
+    options.supports_erase = cfg.supports_erase;
+    const Status s = RunDifferentialFuzz(cfg.label, cfg.factory, options);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(RandomizedFuzzTest, AllIndexesOnePercentFaults) {
+  const auto seed = EnvU64("SEGDB_FUZZ_SEED");
+  if (!seed.has_value()) GTEST_SKIP() << "SEGDB_FUZZ_SEED not set";
+  FuzzOptions options;
+  options.seed = *seed;
+  options.ops = EnvU64("SEGDB_FUZZ_OPS").value_or(4000);
+  options.mutation_alloc_fault_rate = 0.01;
+  options.query_read_fault_rate = 0.01;
+  options.pool_frames = 64;
+  std::printf("[fuzz] randomized fault run: --seed=%llu --ops=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.ops));
+  for (const Config& cfg : AllConfigs()) {
+    options.supports_erase = cfg.supports_erase;
+    const Status s = RunDifferentialFuzz(cfg.label, cfg.factory, options);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace segdb::fuzz

@@ -1,0 +1,314 @@
+#include "fuzz_harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "baseline/oracle.h"
+#include "geom/segment.h"
+#include "io/fault_injection.h"
+#include "util/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb::fuzz {
+namespace {
+
+using core::SegmentIndex;
+using core::VerticalSegmentQuery;
+using geom::Segment;
+
+std::vector<uint64_t> SortedIds(const std::vector<Segment>& segs) {
+  std::vector<uint64_t> ids;
+  ids.reserve(segs.size());
+  for (const Segment& s : segs) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string DescribeQuery(const VerticalSegmentQuery& q) {
+  return "query x0=" + std::to_string(q.x0) + " y=[" + std::to_string(q.ylo) +
+         "," + std::to_string(q.yhi) + "]";
+}
+
+// One fuzz run: owns the device, pool, index, oracle and the op stream.
+class Fuzzer {
+ public:
+  Fuzzer(std::string label, const IndexFactory& factory,
+         const FuzzOptions& options)
+      : label_(std::move(label)),
+        options_(options),
+        fault_mode_(options.mutation_alloc_fault_rate > 0 ||
+                    options.query_read_fault_rate > 0),
+        disk_(options.page_size, io::FaultPlan{}),
+        pool_(&disk_, options.pool_frames),
+        rng_(options.seed) {
+    disk_.set_enabled(false);  // reliable until an op arms it
+    index_ = factory(&pool_);
+  }
+
+  Status Run(FuzzStats* stats);
+
+ private:
+  // Builds the reproducer line, prints it, and wraps it in a status. `k`
+  // is the 1-based op index: rerunning with --ops=k stops at the failure.
+  Status Fail(uint64_t k, const std::string& what) {
+    const std::string line =
+        label_ + ": op " + std::to_string(k) + ": " + what +
+        " | reproduce: --seed=" + std::to_string(options_.seed) +
+        " --ops=" + std::to_string(k);
+    std::fprintf(stderr, "[fuzz] %s\n", line.c_str());
+    return Status::Corruption(line);
+  }
+
+  // Arms the wrapper for one op. Reseeding from the master stream keeps
+  // fault placement a pure function of (seed, op index).
+  void Arm(uint64_t op_seed, bool mutation) {
+    if (!fault_mode_) return;
+    io::FaultPlan plan;
+    plan.seed = op_seed;
+    if (mutation) {
+      plan.alloc_fault_rate = options_.mutation_alloc_fault_rate;
+    } else {
+      plan.read_fault_rate = options_.query_read_fault_rate;
+    }
+    disk_.ResetPlan(plan);
+    disk_.set_enabled(true);
+  }
+  void Disarm() {
+    if (fault_mode_) disk_.set_enabled(false);
+  }
+
+  Status Audit(uint64_t k, FuzzStats* stats) {
+    const Status audit = index_->CheckInvariants();
+    if (!audit.ok()) return Fail(k, "audit failed: " + audit.ToString());
+    ++stats->audits;
+    return Status::OK();
+  }
+
+  // Runs one mutation expected to succeed. Under faults a non-OK first
+  // attempt is legal, but the structure must then audit clean and the
+  // paused retry must succeed (a partial application surfaces here: the
+  // retried insert/erase would double-apply or miss).
+  Status RunMutation(uint64_t k, uint64_t op_seed, const char* what,
+                     const std::function<Status()>& apply, FuzzStats* stats) {
+    ++stats->mutations;
+    Arm(op_seed, /*mutation=*/true);
+    const Status first = apply();
+    Disarm();
+    if (first.ok()) return Status::OK();
+    if (!fault_mode_) {
+      return Fail(k, std::string(what) + " failed without faults: " +
+                         first.ToString());
+    }
+    ++stats->faulted_ops;
+    SEGDB_RETURN_IF_ERROR(Audit(k, stats));
+    const Status retry = apply();
+    if (!retry.ok()) {
+      return Fail(k, std::string(what) + " retry failed: " + retry.ToString() +
+                         " (first: " + first.ToString() + ")");
+    }
+    ++stats->retried_ok;
+    return Status::OK();
+  }
+
+  VerticalSegmentQuery DrawQuery(const workload::BoundingBox& box) {
+    const uint32_t shape = static_cast<uint32_t>(rng_.Uniform(4));
+    const int64_t x0 = rng_.UniformInt(box.xmin - 3, box.xmax + 3);
+    if (shape == 0) {
+      const int64_t ylo = rng_.UniformInt(box.ymin, box.ymax);
+      return VerticalSegmentQuery::Segment(
+          x0, ylo, ylo + rng_.UniformInt(0, (box.ymax - box.ymin) / 5));
+    }
+    if (shape == 1) {
+      return VerticalSegmentQuery::UpRay(x0,
+                                         rng_.UniformInt(box.ymin, box.ymax));
+    }
+    if (shape == 2) {
+      return VerticalSegmentQuery::DownRay(
+          x0, rng_.UniformInt(box.ymin, box.ymax));
+    }
+    return VerticalSegmentQuery::Line(x0);  // stabbing query
+  }
+
+  Status RunQuery(uint64_t k, uint64_t op_seed,
+                  const workload::BoundingBox& box, FuzzStats* stats) {
+    ++stats->queries;
+    const VerticalSegmentQuery q = DrawQuery(box);
+    std::vector<Segment> got;
+    Arm(op_seed, /*mutation=*/false);
+    const Status s = index_->Query(q, &got);
+    Disarm();
+    if (!s.ok()) {
+      if (!fault_mode_) {
+        return Fail(k, DescribeQuery(q) +
+                           " failed without faults: " + s.ToString());
+      }
+      ++stats->faulted_ops;
+      SEGDB_RETURN_IF_ERROR(Audit(k, stats));
+      got.clear();  // a failed query's partial output carries no contract
+      const Status retry = index_->Query(q, &got);
+      if (!retry.ok()) {
+        return Fail(k, DescribeQuery(q) +
+                           " retry failed: " + retry.ToString());
+      }
+      ++stats->retried_ok;
+    }
+    std::vector<Segment> want;
+    const Status os = oracle_.Query(q, &want);
+    if (!os.ok()) return Fail(k, "oracle query failed: " + os.ToString());
+    if (SortedIds(got) != SortedIds(want)) {
+      return Fail(k, DescribeQuery(q) + " diverged: got " +
+                         std::to_string(got.size()) + " ids, oracle " +
+                         std::to_string(want.size()));
+    }
+    return Status::OK();
+  }
+
+  const std::string label_;
+  const FuzzOptions options_;
+  const bool fault_mode_;
+  io::FaultInjectingDiskManager disk_;
+  io::BufferPool pool_;
+  Rng rng_;
+  std::unique_ptr<SegmentIndex> index_;
+  baseline::OracleIndex oracle_;
+};
+
+Status Fuzzer::Run(FuzzStats* stats) {
+  FuzzStats local;
+  if (stats == nullptr) stats = &local;
+
+  // The universe is NCT by construction; every subset stays NCT, so any
+  // interleaving of loads/inserts below keeps the database valid.
+  const auto universe = workload::GenMapLayer(
+      rng_, options_.universe, static_cast<int64_t>(options_.universe) * 125);
+  const auto box = workload::ComputeBoundingBox(universe);
+
+  std::vector<size_t> alive, dead;
+  for (size_t i = 0; i < universe.size(); ++i) dead.push_back(i);
+
+  // Initial load of a random half (setup: faults stay disarmed).
+  {
+    std::vector<Segment> initial;
+    for (size_t r = 0; r < universe.size() / 2; ++r) {
+      const size_t pick = rng_.Uniform(dead.size());
+      alive.push_back(dead[pick]);
+      dead.erase(dead.begin() + pick);
+      initial.push_back(universe[alive.back()]);
+    }
+    const Status s = index_->BulkLoad(initial);
+    if (!s.ok()) return Fail(0, "initial bulk load failed: " + s.ToString());
+    const Status os = oracle_.BulkLoad(initial);
+    if (!os.ok()) return Fail(0, "oracle bulk load failed: " + os.ToString());
+  }
+
+  for (uint64_t k = 1; k <= options_.ops; ++k) {
+    // Per-op draws happen in a fixed order, so the stream is
+    // prefix-deterministic: --ops=K replays exactly the first K ops.
+    const uint64_t op_seed = rng_.Next();
+    const uint32_t op = static_cast<uint32_t>(rng_.Uniform(10));
+
+    if (op < 3 && !dead.empty()) {  // insert
+      const size_t pick = rng_.Uniform(dead.size());
+      const size_t idx = dead[pick];
+      dead.erase(dead.begin() + pick);
+      alive.push_back(idx);
+      SEGDB_RETURN_IF_ERROR(RunMutation(
+          k, op_seed, "insert",
+          [&] { return index_->Insert(universe[idx]); }, stats));
+      const Status os = oracle_.Insert(universe[idx]);
+      if (!os.ok()) return Fail(k, "oracle insert failed: " + os.ToString());
+    } else if (op >= 3 && op < 5 && options_.supports_erase &&
+               !alive.empty()) {  // erase of a stored segment
+      const size_t pick = rng_.Uniform(alive.size());
+      const size_t idx = alive[pick];
+      alive.erase(alive.begin() + pick);
+      dead.push_back(idx);
+      SEGDB_RETURN_IF_ERROR(RunMutation(
+          k, op_seed, "erase",
+          [&] { return index_->Erase(universe[idx]); }, stats));
+      const Status os = oracle_.Erase(universe[idx]);
+      if (!os.ok()) return Fail(k, "oracle erase failed: " + os.ToString());
+    } else if (op == 5 && options_.supports_erase && !dead.empty()) {
+      // Erase of an absent segment: both sides must report NotFound. A
+      // fault may surface first; the paused retry must then say NotFound.
+      ++stats->mutations;
+      const Segment& s = universe[dead[rng_.Uniform(dead.size())]];
+      Arm(op_seed, /*mutation=*/true);
+      const Status first = index_->Erase(s);
+      Disarm();
+      if (first.code() != StatusCode::kNotFound) {
+        if (!fault_mode_ || first.ok()) {
+          return Fail(k, "erase-absent returned " + first.ToString());
+        }
+        ++stats->faulted_ops;
+        SEGDB_RETURN_IF_ERROR(Audit(k, stats));
+        const Status retry = index_->Erase(s);
+        if (retry.code() != StatusCode::kNotFound) {
+          return Fail(k, "erase-absent retry returned " + retry.ToString());
+        }
+        ++stats->retried_ok;
+      }
+      if (oracle_.Erase(s).code() != StatusCode::kNotFound) {
+        return Fail(k, "oracle erase-absent was not NotFound");
+      }
+    } else if (op == 6 && rng_.Uniform(8) == 0) {
+      // Occasional bulk load of a fresh random subset: replaces the whole
+      // database, exercising build paths mid-stream. A faulted load must
+      // leave the *previous* contents intact until the retry lands.
+      std::vector<Segment> load;
+      std::vector<size_t> next_alive, next_dead;
+      for (size_t i = 0; i < universe.size(); ++i) {
+        if (rng_.Next() & 1) {
+          next_alive.push_back(i);
+          load.push_back(universe[i]);
+        } else {
+          next_dead.push_back(i);
+        }
+      }
+      SEGDB_RETURN_IF_ERROR(RunMutation(
+          k, op_seed, "bulk load",
+          [&] { return index_->BulkLoad(load); }, stats));
+      const Status os = oracle_.BulkLoad(load);
+      if (!os.ok()) return Fail(k, "oracle bulk load failed: " + os.ToString());
+      alive = std::move(next_alive);
+      dead = std::move(next_dead);
+    } else {
+      SEGDB_RETURN_IF_ERROR(RunQuery(k, op_seed, box, stats));
+    }
+
+    if (index_->size() != alive.size()) {
+      return Fail(k, "size diverged: index " + std::to_string(index_->size()) +
+                         ", expected " + std::to_string(alive.size()));
+    }
+    if (options_.audit_every > 0 && k % options_.audit_every == 0) {
+      SEGDB_RETURN_IF_ERROR(Audit(k, stats));
+    }
+    ++stats->executed;
+  }
+
+  return Audit(options_.ops, stats);
+}
+
+}  // namespace
+
+Status RunDifferentialFuzz(const std::string& label,
+                           const IndexFactory& factory,
+                           const FuzzOptions& options, FuzzStats* stats) {
+  Fuzzer fuzzer(label, factory, options);
+  return fuzzer.Run(stats);
+}
+
+Status ShearedAdapter::Query(const core::VerticalSegmentQuery& q,
+                             std::vector<geom::Segment>* out) const {
+  const bool lo_open = q.ylo <= -(geom::kMaxCoord + 1);
+  const bool hi_open = q.yhi >= geom::kMaxCoord + 1;
+  if (lo_open && hi_open) {
+    return sheared_.QueryLine(geom::Point{q.x0, 0}, out);
+  }
+  return sheared_.QuerySegment(geom::Point{q.x0, q.ylo}, q.yhi - q.ylo, out);
+}
+
+}  // namespace segdb::fuzz

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local differential-fuzz soak: builds the fuzz suites under ASan+UBSan
+# and runs them with a fresh random seed per iteration, logging each seed.
+# A red iteration reproduces with:
+#   SEGDB_FUZZ_SEED=<seed> ctest --test-dir build-asan -R Randomized
+#
+# Usage: tools/fuzz.sh [iterations]   (default 1; 0 = soak until killed)
+# Env:   SEGDB_FUZZ_OPS overrides the per-run op count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+iterations="${1:-1}"
+
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j \
+  --target fault_injection_test differential_fuzz_test
+
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
+
+i=0
+while [ "$iterations" -eq 0 ] || [ "$i" -lt "$iterations" ]; do
+  i=$((i + 1))
+  SEGDB_FUZZ_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+  export SEGDB_FUZZ_SEED
+  echo "=== fuzz iteration ${i}: SEGDB_FUZZ_SEED=${SEGDB_FUZZ_SEED} ==="
+  ctest --preset fuzz-asan
+done
