@@ -2,12 +2,17 @@
 
 #include <string>
 
+#include "util/check.h"
+
 namespace segdb::baseline {
 
 Status EndpointPstIndex::BulkLoad(std::span<const geom::Segment> segments) {
   std::vector<pst::PointRecord> points;
   points.reserve(segments.size());
-  payload_.clear();
+  // Build the payload map aside: a BulkLoad that fails (bad input or a
+  // fault inside the PST build) must not leave payload_ cleared or
+  // half-filled while the PST still answers for the old content.
+  std::unordered_map<uint64_t, geom::Segment> payload;
   for (const geom::Segment& s : segments) {
     if (!(s.x1 <= base_x_ && base_x_ < s.x2)) {
       return Status::InvalidArgument("segment " + std::to_string(s.id) +
@@ -15,9 +20,12 @@ Status EndpointPstIndex::BulkLoad(std::span<const geom::Segment> segments) {
     }
     // Point = (far-endpoint ordinate, reach); the 3-sided query keys.
     points.push_back(pst::PointRecord{s.y2, s.x2, s.id});
-    payload_.emplace(s.id, s);
+    payload.emplace(s.id, s);
   }
-  return pst_.BulkLoad(points);
+  SEGDB_RETURN_IF_ERROR(pst_.BulkLoad(points));
+  SEGDB_COMMIT_POINT();
+  payload_ = std::move(payload);
+  return Status::OK();
 }
 
 Status EndpointPstIndex::QueryViaEndpoints(

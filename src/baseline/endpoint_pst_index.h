@@ -6,6 +6,8 @@
 #ifndef SEGDB_BASELINE_ENDPOINT_PST_INDEX_H_
 #define SEGDB_BASELINE_ENDPOINT_PST_INDEX_H_
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 

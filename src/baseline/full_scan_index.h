@@ -3,6 +3,9 @@
 #ifndef SEGDB_BASELINE_FULL_SCAN_INDEX_H_
 #define SEGDB_BASELINE_FULL_SCAN_INDEX_H_
 
+#include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/segment_index.h"

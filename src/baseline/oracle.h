@@ -9,7 +9,10 @@
 #ifndef SEGDB_BASELINE_ORACLE_H_
 #define SEGDB_BASELINE_ORACLE_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/segment_index.h"

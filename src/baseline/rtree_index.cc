@@ -110,6 +110,8 @@ Result<io::PageId> RTreeIndex::PackLevel(std::vector<Entry> entries,
           mbr = Merge(mbr, entries[i + k].rect);
         }
         ref.value().MarkDirty();
+        // SEMA-OK: this increment is rolled back by unwind(), which
+        // subtracts allocated.size() when a later allocation fails.
         ++page_count_;
         allocated.push_back(ref.value().page_id());
         Entry parent{};
@@ -258,7 +260,7 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
     }
     ref.value().MarkDirty();
     const bool was_leaf = IsLeaf(p);
-    ref.value().Release();
+    { io::PageRef done = std::move(ref.value()); }  // drop, then fetch
     // The sibling comes from the pre-allocated reserve, so the cascade
     // cannot fail here with the node already truncated to its left half.
     SEGDB_DCHECK(!reserve->empty());
@@ -299,7 +301,7 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
     }
   }
   Entry chosen = p.ReadAt<Entry>(EntryOff(best));
-  ref.value().Release();
+  { io::PageRef done = std::move(ref.value()); }  // drop before recursing
   Rect child_rect{};
   Result<SplitResult> sub =
       InsertRecursive(chosen.child, level - 1, entry, &child_rect, reserve);
@@ -335,7 +337,7 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
         wp.WriteAt<Entry>(EntryOff(static_cast<uint32_t>(i)), left[i]);
         lr = Merge(lr, left[i].rect);
       }
-      wref.value().Release();
+      { io::PageRef done = std::move(wref.value()); }  // drop, then fetch
       SEGDB_DCHECK(!reserve->empty());
       const io::PageId sibling = reserve->back();
       reserve->pop_back();
@@ -514,7 +516,7 @@ Status RTreeIndex::CheckSubtree(io::PageId id, const Rect& expect,
     *count = n;
     return Status::OK();
   }
-  ref.value().Release();
+  { io::PageRef done = std::move(ref.value()); }  // drop before recursing
   for (const Entry& e : entries) {
     uint64_t sub = 0;
     SEGDB_RETURN_IF_ERROR(CheckSubtree(e.child, e.rect, &sub));

@@ -292,18 +292,18 @@ Status BPlusTree<Record, Compare>::Clear() {
 
 template <typename Record, typename Compare>
 Status BPlusTree<Record, Compare>::FreeSubtree(io::PageId id) {
+  std::vector<io::PageId> children;
   {
     auto ref = pool_->Fetch(id);
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
     if (!IsLeaf(p)) {
       const uint32_t count = Count(p);
-      std::vector<io::PageId> children(count + 1);
+      children.resize(count + 1);
       for (uint32_t i = 0; i <= count; ++i) children[i] = Child(p, i);
-      ref.value().Release();
-      for (io::PageId c : children) SEGDB_RETURN_IF_ERROR(FreeSubtree(c));
     }
-  }
+  }  // pin dropped before recursing: children re-fetch freely
+  for (io::PageId c : children) SEGDB_RETURN_IF_ERROR(FreeSubtree(c));
   return pool_->FreePage(id);
 }
 
@@ -327,16 +327,12 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
   }
 #endif
 
-  // On a mid-build failure, release every page built so far and leave the
-  // tree in its (empty) post-Clear state rather than leaking a half-built
-  // level with stale counters.
+  // The build writes no member state until the commit point below; a
+  // mid-build failure only has to release the pages built so far and the
+  // tree stays in its (empty) post-Clear state.
   std::vector<io::PageId> built;
   auto unwind = [&](Status cause) {
     for (io::PageId id : built) pool_->FreePage(id).IgnoreError();
-    root_ = io::kInvalidPageId;
-    height_ = 0;
-    size_ = 0;
-    page_count_ = 0;
     if (positions != nullptr) positions->clear();
     return cause;
   };
@@ -369,7 +365,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
     }
     built.push_back(id);
     if (prev != io::kInvalidPageId) {
-      ref.value().Release();
+      { io::PageRef done = std::move(ref.value()); }  // drop pin, then fetch
       auto prev_ref = pool_->Fetch(prev);
       if (!prev_ref.ok()) return unwind(prev_ref.status());
       SetLeafNext(prev_ref.value().page(), id);
@@ -377,10 +373,9 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
     }
     level.push_back(Entry{sorted[i], id});
     prev = id;
-    ++page_count_;
     i += take;
   }
-  height_ = 1;
+  uint32_t height = 1;
 
   // Upper levels.
   while (level.size() > 1) {
@@ -403,14 +398,16 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
       ref.value().MarkDirty();
       built.push_back(ref.value().page_id());
       next_level.push_back(Entry{level[j].first, ref.value().page_id()});
-      ++page_count_;
       j += take;
     }
     level = std::move(next_level);
-    ++height_;
+    ++height;
   }
+  SEGDB_COMMIT_POINT();  // nothing below can fail; publish the new tree
   root_ = level[0].id;
+  height_ = height;
   size_ = sorted.size();
+  page_count_ = built.size();
   return Status::OK();
 }
 
@@ -511,11 +508,8 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
       if (!sref.ok()) {
         std::vector<io::PageId> ids;
         ids.reserve(spare.size());
-        for (io::PageRef& r : spare) {
-          ids.push_back(r.page_id());
-          r.Release();
-        }
-        spare.clear();
+        for (const io::PageRef& r : spare) ids.push_back(r.page_id());
+        spare.clear();  // destroys every spare PageRef, dropping its pin
         for (io::PageId id : ids) pool_->FreePage(id).IgnoreError();
         return sref.status();
       }
@@ -538,8 +532,12 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     SetCount(p, left_n);
     SetLeafNext(p, right_id);
     ref.value().MarkDirty();
-    ref.value().Release();
-    right.Release();
+    {
+      // Drop both split pins at scope exit (left leaf first, matching the
+      // destruction order) before fetching the old next leaf.
+      io::PageRef drop_right = std::move(right);
+      io::PageRef drop_left = std::move(ref.value());
+    }
     if (old_next != io::kInvalidPageId) {
       auto nref = pool_->Fetch(old_next);
       if (!nref.ok()) return nref.status();
@@ -745,7 +743,7 @@ Status BPlusTree<Record, Compare>::FindFirstWhere(Pred pred, Position* pos,
       } else {
         const io::PageId prev = LeafPrev(p);
         if (prev != io::kInvalidPageId) {
-          ref.value().Release();
+          { io::PageRef done = std::move(ref.value()); }  // drop, then fetch
           auto pref = pool_->Fetch(prev);
           if (!pref.ok()) return pref.status();
           const io::Page& pp = pref.value().page();
@@ -765,7 +763,7 @@ Status BPlusTree<Record, Compare>::FindFirstWhere(Pred pred, Position* pos,
     }
     const io::PageId next = LeafNext(p);
     if (next == io::kInvalidPageId) return Status::OK();
-    ref.value().Release();
+    { io::PageRef done = std::move(ref.value()); }  // drop, then fetch
     auto nref = pool_->Fetch(next);
     if (!nref.ok()) return nref.status();
     const io::Page& np = nref.value().page();
@@ -926,7 +924,7 @@ Status BPlusTree<Record, Compare>::CheckSubtree(
   std::vector<io::PageId> kids(count + 1);
   for (uint32_t i = 0; i < count; ++i) seps[i] = Separator(p, i);
   for (uint32_t i = 0; i <= count; ++i) kids[i] = Child(p, i);
-  ref.value().Release();
+  { io::PageRef done = std::move(ref.value()); }  // drop before recursing
   for (uint32_t i = 0; i < count; ++i) {
     if (i > 0 && cmp_(seps[i - 1], seps[i]) > 0) {
       return Status::Corruption("separators out of order");

@@ -18,7 +18,10 @@
 #ifndef SEGDB_CORE_SHEARED_INDEX_H_
 #define SEGDB_CORE_SHEARED_INDEX_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/segment_index.h"

@@ -33,6 +33,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/segment_index.h"

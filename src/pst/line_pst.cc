@@ -196,7 +196,8 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
   io::ColumnarPageView(&p, SegOff(0), cap_)
       .WriteRange(0, node_segs.data(), take);
   ref.value().MarkDirty();
-  ref.value().Release();  // children allocate pages; avoid holding pins
+  // Children allocate pages below; drop the pin at scope exit first.
+  { io::PageRef done = std::move(ref.value()); }
 
   if (k > 0) {
     std::vector<io::PageId> child_ids;

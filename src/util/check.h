@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <string>
 
 namespace segdb::util {
 
@@ -66,5 +67,15 @@ class CheckFailure {
   ::segdb::util::CheckFailure(__FILE__, __LINE__, #condition).stream() \
       << " "
 #endif
+
+// Marks the commit point of a fault-atomic mutation: the statement after
+// which the operation's member-state writes become visible and nothing may
+// fail any more (DESIGN.md sections 13-14). Purely declarative — it expands
+// to nothing at run time — but the semantic checker (tools/segdb_sema)
+// verifies that no allocation-fallible call executes after it, and permits
+// member writes only past it (or under a documented rollback).
+#define SEGDB_COMMIT_POINT() \
+  do {                       \
+  } while (false)
 
 #endif  // SEGDB_UTIL_CHECK_H_

@@ -73,6 +73,16 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // True for transient device-level failures (kIoError): the same
+  // operation is expected to succeed when retried. Every other error code
+  // is permanent — retrying a kCorruption or kInvalidArgument just
+  // repeats the failure. The semantic checker (tools/segdb_sema) enforces
+  // the flip side: a kIoError may only be converted to OK inside a retry
+  // loop.
+  [[nodiscard]] bool retryable() const {
+    return code_ == StatusCode::kIoError;
+  }
+
   // Explicitly discards this status. The only sanctioned way to drop an
   // error (destructors and other no-fail contexts); greppable on purpose.
   void IgnoreError() const {}

@@ -1,0 +1,135 @@
+// Contract tests for Status / Result<T> semantics the semantic checker
+// suite (tools/segdb_sema) leans on: moved-from Result behavior, the
+// IgnoreError() escape hatch, and the kIoError retryability contract.
+// tests/util_test.cc covers the basics (codes, messages, propagation);
+// this file pins down the edge semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace segdb {
+namespace {
+
+// --------------------------------------------------------------------------
+// Moved-from Result
+// --------------------------------------------------------------------------
+
+TEST(ResultMoveTest, ValueMovesOutThroughRvalueOverload) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ResultMoveTest, MovedFromResultStaysOkWithHollowValue) {
+  // Moving out of value() transfers the payload, not the status: the
+  // moved-from Result still answers ok() (the checker's use-after-move
+  // rule exists precisely because this cannot be caught at run time).
+  Result<std::string> r(std::string(64, 'x'));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 64u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultMoveTest, MovingTheValueLeavesSourceContainerEmpty) {
+  Result<std::vector<int>> r(std::vector<int>{4, 5});
+  std::vector<int> taken = std::move(r.value());
+  EXPECT_EQ(taken.size(), 2u);
+  // Standard moved-from container: valid but unspecified; for vector the
+  // ABI-stable reality segdb relies on is "empty, reusable".
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(ResultMoveTest, ErrorResultExposesStatusNotValue) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------------------
+// IgnoreError()
+// --------------------------------------------------------------------------
+
+TEST(IgnoreErrorTest, NonOkStatusSurvivesIgnoreError) {
+  // IgnoreError() consumes the [[nodiscard]] obligation; it must not
+  // mutate the status (best-effort cleanup paths still log s.ToString()).
+  Status s = Status::IoError("injected");
+  s.IgnoreError();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: injected");
+}
+
+TEST(IgnoreErrorTest, UsableOnTemporaries) {
+  // The destructor-cleanup idiom: pool->FreePage(id).IgnoreError();
+  Status::Corruption("dropped on purpose").IgnoreError();
+  Status::OK().IgnoreError();
+}
+
+// --------------------------------------------------------------------------
+// kIoError retryability contract
+// --------------------------------------------------------------------------
+
+TEST(RetryableTest, OnlyIoErrorIsRetryable) {
+  EXPECT_TRUE(Status::IoError("transient").retryable());
+  EXPECT_FALSE(Status::OK().retryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").retryable());
+  EXPECT_FALSE(Status::NotFound("x").retryable());
+  EXPECT_FALSE(Status::OutOfRange("x").retryable());
+  EXPECT_FALSE(Status::Corruption("x").retryable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").retryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").retryable());
+  EXPECT_FALSE(Status::Unimplemented("x").retryable());
+  EXPECT_FALSE(Status::Internal("x").retryable());
+}
+
+TEST(RetryableTest, RetryLoopConvertsIoErrorToOk) {
+  // The sanctioned shape for absorbing a transient fault: re-issue the
+  // operation until it succeeds (or give up and propagate). Corruption
+  // must escape such a loop immediately.
+  int attempts = 0;
+  auto flaky = [&attempts]() -> Status {
+    ++attempts;
+    if (attempts < 3) return Status::IoError("transient");
+    return Status::OK();
+  };
+  Status s = Status::IoError("seed");
+  for (int i = 0; i < 5 && s.retryable(); ++i) {
+    s = flaky();
+    if (s.ok()) break;
+  }
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryableTest, PermanentErrorEscapesRetryLoop) {
+  int attempts = 0;
+  auto corrupt = [&attempts]() -> Status {
+    ++attempts;
+    return Status::Corruption("bad checksum");
+  };
+  Status s = Status::IoError("seed");
+  for (int i = 0; i < 5 && s.retryable(); ++i) {
+    s = corrupt();
+  }
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryableTest, MovedFromStatusIsStillQueryable) {
+  // Status's members are a code and a string; moving transfers the
+  // message but the code stays valid to inspect (use-after-move of a
+  // *Result* is the dangerous case; plain Status stays well-defined).
+  Status s = Status::IoError("transient");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.retryable());
+  EXPECT_EQ(t.message(), "transient");
+}
+
+}  // namespace
+}  // namespace segdb

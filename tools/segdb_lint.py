@@ -29,6 +29,11 @@ naked-suppression
 thread-local    `thread_local` only in the audited allowlist (per-worker
                 result arenas); ad-hoc thread-locals hide cross-thread
                 lifetime bugs from the annotations.
+header-self-containment
+                every header under src/ directly includes the standard
+                headers for the std types it names (curated symbol map
+                below): a header must compile on its own, not by riding
+                on what its includers happened to pull in first.
 
 Comment and string-literal contents are ignored for every rule except
 naked-suppression's justification search (which looks for comments).
@@ -94,6 +99,39 @@ IO_BYPASS_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
 INCLUDE_DIRECTIVE_RE = re.compile(r'^\s*#\s*include\s*"')
 INCLUDE_PATH_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 SUPPRESSION_TOKEN = "NO_THREAD_SAFETY_ANALYSIS"
+
+# Standard symbols a src/ header may only name after directly including
+# the header that declares them. Deliberately curated: entries are added
+# when a symbol is actually used in the tree, and every entry must be
+# unambiguous (exactly one owning standard header).
+STD_HEADER_FOR = {
+    "std::vector": "vector",
+    "std::string": "string",
+    "std::string_view": "string_view",
+    "std::span": "span",
+    "std::array": "array",
+    "std::deque": "deque",
+    "std::unordered_map": "unordered_map",
+    "std::unordered_set": "unordered_set",
+    "std::map": "map",
+    "std::optional": "optional",
+    "std::unique_ptr": "memory",
+    "std::shared_ptr": "memory",
+    "std::function": "functional",
+    "std::atomic": "atomic",
+    "std::tuple": "tuple",
+    "uint8_t": "cstdint",
+    "uint16_t": "cstdint",
+    "uint32_t": "cstdint",
+    "uint64_t": "cstdint",
+    "int8_t": "cstdint",
+    "int16_t": "cstdint",
+    "int32_t": "cstdint",
+    "int64_t": "cstdint",
+}
+STD_SYMBOL_RE = re.compile(
+    r"\b(std\s*::\s*[a-z_]+|u?int(?:8|16|32|64)_t)\b")
+ANGLE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<([^>]+)>")
 THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
 SAFETY_COMMENT_RE = re.compile(r"//.*\bSAFETY:")
 
@@ -295,8 +333,33 @@ def check_thread_local(rel, _raw_lines, code_lines):
                 "exempted")
 
 
+def check_header_self_containment(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or not rel.endswith(".h"):
+        return
+    included = set()
+    for line in code_lines:
+        m = ANGLE_INCLUDE_RE.match(line)
+        if m:
+            included.add(m.group(1))
+    reported = set()
+    for lineno, line in enumerate(code_lines, 1):
+        if line.lstrip().startswith("#"):
+            continue
+        for m in STD_SYMBOL_RE.finditer(line):
+            symbol = re.sub(r"\s+", "", m.group(1))
+            header = STD_HEADER_FOR.get(symbol)
+            if header is None or header in included or header in reported:
+                continue
+            reported.add(header)
+            yield Violation(
+                rel, lineno, "header-self-containment",
+                f"'{symbol}' is used but <{header}> is not included "
+                "directly; headers must include what they use")
+
+
 RULES = (check_layering, check_raw_sync, check_io_bypass,
-         check_naked_suppression, check_thread_local)
+         check_naked_suppression, check_thread_local,
+         check_header_self_containment)
 
 
 # --------------------------------------------------------------------------

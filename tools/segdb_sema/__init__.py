@@ -1,0 +1,50 @@
+"""segdb_sema: AST-accurate semantic checker suite for segdb.
+
+Three check families, enforcing the invariants the paper's I/O bounds and
+PR 5's fault-atomicity contract rest on (DESIGN.md section 14):
+
+  pin discipline       every BufferPool::Fetch/NewPage result flows into an
+                       RAII PageRef; no use after move/Release; no raw
+                       Release() outside PageRef; no pin stored in a member
+                       or static; no pin held across EvictAll/FlushAll.
+  Status/Result flow   Result::value() dominated by an ok() test; a
+                       call-produced Status is inspected, returned, or
+                       IgnoreError()'d on every path; StatusCode::kIoError
+                       is never converted to OK without a retry loop.
+  fault atomicity      mutation methods (Insert/Erase/BulkLoad and their
+                       helpers under src/{core,btree,itree,segtree,
+                       baseline}) write member state only after the last
+                       allocation-fallible call, after SEGDB_COMMIT_POINT(),
+                       or under a `// SEMA-OK:` documented rollback.
+
+Two interchangeable frontends produce the same micro-AST:
+
+  cindex   clang.cindex over compile_commands.json (preferred; used in CI
+           where the clang python bindings are installed);
+  pycpp    a built-in pure-Python C++ tokenizer + statement parser, so the
+           suite runs — and is enforced — on toolchains without libclang.
+
+`// SEMA-OK: <reason>` on the finding line or one of the two preceding
+lines suppresses a finding; a SEMA-OK without a reason is itself reported
+(sema-naked-suppression).
+
+Run: python3 tools/segdb_sema [--frontend auto|pycpp|cindex] [files...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# The stripper is shared with the architecture linter (tools/segdb_lint.py);
+# both tools live in tools/, one directory above this package.
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from segdb_sema.driver import (  # noqa: E402,F401  (public API)
+    Finding,
+    analyze_text,
+    main,
+    run,
+)

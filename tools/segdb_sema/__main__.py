@@ -1,0 +1,13 @@
+"""Entry point: `python3 tools/segdb_sema [args]`."""
+
+import os
+import sys
+
+# Allow running as `python3 tools/segdb_sema` (directory on sys.path is the
+# package dir itself; the import system needs its parent).
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from segdb_sema import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,458 @@
+"""Frontend-neutral micro-AST plus the pycpp parser that builds it.
+
+The micro-AST deliberately models only what the checks consume: function
+definitions with a statement tree whose leaves carry token lists. Both
+frontends (pycpp here, clang.cindex in frontend_cindex.py) produce this
+shape, so every check runs identically under either.
+
+Statement kinds
+---------------
+block    children = [Stmt...]
+if       cond = tokens, children = [then] or [then, else]
+loop     header = tokens (condition / for-header), children = [body];
+         loop_kind in {'for', 'while', 'do'}
+switch   header = tokens, children = [body]
+return   tokens = return expression
+simple   tokens = full statement (declaration or expression); any brace
+         group inside the statement (lambda body, brace-init) is parsed
+         into `sub` blocks and replaced by a '{}' placeholder token
+break / continue / commit (SEGDB_COMMIT_POINT();)
+"""
+
+from __future__ import annotations
+
+from segdb_sema.lexer import Tok, lex
+
+_CLASS_KEYWORDS = {"class", "struct", "union"}
+_FUNC_TAIL = {"const", "noexcept", "override", "final", "&", "&&", "mutable"}
+# Heads that can never open a function body.
+_NON_FUNC_STARTERS = {"using", "typedef", "friend", "static_assert"}
+
+
+class Stmt:
+    __slots__ = ("kind", "line", "tokens", "children", "sub", "loop_kind")
+
+    def __init__(self, kind, line, tokens=None, children=None, sub=None,
+                 loop_kind=None):
+        self.kind = kind
+        self.line = line
+        self.tokens = tokens or []
+        self.children = children or []
+        self.sub = sub or []  # detached sub-blocks: lambda bodies etc.
+        self.loop_kind = loop_kind
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Stmt({self.kind}@{self.line})"
+
+
+class Func:
+    """One function definition: qualified context, head tokens, body."""
+
+    __slots__ = ("name", "ctx", "head", "body", "line", "is_lambda")
+
+    def __init__(self, name, ctx, head, body, line, is_lambda=False):
+        self.name = name          # unqualified name ('' if unknown)
+        self.ctx = ctx            # tuple of enclosing namespace/class names
+        self.head = head          # declaration tokens before '{'
+        self.body = body          # Stmt('block')
+        self.line = line
+        self.is_lambda = is_lambda
+
+
+class Decl:
+    """A ';'-terminated declaration head (function decl or data member)."""
+
+    __slots__ = ("ctx", "tokens", "line", "in_class")
+
+    def __init__(self, ctx, tokens, line, in_class):
+        self.ctx = ctx
+        self.tokens = tokens
+        self.line = line
+        self.in_class = in_class
+
+
+class FileAst:
+    __slots__ = ("functions", "decls")
+
+    def __init__(self):
+        self.functions: list[Func] = []
+        self.decls: list[Decl] = []
+
+
+# ---------------------------------------------------------------------------
+# Token helpers
+# ---------------------------------------------------------------------------
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+
+
+def _skip_balanced(toks, i):
+    """toks[i] is an opener; returns index just past its match."""
+    close = _OPEN[toks[i].text]
+    openc = toks[i].text
+    depth = 1
+    i += 1
+    while i < len(toks):
+        t = toks[i].text
+        if t == openc:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def _last_top_rparen(head):
+    """Index of the last ')' at top nesting level in head, or -1."""
+    depth = 0
+    last = -1
+    for i, t in enumerate(head):
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+            if depth == 0 and t.text == ")":
+                last = i
+    return last
+
+
+def _is_function_head(head) -> bool:
+    if not head:
+        return False
+    first = head[0].text
+    if first in _NON_FUNC_STARTERS or first == "namespace":
+        return False
+    if not any(t.text == "(" for t in head):
+        return False
+    last = head[-1].text
+    if last == ")" or last in _FUNC_TAIL:
+        return True
+    # Attribute-like macro tail (SEGDB_NO_THREAD_SAFETY_ANALYSIS etc.).
+    if head[-1].kind == "id" and last.isupper():
+        return True
+    # Trailing return type: '->' after the parameter list's ')'.
+    rp = _last_top_rparen(head)
+    if rp >= 0 and any(t.text == "->" for t in head[rp + 1:]):
+        return True
+    return False
+
+
+def _param_lparen(head):
+    """Index of the '(' opening the parameter list: the first top-level
+    '(' preceded by an identifier or an operator token run."""
+    depth = 0
+    for i, t in enumerate(head):
+        if t.text in "<" and depth >= 0:
+            pass  # angles are not tracked; parens dominate here
+        if t.text in "([{":
+            if t.text == "(" and depth == 0 and i > 0:
+                prev = head[i - 1]
+                if prev.kind == "id" or prev.text in (")", "]", "=", "<",
+                                                      ">", "+", "-", "*",
+                                                      "/", "%", "==", "!=",
+                                                      "[", "]"):
+                    # `operator()` / `operator[]` / `operator==` etc. all
+                    # end in a token the check above accepts.
+                    return i
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+    return -1
+
+
+def head_function_name(head) -> str:
+    lp = _param_lparen(head)
+    if lp <= 0:
+        return ""
+    prev = head[lp - 1]
+    if prev.kind == "id":
+        return prev.text
+    # operator overload: collapse to 'operator<punct...>'
+    j = lp - 1
+    parts = []
+    while j >= 0 and head[j].kind == "punct":
+        parts.append(head[j].text)
+        j -= 1
+    if j >= 0 and head[j].text == "operator":
+        return "operator" + "".join(reversed(parts))
+    return ""
+
+
+def head_return_kinds(head):
+    """Classifies the tokens before the function name: returns
+    (returns_status, returns_result, result_inner_text)."""
+    lp = _param_lparen(head)
+    if lp <= 0:
+        return (False, False, "")
+    pre = head[:lp - 1]
+    # Strip a template<...> prefix.
+    if pre and pre[0].text == "template":
+        depth = 0
+        k = 1
+        while k < len(pre):
+            if pre[k].text == "<":
+                depth += 1
+            elif pre[k].text == ">":
+                depth -= 1
+                if depth == 0:
+                    k += 1
+                    break
+            k += 1
+        pre = pre[k:]
+    texts = [t.text for t in pre]
+    returns_status = "Status" in texts
+    returns_result = "Result" in texts
+    inner = ""
+    if returns_result:
+        k = texts.index("Result")
+        if k + 1 < len(texts) and texts[k + 1] == "<":
+            depth = 0
+            for t in texts[k + 1:]:
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                else:
+                    inner += t + " "
+    return (returns_status, returns_result, inner.strip())
+
+
+# ---------------------------------------------------------------------------
+# Statement parser (function bodies)
+# ---------------------------------------------------------------------------
+
+def _parse_stmt(toks, i):
+    """Parses one statement starting at i; returns (Stmt, next_i)."""
+    t = toks[i]
+    text = t.text
+    if text == "{":
+        body, i = _parse_block(toks, i + 1, t.line)
+        return body, i
+    if text == "if":
+        line = t.line
+        i += 1
+        if i < len(toks) and toks[i].text == "constexpr":
+            i += 1
+        cond, i = _collect_parens(toks, i)
+        then, i = _parse_stmt(toks, i)
+        children = [then]
+        if i < len(toks) and toks[i].text == "else":
+            els, i = _parse_stmt(toks, i + 1)
+            children.append(els)
+        return Stmt("if", line, tokens=cond, children=children), i
+    if text in ("for", "while"):
+        line = t.line
+        header, i = _collect_parens(toks, i + 1)
+        body, i = _parse_stmt(toks, i)
+        return Stmt("loop", line, tokens=header, children=[body],
+                    loop_kind=text), i
+    if text == "do":
+        line = t.line
+        body, i = _parse_stmt(toks, i + 1)
+        header = []
+        if i < len(toks) and toks[i].text == "while":
+            header, i = _collect_parens(toks, i + 1)
+        if i < len(toks) and toks[i].text == ";":
+            i += 1
+        return Stmt("loop", line, tokens=header, children=[body],
+                    loop_kind="do"), i
+    if text == "switch":
+        line = t.line
+        header, i = _collect_parens(toks, i + 1)
+        body, i = _parse_stmt(toks, i)
+        return Stmt("switch", line, tokens=header, children=[body]), i
+    if text == "return":
+        line = t.line
+        tokens, sub, i = _collect_simple(toks, i + 1)
+        return Stmt("return", line, tokens=tokens, sub=sub), i
+    if text in ("break", "continue"):
+        line = t.line
+        while i < len(toks) and toks[i].text != ";":
+            i += 1
+        return Stmt(text, line), i
+    if text in ("case", "default"):
+        # Label: skip through the ':' and parse the labeled statement.
+        while i < len(toks) and toks[i].text != ":":
+            i += 1
+        return _parse_stmt(toks, i + 1)
+    if text in ("struct", "class", "enum", "union", "using", "typedef"):
+        # Local type alias / type definition: opaque for the checks.
+        line = t.line
+        while i < len(toks) and toks[i].text != ";":
+            if toks[i].text == "{":
+                i = _skip_balanced(toks, i)
+                continue
+            i += 1
+        return Stmt("simple", line, tokens=[]), i + 1
+    # Plain expression / declaration statement.
+    line = t.line
+    tokens, sub, i = _collect_simple(toks, i)
+    if tokens and tokens[0].text == "SEGDB_COMMIT_POINT":
+        return Stmt("commit", line, tokens=tokens), i
+    return Stmt("simple", line, tokens=tokens, sub=sub), i
+
+
+def _collect_parens(toks, i):
+    """toks[i] must be '('; returns (inner tokens, index past ')')."""
+    if i >= len(toks) or toks[i].text != "(":
+        return [], i
+    end = _skip_balanced(toks, i)
+    return toks[i + 1:end - 1], end
+
+
+def _collect_simple(toks, i):
+    """Collects a ';'-terminated statement. Brace groups inside (lambda
+    bodies, brace-inits) are parsed into detached sub-blocks and replaced
+    by a '{}' placeholder token."""
+    tokens: list[Tok] = []
+    sub: list[Stmt] = []
+    depth = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.text == ";" and depth == 0:
+            return tokens, sub, i + 1
+        if t.text == "}" and depth == 0:
+            # Enclosing block closes mid-statement (no trailing ';', e.g.
+            # inside a mis-nested brace-init): leave it for the caller.
+            return tokens, sub, i
+        if t.text == "{":
+            block, i = _parse_block(toks, i + 1, t.line)
+            sub.append(block)
+            tokens.append(Tok("punct", "{}", t.line))
+            continue
+        if t.text in ("(", "["):
+            depth += 1
+        elif t.text in (")", "]"):
+            if depth == 0:
+                # Unbalanced close: bail out of a parse confusion without
+                # consuming the token (the caller's block will close).
+                return tokens, sub, i
+            depth -= 1
+        tokens.append(t)
+        i += 1
+    return tokens, sub, i
+
+
+def _parse_block(toks, i, line):
+    stmts = []
+    while i < len(toks) and toks[i].text != "}":
+        if toks[i].text == ";":
+            i += 1
+            continue
+        start = i
+        stmt, i = _parse_stmt(toks, i)
+        stmts.append(stmt)
+        if i <= start:  # zero-progress safety: never loop on a parse bug
+            i = start + 1
+    return Stmt("block", line, children=stmts), i + 1
+
+
+# ---------------------------------------------------------------------------
+# Declaration-level parser
+# ---------------------------------------------------------------------------
+
+def _class_name(head) -> str:
+    for k, t in enumerate(head):
+        if t.text in _CLASS_KEYWORDS:
+            j = k + 1
+            # Skip [[attributes]] between keyword and name.
+            while j < len(head) and head[j].text == "[":
+                j = _skip_balanced(head, j)
+            if j < len(head) and head[j].kind == "id":
+                return head[j].text
+    return ""
+
+
+def _head_is_class(head) -> bool:
+    """True when head opens a class/struct/union *definition* (not a
+    function returning one, not a variable of class type)."""
+    if not head:
+        return False
+    k = 0
+    if head[0].text == "template":
+        depth = 0
+        k = 1
+        while k < len(head):
+            if head[k].text == "<":
+                depth += 1
+            elif head[k].text == ">":
+                depth -= 1
+                if depth == 0:
+                    k += 1
+                    break
+            k += 1
+    return k < len(head) and head[k].text in _CLASS_KEYWORDS and \
+        not any(t.text == "(" for t in head)
+
+
+def parse_file(text: str) -> FileAst:
+    """Parses stripped-or-raw C++ text into the micro-AST. The caller is
+    expected to pass stripper output (segdb_lint.strip_comments_and_strings)
+    so comments/strings are already blanked."""
+    out = FileAst()
+    toks = lex(text)
+    _parse_decls(toks, 0, (), out, in_class=False)
+    return out
+
+
+def _parse_decls(toks, i, ctx, out, in_class):
+    head: list[Tok] = []
+    while i < len(toks):
+        t = toks[i]
+        if t.text == ";":
+            if head:
+                out.decls.append(Decl(ctx, head, head[0].line, in_class))
+            head = []
+            i += 1
+            continue
+        if t.text == "}":
+            if head:
+                out.decls.append(Decl(ctx, head, head[0].line, in_class))
+            return i + 1
+        if t.text == "{":
+            if head and head[0].text == "namespace":
+                names = tuple(x.text for x in head[1:] if x.kind == "id")
+                i = _parse_decls(toks, i + 1, ctx + names, out,
+                                 in_class=False)
+                head = []
+                continue
+            if _head_is_class(head):
+                name = _class_name(head)
+                i = _parse_decls(toks, i + 1, ctx + (name,), out,
+                                 in_class=True)
+                head = []
+                continue
+            if head and head[0].text == "enum":
+                i = _skip_balanced(toks, i)
+                continue
+            if _is_function_head(head):
+                body, i = _parse_block(toks, i + 1, t.line)
+                out.functions.append(
+                    Func(head_function_name(head), ctx, head, body,
+                         head[0].line))
+                head = []
+                continue
+            # Brace initializer at declaration scope (`int a[] = {...}`,
+            # `std::atomic<int> x{0}`): fold into the head and continue
+            # to the ';'.
+            i = _skip_balanced(toks, i)
+            head.append(Tok("punct", "{}", t.line))
+            continue
+        head.append(t)
+        i += 1
+    if head:
+        out.decls.append(Decl(ctx, head, head[0].line, in_class))
+    return i
+
+
+def iter_stmts(stmt):
+    """Depth-first walk over a statement tree (children + sub-blocks)."""
+    yield stmt
+    for c in stmt.children:
+        yield from iter_stmts(c)
+    for s in stmt.sub:
+        yield from iter_stmts(s)

@@ -1,0 +1,203 @@
+"""Driver: file collection, frontend selection, suppressions, CLI.
+
+Frontends:
+  auto    (default) clang.cindex when importable and working, else pycpp;
+          any cindex failure mid-run falls back to pycpp with a warning.
+  pycpp   the built-in pure-Python parser; always available.
+  cindex  require clang.cindex; error out when missing (CI uses this so a
+          broken bindings install fails loudly instead of silently
+          degrading).
+
+Suppressions: `// SEMA-OK: <reason>` on the finding line or one of the
+two preceding lines. A SEMA-OK without a reason is itself a finding
+(sema-naked-suppression) so suppressions stay auditable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+import segdb_lint
+from segdb_sema import checks, cppast, model
+
+SEMA_OK_RE = re.compile(r"//.*\bSEMA-OK\b:?(?P<reason>.*)$")
+
+# The semantic families apply to the library proper; tests/bench/examples
+# exercise APIs in ways the discipline rules intentionally forbid in src/
+# (e.g. deliberately dropping a Status to probe crash paths).
+_ANALYZED_PREFIX = "src/"
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _suppressed_lines(raw_lines: list[str]) -> tuple[set[int], list[int]]:
+    """Returns (set of 1-based lines whose findings are suppressed, list of
+    lines carrying a SEMA-OK with no reason)."""
+    suppressed: set[int] = set()
+    naked: list[int] = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SEMA_OK_RE.search(line)
+        if not m:
+            continue
+        if not m.group("reason").strip():
+            naked.append(idx)
+            continue
+        # Covers its own line and the two following lines, mirroring the
+        # linter's SAFETY: convention of comment-above-the-statement.
+        suppressed.update((idx, idx + 1, idx + 2))
+    return suppressed, naked
+
+
+def _finalize(rel: str, raw_findings, raw_lines) -> list[Finding]:
+    suppressed, naked = _suppressed_lines(raw_lines)
+    out = [Finding(rel, f.line, f.rule, f.message)
+           for f in raw_findings if f.line not in suppressed]
+    for line in naked:
+        out.append(Finding(
+            rel, line, "sema-naked-suppression",
+            "SEMA-OK without a reason; write '// SEMA-OK: <why this is "
+            "safe>'"))
+    out.sort(key=lambda f: (f.line, f.rule))
+    return out
+
+
+def analyze_text(rel: str, text: str) -> list[Finding]:
+    """Single-text entry point used by the fixture suite: builds a
+    registry from the text itself plus the builtin pool/disk signatures,
+    so fixtures are self-contained."""
+    stripped = segdb_lint.strip_comments_and_strings(text)
+    ast = cppast.parse_file(stripped)
+    registry = model.build_registry([ast])
+    raw = checks.check_file(rel, ast, registry)
+    return _finalize(rel, raw, text.splitlines())
+
+
+def _collect(root: str, files: list[str] | None) -> list[str]:
+    if files:
+        rels = [f.replace(os.sep, "/") for f in files]
+    else:
+        rels = segdb_lint.collect_files(root)
+    return [r for r in rels if r.startswith(_ANALYZED_PREFIX) and
+            r.endswith((".h", ".cc")) and
+            os.path.isfile(os.path.join(root, r))]
+
+
+def _parse_all(root, rels, frontend, compile_db, log=None):
+    """Parses every file; returns (asts dict rel -> (FileAst, raw_text),
+    frontend_used)."""
+    log = log or (lambda msg: print(msg, file=sys.stderr))
+    use_cindex = False
+    if frontend in ("auto", "cindex"):
+        from segdb_sema import frontend_cindex
+        use_cindex = frontend_cindex.available()
+        if frontend == "cindex" and not use_cindex:
+            raise frontend_cindex.FrontendError(
+                "--frontend=cindex requested but clang.cindex is not "
+                "usable (pip install libclang)")
+        if frontend == "auto" and not use_cindex:
+            log("segdb_sema: clang.cindex unavailable; using the pycpp "
+                "frontend")
+    compile_args = {}
+    if use_cindex:
+        from segdb_sema import frontend_cindex
+        compile_args = frontend_cindex.load_compile_args(compile_db)
+
+    asts: dict[str, tuple[cppast.FileAst, str]] = {}
+    used = "cindex" if use_cindex else "pycpp"
+    for rel in rels:
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        stripped = segdb_lint.strip_comments_and_strings(text)
+        ast = None
+        if use_cindex:
+            from segdb_sema import frontend_cindex
+            try:
+                ast = frontend_cindex.parse_file(
+                    path, stripped,
+                    compile_args.get(os.path.normpath(path)))
+            except frontend_cindex.FrontendError as exc:
+                if frontend == "cindex":
+                    raise
+                log(f"segdb_sema: {exc}; falling back to pycpp for the "
+                    "remaining files")
+                use_cindex = False
+                used = "pycpp(fallback)"
+        if ast is None:
+            ast = cppast.parse_file(stripped)
+        asts[rel] = (ast, text)
+    return asts, used
+
+
+def run(root: str, files: list[str] | None = None, frontend: str = "auto",
+        compile_db: str | None = None) -> list[Finding]:
+    rels = _collect(root, files)
+    if compile_db is None:
+        compile_db = find_compile_db(root)
+    asts, _ = _parse_all(root, rels, frontend, compile_db)
+    registry = model.build_registry([ast for ast, _ in asts.values()])
+    findings: list[Finding] = []
+    for rel in rels:
+        ast, text = asts[rel]
+        raw = checks.check_file(rel, ast, registry)
+        findings.extend(_finalize(rel, raw, text.splitlines()))
+    return findings
+
+
+def find_compile_db(root: str) -> str | None:
+    """Newest compile_commands.json under the usual build directories."""
+    candidates = []
+    for name in sorted(os.listdir(root)):
+        if not name.startswith("build"):
+            continue
+        p = os.path.join(root, name, "compile_commands.json")
+        if os.path.isfile(p):
+            candidates.append(p)
+    if not candidates:
+        return None
+    return max(candidates, key=os.path.getmtime)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="segdb_sema", description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: the checkout "
+                             "containing this package)")
+    parser.add_argument("--frontend", choices=("auto", "pycpp", "cindex"),
+                        default="auto")
+    parser.add_argument("--compile-db", default=None,
+                        help="compile_commands.json for the cindex frontend "
+                             "(default: newest one under build*/)")
+    parser.add_argument("files", nargs="*",
+                        help="repo-relative files (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    try:
+        findings = run(args.root, args.files or None, args.frontend,
+                       args.compile_db)
+    except Exception as exc:
+        print(f"segdb_sema: error: {exc}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"segdb_sema: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("segdb_sema: OK")
+    return 0

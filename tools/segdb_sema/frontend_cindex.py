@@ -1,0 +1,169 @@
+"""clang.cindex frontend.
+
+Builds the same micro-AST as the pycpp frontend, but lets libclang do the
+hard part of C++ parsing: function-definition discovery (exact extents,
+unqualified spellings, template/operator handling), return-type
+classification via `cursor.result_type`, and class data-member
+enumeration via FIELD_DECL cursors. Statement bodies are then tokenized
+with the shared lexer over the (comment-stripped) source slice of each
+definition, so both frontends feed the checks byte-identical statement
+trees for the same body text.
+
+Everything here is defensive: any import, parse, or traversal failure
+raises FrontendError and the driver falls back to the pycpp frontend
+with a warning — the suite must run on toolchains without libclang.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from segdb_sema import cppast
+from segdb_sema.lexer import lex
+
+
+class FrontendError(Exception):
+    """cindex unavailable or failed; caller should fall back to pycpp."""
+
+
+_FALLBACK_ARGS = ["-xc++", "-std=c++20", "-I.", "-Isrc"]
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def load_compile_args(compile_db: str | None) -> dict[str, list[str]]:
+    """Maps absolute source path -> clang args from compile_commands.json.
+    Returns {} when the database is missing or unreadable."""
+    if not compile_db or not os.path.isfile(compile_db):
+        return {}
+    try:
+        with open(compile_db, encoding="utf-8") as f:
+            entries = json.load(f)
+    except Exception:
+        return {}
+    out: dict[str, list[str]] = {}
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry.get("file", "")))
+        raw = entry.get("arguments")
+        if raw is None:
+            raw = entry.get("command", "").split()
+        args = []
+        skip = False
+        for a in raw[1:]:  # drop the compiler itself
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if os.path.normpath(os.path.join(
+                    entry.get("directory", "."), a)) == path:
+                continue
+            args.append(a)
+        out[path] = args
+    return out
+
+
+def parse_file(path: str, stripped: str,
+               args: list[str] | None) -> cppast.FileAst:
+    """Parses `path` with libclang; `stripped` is the comment-stripped
+    source used for body tokenization (line structure preserved)."""
+    try:
+        import clang.cindex as ci
+    except Exception as exc:  # pragma: no cover - exercised only sans clang
+        raise FrontendError(f"clang.cindex unavailable: {exc}") from exc
+    try:
+        index = ci.Index.create()
+        tu = index.parse(path, args=args or _FALLBACK_ARGS,
+                         options=ci.TranslationUnit.PARSE_INCOMPLETE)
+    except Exception as exc:
+        raise FrontendError(f"libclang parse failed for {path}: {exc}") \
+            from exc
+    for diag in tu.diagnostics:
+        if diag.severity >= ci.Diagnostic.Fatal:
+            raise FrontendError(
+                f"libclang fatal diagnostic in {path}: {diag.spelling}")
+    out = cppast.FileAst()
+    lines = stripped.splitlines()
+    try:
+        _walk(tu.cursor, path, lines, out, ci)
+    except FrontendError:
+        raise
+    except Exception as exc:
+        raise FrontendError(f"cursor traversal failed for {path}: {exc}") \
+            from exc
+    return out
+
+
+def _walk(cursor, path, lines, out, ci):
+    fn_kinds = (
+        ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+        ci.CursorKind.FUNCTION_TEMPLATE, ci.CursorKind.CONSTRUCTOR,
+        ci.CursorKind.DESTRUCTOR,
+    )
+    for c in cursor.walk_preorder():
+        loc = c.location
+        if loc.file is None or os.path.normpath(loc.file.name) != \
+                os.path.normpath(path):
+            continue
+        if c.kind == ci.CursorKind.FIELD_DECL:
+            head = lex(f"{c.type.spelling} {c.spelling}")
+            for t in head:
+                t.line = loc.line
+            out.decls.append(cppast.Decl((), head, loc.line, in_class=True))
+            continue
+        if c.kind in fn_kinds and c.is_definition():
+            body = _body_block(c, lines, ci)
+            if body is None:
+                continue
+            head = lex(f"{c.result_type.spelling} {c.spelling} ( )")
+            for t in head:
+                t.line = loc.line
+            out.functions.append(cppast.Func(
+                c.spelling, _ctx_of(c, ci), head, body, loc.line))
+
+
+def _ctx_of(c, ci):
+    ctx = []
+    parent = c.semantic_parent
+    while parent is not None and parent.kind != \
+            ci.CursorKind.TRANSLATION_UNIT:
+        if parent.spelling:
+            ctx.append(parent.spelling)
+        parent = parent.semantic_parent
+    return tuple(reversed(ctx))
+
+
+def _body_block(c, lines, ci):
+    """Tokenizes the function body via its COMPOUND_STMT extent against
+    the stripped source (shared lexer => identical statement trees)."""
+    body_cursor = None
+    for child in c.get_children():
+        if child.kind == ci.CursorKind.COMPOUND_STMT:
+            body_cursor = child
+    if body_cursor is None:
+        return None
+    start = body_cursor.extent.start
+    end = body_cursor.extent.end
+    if start.line < 1 or end.line > len(lines):
+        return None
+    slice_text = "\n".join(lines[start.line - 1:end.line])
+    toks = lex(slice_text)
+    for t in toks:
+        t.line += start.line - 1
+    # Parse from the first '{' at/after the start column on the first line.
+    first = next((i for i, t in enumerate(toks)
+                  if t.text == "{" and t.line >= start.line), None)
+    if first is None:
+        return None
+    block, _ = cppast._parse_block(toks, first + 1, start.line)
+    return block

@@ -1,0 +1,96 @@
+"""C++ token stream for the pycpp frontend.
+
+Operates on comment/string-stripped text (segdb_lint's stripper keeps the
+line structure, so token line numbers match the file). Preprocessor lines
+are dropped (including backslash continuations); `<` / `>` are always
+single-character tokens so template argument lists can be matched with a
+plain depth counter (the checks never need shift semantics).
+"""
+
+from __future__ import annotations
+
+import re
+
+# Multi-character punctuators the checks care about. Deliberately no
+# '<<' / '>>' (see module docstring); compound shifts likewise stay split.
+_PUNCTS = (
+    "->*", "...", "::", "->", "++", "--", "==", "!=", "<=", ">=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9.'eEpPxXa-fA-F+-]*)")
+
+
+class Tok:
+    """One token: kind in {'id', 'num', 'str', 'chr', 'punct'}."""
+
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Tok({self.text!r}@{self.line})"
+
+
+def lex(stripped: str) -> list[Tok]:
+    """Tokenizes stripper output. String/char literals arrive blanked but
+    still delimited, and are emitted as single 'str'/'chr' tokens."""
+    toks: list[Tok] = []
+    line = 1
+    i = 0
+    n = len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        if c == "#":
+            # Preprocessor directive: consume to end of line, honoring
+            # backslash continuations.
+            while i < n:
+                if stripped[i] == "\n":
+                    if i > 0 and stripped[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            continue
+        if c == '"' or c == "'":
+            # Stripper-blanked literal: scan to the matching close quote
+            # (escapes are already blanked to spaces).
+            j = i + 1
+            while j < n and stripped[j] != c and stripped[j] != "\n":
+                j += 1
+            toks.append(Tok("str" if c == '"' else "chr",
+                            stripped[i:j + 1], line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            m = _ID_RE.match(stripped, i)
+            toks.append(Tok("id", m.group(), line))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _NUM_RE.match(stripped, i)
+            end = m.end() if m else i + 1
+            toks.append(Tok("num", stripped[i:end], line))
+            i = end
+            continue
+        for p in _PUNCTS:
+            if stripped.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += len(p)
+                break
+        else:
+            toks.append(Tok("punct", c, line))
+            i += 1
+    return toks

@@ -1,0 +1,132 @@
+"""Fallible-function registry and allocation-closure call graph.
+
+The checks are name-based where the pycpp frontend has no type
+information: a registry built from every declaration and definition in
+the analyzed file set records which function names return Status or
+Result<T> (and which Result<T>s carry a PageRef pin). The atomicity
+family additionally needs the set of calls that can *allocate* — seeded
+with BufferPool::NewPage / DiskManager::AllocatePage and closed over the
+call graph, so `Insert` on a nested structure that may split pages is
+recognized as allocation-fallible at its call site. FreePage is excluded
+by contract: rollbacks depend on it (DESIGN.md section 13).
+"""
+
+from __future__ import annotations
+
+from segdb_sema import cppast
+
+# Functions whose Result carries a buffer-pool pin.
+PIN_SOURCES = {"Fetch", "NewPage"}
+# Allocation seeds for the atomicity closure.
+ALLOC_SEEDS = {"NewPage", "AllocatePage"}
+# Deliberately never allocation-fallible (rollbacks depend on them).
+ALLOC_EXEMPT = {"FreePage"}
+# Quiescent-writer calls a live pin must never be held across.
+QUIESCE_CALLS = {"EvictAll", "FlushAll"}
+# Mutation entry points the fault-atomicity family analyzes (plus their
+# transitive callees that also live in the mutation directories).
+MUTATION_ROOTS = {"Insert", "Erase", "BulkLoad", "BulkLoadWithPositions"}
+MUTATION_DIRS = ("src/core/", "src/btree/", "src/itree/", "src/segtree/",
+                 "src/baseline/")
+
+# Names every analysis knows even when the declaring header is not part
+# of the analyzed file set (fixtures, single-file runs).
+BUILTIN_STATUS = {
+    "FreePage", "FlushAll", "EvictAll", "CheckInvariants", "WritePage",
+    "ReadPage", "DeletePage",
+}
+BUILTIN_RESULT = {
+    "Fetch": "PageRef",
+    "NewPage": "PageRef",
+    "AllocatePage": "PageId",
+}
+
+
+class Registry:
+    def __init__(self):
+        self.status_fns: set[str] = set(BUILTIN_STATUS)
+        self.result_fns: dict[str, str] = dict(BUILTIN_RESULT)
+        self.calls: dict[str, set[str]] = {}   # definition name -> callees
+        self.alloc_fns: set[str] = set(ALLOC_SEEDS)
+
+    # -- construction -------------------------------------------------------
+
+    def add_file(self, ast: cppast.FileAst) -> None:
+        for decl in ast.decls:
+            self._add_head(decl.tokens)
+        for fn in ast.functions:
+            self._add_head(fn.head)
+            if fn.name:
+                callees = self.calls.setdefault(fn.name, set())
+                callees.update(_called_names(fn.body))
+
+    def _add_head(self, head) -> None:
+        name = cppast.head_function_name(head)
+        if not name:
+            return
+        returns_status, returns_result, inner = cppast.head_return_kinds(head)
+        if returns_result:
+            self.result_fns[name] = inner
+        elif returns_status:
+            self.status_fns.add(name)
+
+    def finalize(self) -> None:
+        """Closes alloc_fns over the call graph."""
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in self.calls.items():
+                if name in self.alloc_fns or name in ALLOC_EXEMPT:
+                    continue
+                if callees & self.alloc_fns:
+                    self.alloc_fns.add(name)
+                    changed = True
+
+    # -- queries ------------------------------------------------------------
+
+    def is_fallible(self, name: str) -> bool:
+        return name in self.status_fns or name in self.result_fns
+
+    def returns_result(self, name: str) -> bool:
+        return name in self.result_fns
+
+    def returns_pin(self, name: str) -> bool:
+        if name in PIN_SOURCES:
+            return True
+        return "PageRef" in self.result_fns.get(name, "")
+
+    def is_alloc(self, name: str) -> bool:
+        return name in self.alloc_fns and name not in ALLOC_EXEMPT
+
+    def mutation_names(self) -> set[str]:
+        """MUTATION_ROOTS plus everything they transitively call that has
+        a definition in the analyzed set (helpers like InsertRecursive,
+        BuildSubtree)."""
+        names = set(MUTATION_ROOTS)
+        changed = True
+        while changed:
+            changed = False
+            for name in list(names):
+                for callee in self.calls.get(name, ()):
+                    if callee in self.calls and callee not in names:
+                        names.add(callee)
+                        changed = True
+        return names
+
+
+def _called_names(body) -> set[str]:
+    names = set()
+    for stmt in cppast.iter_stmts(body):
+        toks = stmt.tokens
+        for k in range(len(toks) - 1):
+            if toks[k].kind == "id" and toks[k + 1].text == "(":
+                names.add(toks[k].text)
+    return names
+
+
+def build_registry(asts) -> Registry:
+    reg = Registry()
+    for ast in asts:
+        reg.add_file(ast)
+    reg.finalize()
+    return reg

@@ -194,6 +194,48 @@ class ThreadLocalTest(unittest.TestCase):
             [])
 
 
+class HeaderSelfContainmentTest(unittest.TestCase):
+    def test_missing_include_flagged(self):
+        violations = segdb_lint.lint_text(
+            "src/core/thing.h",
+            "struct Thing { std::vector<int> items; };\n")
+        self.assertEqual(rules_hit(violations), ["header-self-containment"])
+        self.assertIn("<vector>", violations[0].message)
+
+    def test_fixed_width_int_needs_cstdint(self):
+        violations = segdb_lint.lint_text(
+            "src/io/thing.h", "uint64_t Count();\n")
+        self.assertEqual(rules_hit(violations), ["header-self-containment"])
+
+    def test_direct_include_is_clean(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/core/thing.h",
+                "#include <cstdint>\n#include <vector>\n"
+                "struct Thing { std::vector<uint64_t> items; };\n"),
+            [])
+
+    def test_each_missing_header_reported_once(self):
+        violations = segdb_lint.lint_text(
+            "src/core/thing.h",
+            "std::vector<int> A();\nstd::vector<int> B();\n")
+        self.assertEqual(len(violations), 1)
+
+    def test_source_files_exempt(self):
+        # .cc files may lean on their own header's includes; the rule is
+        # about headers being safe to include first.
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/core/thing.cc", "std::vector<int> v;\n"),
+            [])
+
+    def test_symbol_in_comment_ignored(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/core/thing.h", "// holds a std::vector internally\n"),
+            [])
+
+
 class TreeWalkTest(unittest.TestCase):
     def test_fixture_tree_collects_and_reports(self):
         with tempfile.TemporaryDirectory() as root:
