@@ -35,8 +35,11 @@
 #include "core/query_engine.h"
 #include "core/segment_index.h"
 #include "io/buffer_pool.h"
+#include "io/column_codec.h"
 #include "io/disk_manager.h"
+#include "util/random.h"
 #include "util/table_printer.h"
+#include "workload/generators.h"
 #include "workload/queries.h"
 
 namespace segdb::bench {
@@ -124,7 +127,21 @@ struct BenchRecord {
   double wall_ns = 0;
   double queries_per_sec = 0;
   uint32_t threads = 1;
+  // Column-codec telemetry: raw 40-byte-row bytes over encoded bytes for
+  // every leaf region this process encoded (0 = not measured).
+  double compression_ratio = 0;
+  // Compressed-tier promotions observed during the measured section
+  // (nonzero only for the *-tier experiments).
+  uint64_t compressed_hits = 0;
 };
+
+// Process-wide codec compression ratio so far (0 until something encoded).
+inline double CodecCompressionRatio() {
+  const io::CodecStats stats = io::GlobalCodecStats();
+  if (stats.encoded_bytes == 0) return 0;
+  return static_cast<double>(stats.raw_bytes) /
+         static_cast<double>(stats.encoded_bytes);
+}
 
 // Accumulates BenchRecords and writes them as one JSON document when
 // destroyed. Enabled by `--json <path>` / `--json=<path>`; otherwise all
@@ -169,11 +186,14 @@ class JsonWriter {
           "%s\n    {\"experiment\": \"%s\", \"structure\": \"%s\", "
           "\"n\": %llu, \"page_size\": %u, \"num_queries\": %llu, "
           "\"avg_ios\": %.4f, \"max_ios\": %.1f, \"wall_ns\": %.0f, "
-          "\"queries_per_sec\": %.2f, \"threads\": %u}",
+          "\"queries_per_sec\": %.2f, \"threads\": %u, "
+          "\"compression_ratio\": %.4f, \"compressed_hits\": %llu}",
           i == 0 ? "" : ",", r.experiment.c_str(), r.structure.c_str(),
           static_cast<unsigned long long>(r.n), r.page_size,
           static_cast<unsigned long long>(r.num_queries), r.avg_ios,
-          r.max_ios, r.wall_ns, r.queries_per_sec, r.threads);
+          r.max_ios, r.wall_ns, r.queries_per_sec, r.threads,
+          r.compression_ratio,
+          static_cast<unsigned long long>(r.compressed_hits));
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -202,6 +222,84 @@ inline double Scale() {
 inline uint64_t Scaled(uint64_t n) {
   const double v = static_cast<double>(n) * Scale();
   return v < 64 ? 64 : static_cast<uint64_t>(v);
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Worker counts for the parallel sections. The default covers the tracked
+// trajectory files; `--scaling` (tools/bench.sh --scaling) extends the
+// sweep in powers of two past the hardware thread count to expose the
+// saturation knee.
+inline std::vector<uint32_t> ParallelThreadCounts(bool scaling) {
+  if (!scaling) return {1u, 2u, 4u, 8u};
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 8;
+  std::vector<uint32_t> counts;
+  for (uint32_t t = 1; t <= 2 * hw || t <= 8; t *= 2) counts.push_back(t);
+  return counts;
+}
+
+// Compressed-tier protocol (the *-tier records): a deliberately small
+// frame budget forces steady-state evictions over the query batch; with
+// the tier on, re-fetched pages promote from compressed RAM instead of
+// the device. One untimed pass populates pool + tier, the measured pass
+// counts device misses vs promotions. The tier_bytes == 0 control runs
+// the identical workload at the same frame budget, isolating the tier.
+template <typename Index>
+inline void RunTieredExperiment(const char* experiment, uint64_t seed,
+                                uint64_t query_seed, JsonWriter* json) {
+  std::string banner = std::string(experiment) + "t compressed-tier pool";
+  PrintHeader(banner.c_str(),
+              "small pool, repeated batch; promotions replace device reads");
+  const uint64_t N = Scaled(262144);
+  TablePrinter table({"tier_bytes", "avg_ios", "compressed_hits/query",
+                      "codec_ratio"});
+  for (const size_t tier_bytes : {size_t{0}, size_t{16} << 20}) {
+    io::DiskManager disk(4096);
+    io::BufferPool pool(&disk, 512, io::BufferPoolOptions{tier_bytes});
+    Rng rng(seed);
+    auto segs = workload::GenMapLayer(rng, N, 1 << 22);
+    Index index(&pool);
+    Check(index.BulkLoad(segs), "build");
+    Rng qrng(query_seed);
+    auto box = workload::ComputeBoundingBox(segs);
+    auto queries = workload::GenVsQueries(qrng, 64, box, 0.01);
+    for (int pass = 0; pass < 2; ++pass) {
+      if (pass == 1) pool.ResetStats();
+      for (const workload::VsQuery& q : queries) {
+        std::vector<geom::Segment> out;
+        Check(index.Query(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi},
+                          &out),
+              "query");
+      }
+    }
+    const io::BufferPoolStats stats = pool.stats();
+    const double per_query = 1.0 / static_cast<double>(queries.size());
+    table.AddRow(
+        {TablePrinter::Fmt(uint64_t{tier_bytes}),
+         TablePrinter::Fmt(static_cast<double>(stats.misses) * per_query),
+         TablePrinter::Fmt(static_cast<double>(stats.compressed_hits) *
+                           per_query),
+         TablePrinter::Fmt(CodecCompressionRatio())});
+    BenchRecord record;
+    record.experiment = std::string(experiment) +
+                        (tier_bytes == 0 ? "-tier0" : "-tier");
+    record.structure = index.name();
+    record.n = N;
+    record.page_size = 4096;
+    record.num_queries = queries.size();
+    record.avg_ios =
+        static_cast<double>(stats.misses) * per_query;
+    record.compression_ratio = CodecCompressionRatio();
+    record.compressed_hits = stats.compressed_hits;
+    json->Add(std::move(record));
+  }
+  PrintTable(table);
 }
 
 }  // namespace segdb::bench

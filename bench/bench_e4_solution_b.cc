@@ -54,12 +54,13 @@ void RunCold(bench::JsonWriter* json) {
                   TablePrinter::Fmt(theory, 1),
                   TablePrinter::Fmt(uint64_t{index.height()})});
     json->Add({"E4-cold", index.name(), N, 4096, queries.size(),
-               cost.avg_ios, cost.max_ios, 0, 0, 1});
+               cost.avg_ios, cost.max_ios, 0, 0, 1,
+               bench::CodecCompressionRatio(), 0});
   }
   bench::PrintTable(table);
 }
 
-void RunParallel(bench::JsonWriter* json) {
+void RunParallel(bench::JsonWriter* json, bool scaling) {
   bench::PrintHeader("E4p Solution B parallel batch queries",
                      "warm pool; QueryEngine fan-out, ordering preserved");
   const uint64_t N = bench::Scaled(262144);
@@ -75,7 +76,7 @@ void RunParallel(bench::JsonWriter* json) {
   auto queries = workload::GenVsQueries(qrng, 512, box, 0.01);
   TablePrinter table({"threads", "queries/s", "batch_ms", "speedup"});
   double base_qps = 0;
-  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+  for (uint32_t threads : bench::ParallelThreadCounts(scaling)) {
     core::QueryEngine engine({.threads = threads});
     const auto t = bench::MeasureBatchThroughput(&engine, index, queries, 8);
     if (threads == 1) base_qps = t.queries_per_sec;
@@ -84,10 +85,17 @@ void RunParallel(bench::JsonWriter* json) {
                   TablePrinter::Fmt(t.wall_ns / 8 * 1e-6),
                   TablePrinter::Fmt(
                       base_qps > 0 ? t.queries_per_sec / base_qps : 0.0)});
-    json->Add({"E4-parallel", index.name(), N, 4096, queries.size() * 8,
-               0, 0, t.wall_ns, t.queries_per_sec, threads});
+    json->Add({"E4-parallel", index.name(), N, 4096,
+               queries.size() * 8, 0, 0, t.wall_ns, t.queries_per_sec,
+               threads, bench::CodecCompressionRatio(), 0});
   }
   bench::PrintTable(table);
+}
+
+void RunTiered(bench::JsonWriter* json) {
+  bench::RunTieredExperiment<core::TwoLevelIntervalIndex>(
+      "E4", /*seed=*/1004,
+      /*query_seed=*/23, json);
 }
 
 }  // namespace
@@ -95,7 +103,13 @@ void RunParallel(bench::JsonWriter* json) {
 
 int main(int argc, char** argv) {
   segdb::bench::JsonWriter json(argc, argv);
-  segdb::RunCold(&json);
-  segdb::RunParallel(&json);
+  // --scaling (tools/bench.sh --scaling): parallel-throughput sweep only,
+  // with the thread counts extended past the hardware concurrency.
+  const bool scaling = segdb::bench::HasFlag(argc, argv, "--scaling");
+  if (!scaling) {
+    segdb::RunCold(&json);
+    segdb::RunTiered(&json);
+  }
+  segdb::RunParallel(&json, scaling);
   return 0;
 }

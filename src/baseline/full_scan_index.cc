@@ -15,7 +15,7 @@ constexpr uint32_t kHeader = 8;  // [u32 count][pad]
 FullScanIndex::~FullScanIndex() { Clear().IgnoreError(); }
 
 uint32_t FullScanIndex::PerPage() const {
-  return (pool_->page_size() - kHeader) / sizeof(geom::Segment);
+  return io::ColumnarRegionCapacity(pool_->page_size() - kHeader);
 }
 
 Status FullScanIndex::Clear() {

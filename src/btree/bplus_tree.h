@@ -38,7 +38,8 @@ class BPlusTree {
   BPlusTree(io::BufferPool* pool, Compare cmp)
       : pool_(pool), cmp_(std::move(cmp)) {
     const uint32_t ps = pool_->page_size();
-    leaf_capacity_ = (ps - kLeafHeaderBytes) / sizeof(Record);
+    leaf_capacity_ =
+        io::PageRecordLayout<Record>::Capacity(ps - kLeafHeaderBytes);
     internal_capacity_ =
         (ps - kInternalHeaderBytes - sizeof(io::PageId)) /
         (sizeof(Record) + sizeof(io::PageId));

@@ -40,7 +40,7 @@ TwoLevelBinaryIndex::~TwoLevelBinaryIndex() {
 
 uint32_t TwoLevelBinaryIndex::LeafCapacity() const {
   if (options_.leaf_capacity != 0) return options_.leaf_capacity;
-  return (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+  return io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader);
 }
 
 pst::LinePstOptions TwoLevelBinaryIndex::PstOptions() const {
@@ -55,11 +55,9 @@ Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
   // injected fault) releases the partial batch and leaves the node's pages
   // — and hence every query — exactly as they were. The old free-first
   // order silently truncated query results after a mid-write failure.
-  const uint32_t per_page = LeafCapacity() < ((pool_->page_size() - kLeafHeader) /
-                                              sizeof(Segment))
-                                ? LeafCapacity()
-                                : (pool_->page_size() - kLeafHeader) /
-                                      sizeof(Segment);
+  const uint32_t per_page =
+      std::min(LeafCapacity(),
+               io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader));
   std::vector<io::PageId> fresh;
   size_t i = 0;
   while (i < node->leaf_segments.size()) {
@@ -72,8 +70,8 @@ Status TwoLevelBinaryIndex::WriteLeafPages(Node* node) {
     }
     io::Page& p = ref.value().page();
     p.WriteAt<uint32_t>(0, take);
-    // Columnar strips sized to the record count: the page holds exactly the
-    // bytes the row-major layout held, only transposed.
+    // Columnar strips sized to the record count; large runs bit-pack below
+    // the row-major footprint, which is where the higher per_page comes from.
     io::ColumnarPageView(&p, kLeafHeader, take)
         .WriteRange(0, node->leaf_segments.data() + i, take);
     ref.value().MarkDirty();

@@ -37,7 +37,7 @@ TwoLevelIntervalIndex::~TwoLevelIntervalIndex() {
 
 uint32_t TwoLevelIntervalIndex::LeafCapacity() const {
   if (options_.leaf_capacity != 0) return options_.leaf_capacity;
-  return (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+  return io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader);
 }
 
 pst::LinePstOptions TwoLevelIntervalIndex::PstOptions() const {
@@ -63,7 +63,7 @@ Status TwoLevelIntervalIndex::WriteLeafPages(Node* node) {
   // the node's pages (and the mirrored segment list) untouched.
   std::vector<io::PageId> fresh;
   const uint32_t per_page =
-      (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+      io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader);
   size_t i = 0;
   while (i < node->leaf_segments.size()) {
     const uint32_t take = static_cast<uint32_t>(

@@ -99,6 +99,25 @@ struct BufferPoolStats {
   uint64_t misses = 0;      // a demand read the paper's model charges
   uint64_t writebacks = 0;  // dirty evictions / flushes
   uint64_t prefetches = 0;  // pages staged by Prefetch (uncharged reads)
+  // Compressed-tier counters (zero when the tier is disabled). A fetch is
+  // exactly one of hit / miss / compressed_hit — a tier promotion avoids
+  // the disk read, so it is deliberately NOT a miss in the paper's cost
+  // model, and cold-protocol runs (EvictAll drops the tier too) are
+  // unaffected by the tier's existence.
+  uint64_t compressed_hits = 0;       // fetches served by decompressing
+  uint64_t compressed_stores = 0;     // evicted pages stashed compressed
+  uint64_t compressed_evictions = 0;  // tier entries dropped for budget
+  // Gauges sampled by stats() from the live tier, not reset by ResetStats.
+  uint64_t compressed_resident_pages = 0;
+  uint64_t compressed_resident_bytes = 0;
+};
+
+struct BufferPoolOptions {
+  // RAM budget (bytes, across all shards) for the compressed second tier:
+  // pages evicted from frames are kept compressed in memory and a later
+  // fetch decompresses them back instead of reading disk. 0 disables the
+  // tier — the pool is then bit-for-bit the single-tier pool.
+  size_t compressed_tier_bytes = 0;
 };
 
 class BufferPool {
@@ -106,8 +125,12 @@ class BufferPool {
   // `frame_count` bounds resident pages; fetching past it evicts LRU
   // unpinned frames. Small pools (< 2048 frames, i.e. every exactness
   // test) get a single shard and behave exactly like the pre-concurrency
-  // pool, global LRU included.
+  // pool, global LRU included. This two-argument form takes the compressed-
+  // tier budget from the SEGDB_COMPRESSED_TIER_BYTES environment variable
+  // (absent/0 = disabled) so whole test binaries can be re-run with the
+  // tier on without touching every pool construction.
   BufferPool(DiskManager* disk, size_t frame_count);
+  BufferPool(DiskManager* disk, size_t frame_count, BufferPoolOptions options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -185,6 +208,16 @@ class BufferPool {
     // read-only afterwards — no guard needed.
     std::vector<size_t> frames;
     BufferPoolStats stats SEGDB_GUARDED_BY(mu);
+    // Compressed second tier: evicted pages stashed as CompressPage bytes.
+    // Disjoint from page_table by invariant (a promotion removes the entry
+    // before the page re-enters a frame). ctier_fifo orders entries for
+    // budget eviction, oldest stash first; it may carry stale ids (promoted
+    // or freed entries leave their node behind), which eviction skips and a
+    // periodic compaction drops.
+    std::unordered_map<PageId, std::vector<uint8_t>> ctier
+        SEGDB_GUARDED_BY(mu);
+    std::deque<PageId> ctier_fifo SEGDB_GUARDED_BY(mu);
+    uint64_t ctier_bytes SEGDB_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(PageId id) { return shards_[id % shards_.size()]; }
@@ -194,8 +227,15 @@ class BufferPool {
 
   void Unpin(size_t frame);
   // Finds a free or evictable frame in `shard`; writes back the victim if
-  // dirty.
+  // dirty, then stashes its bytes in the compressed tier (the stash comes
+  // AFTER a successful writeback, so tier entries always equal disk).
   Result<size_t> GrabFrame(Shard& shard) SEGDB_REQUIRES(shard.mu);
+  // Compresses `page` into the shard's tier under `id`, evicting oldest
+  // entries past the per-shard budget. No-op when the tier is disabled.
+  void StashCompressed(Shard& shard, PageId id, const Page& page)
+      SEGDB_REQUIRES(shard.mu);
+  // Drops `id` from the shard's tier if present (promotion, FreePage).
+  void DropCompressed(Shard& shard, PageId id) SEGDB_REQUIRES(shard.mu);
 
   DiskManager* disk_;
   const uint32_t page_size_;  // hoisted off the disk for the fetch path
@@ -203,6 +243,9 @@ class BufferPool {
   // stable while other threads touch them.
   std::deque<Frame> frames_;
   std::vector<Shard> shards_;
+  // Per-shard slice of BufferPoolOptions::compressed_tier_bytes (rounded
+  // up); 0 disables the tier. Const after construction.
+  size_t ctier_shard_budget_ = 0;
   std::atomic<uint64_t> tick_{0};
 };
 

@@ -1,21 +1,36 @@
-// Columnar (struct-of-arrays) segment layout inside data pages.
+// Columnar (struct-of-arrays) segment layout inside data pages, with
+// per-column frame-of-reference compression for regions large enough to
+// amortize the codec header (io/column_codec.h has the format).
 //
-// A page region that used to hold a row-major Segment[capacity] array now
-// holds five contiguous strips of 8-byte lanes:
+// A columnar region of capacity C holds the five logical columns
+// x1/x2/y1/y2/id. Two physical layouts, chosen purely by C:
 //
-//   [x1[0..cap) | x2[0..cap) | y1[0..cap) | y2[0..cap) | id[0..cap)]
+//   C <  kPackedMinCapacity: legacy raw strips — five contiguous 8-byte
+//     lane arrays, 40 bytes per record (PR 3's layout, header-free).
+//   C >= kPackedMinCapacity: packed region — 56-byte header plus bit-packed
+//     columns; the byte budget reserves 34 bits per coordinate lane and 8
+//     bytes per id lane, so ColumnarRegionBytes(C) < 40 * C and every leaf
+//     builder that derives its fan-out from ColumnarRegionCapacity(bytes)
+//     fits strictly more records per page than row-major did.
 //
-// Total bytes are capacity * 40 == capacity * sizeof(Segment), so every
-// capacity formula in the tree — and therefore every page boundary, page
-// count and fetch order — is unchanged from the row-major layout; only the
-// bytes *inside* each page move. Scans hand the strip pointers to the
-// branchless kernels in geom/filter_kernel.h, which is the point: the hot
-// predicate reads four dense int64 lanes instead of striding 40 bytes.
+// Access model. The read-only view parses only the 56-byte header at
+// construction, so per-record probes (the B+-tree binary searches build a
+// view per comparison) stay O(1): Get extracts one lane from the packed
+// bits. strips() — the bulk-scan entry the filter kernels consume — decodes
+// the region once into a checked-out thread-local scratch (geom decode
+// kernels, AVX2 behind SEGDB_SIMD) and serves lane pointers from it; Get
+// switches to the decoded lanes from then on. The mutable view decodes
+// eagerly, applies Set/WriteRange to the scratch, and re-encodes on
+// destruction iff anything changed — the encode is canonical (pure function
+// of the lane values), which BufferPool::CheckInvariants' clean-frame-vs-
+// disk compare relies on. Read-your-writes holds within a view; a mutable
+// view's writes reach the page when the view dies, so callers must not read
+// the same region through a *different* view while a dirty mutable view is
+// live (no call site in the tree does).
 //
-// Strip bases inherit the region's byte offset, which is not 8-aligned for
-// every layout (a line-PST node with odd fanout starts its segment region
-// at 4 mod 8), so all lane access is memcpy-based — same discipline as
-// Page::ReadAt — and the SIMD kernels use unaligned loads.
+// Strip bases inherit the region's byte alignment only in the legacy
+// layout; packed strips() pointers come from the 8-aligned scratch. Lane
+// access stays memcpy-based throughout — same discipline as Page::ReadAt.
 #ifndef SEGDB_IO_COLUMNAR_PAGE_VIEW_H_
 #define SEGDB_IO_COLUMNAR_PAGE_VIEW_H_
 
@@ -23,8 +38,10 @@
 #include <cstring>
 #include <vector>
 
+#include "geom/decode_kernel.h"
 #include "geom/filter_kernel.h"
 #include "geom/segment.h"
+#include "io/column_codec.h"
 #include "io/page.h"
 #include "util/check.h"
 
@@ -32,25 +49,35 @@ namespace segdb::io {
 
 // Read-only view of a columnar segment region: `capacity` records starting
 // at byte `base_off` of `page`. The capacity must be the value the region
-// was written with — strip offsets depend on it.
+// was written with — both the layout choice and the strip/slot offsets
+// depend on it.
 class ConstColumnarPageView {
  public:
   static constexpr uint32_t kLaneBytes = 8;
   static constexpr uint32_t kBytesPerRecord = 5 * kLaneBytes;
+  static_assert(kBytesPerRecord == kLegacyBytesPerRecord);
   static_assert(kBytesPerRecord == sizeof(geom::Segment),
-                "columnar region must occupy exactly the row-major bytes");
+                "row-major record footprint is the codec's raw baseline");
 
   ConstColumnarPageView(const Page& page, uint32_t base_off,
                         uint32_t capacity)
-      : base_(page.data() + base_off), capacity_(capacity) {
-    SEGDB_DCHECK(uint64_t{base_off} +
-                     uint64_t{capacity} * kBytesPerRecord <=
+      : base_(page.data() + base_off),
+        capacity_(capacity),
+        packed_(ColumnarRegionIsPacked(capacity)) {
+    SEGDB_DCHECK(uint64_t{base_off} + ColumnarRegionBytes(capacity) <=
                  page.size());
+    if (packed_) info_ = ParsePackedRegionHeader(base_, capacity_);
   }
+
+  // Views hand out pointers into page bytes or checked-out scratch; they
+  // are scoped locals everywhere, so copying is disabled outright.
+  ConstColumnarPageView(const ConstColumnarPageView&) = delete;
+  ConstColumnarPageView& operator=(const ConstColumnarPageView&) = delete;
 
   uint32_t capacity() const { return capacity_; }
 
-  // Strip bases in layout order x1, x2, y1, y2, id.
+  // Strip bases in layout order x1, x2, y1, y2, id. For a packed region
+  // these decode the region into scratch on first use.
   const uint8_t* x1_strip() const { return Strip(0); }
   const uint8_t* x2_strip() const { return Strip(1); }
   const uint8_t* y1_strip() const { return Strip(2); }
@@ -65,16 +92,17 @@ class ConstColumnarPageView {
   geom::Segment Get(uint32_t i) const {
     SEGDB_DCHECK(i < capacity_);
     geom::Segment s;
-    s.x1 = LaneI64(0, i);
-    s.x2 = LaneI64(1, i);
-    s.y1 = LaneI64(2, i);
-    s.y2 = LaneI64(3, i);
-    std::memcpy(&s.id, Strip(4) + uint64_t{i} * kLaneBytes, kLaneBytes);
+    s.x1 = Lane(0, i);
+    s.x2 = Lane(1, i);
+    s.y1 = Lane(2, i);
+    s.y2 = Lane(3, i);
+    s.id = static_cast<uint64_t>(Lane(4, i));
     return s;
   }
 
   void ReadRange(uint32_t first, geom::Segment* out, uint32_t count) const {
     SEGDB_DCHECK(uint64_t{first} + count <= capacity_);
+    if (packed_ && count > 1) EnsureDecoded();
     for (uint32_t i = 0; i < count; ++i) out[i] = Get(first + i);
   }
 
@@ -90,35 +118,81 @@ class ConstColumnarPageView {
   }
 
  protected:
+  // One lane, O(1): decoded scratch when available, otherwise a direct
+  // page access (legacy strip lane or packed-header bit extraction).
+  int64_t Lane(uint32_t column, uint32_t i) const {
+    if (lanes_ != nullptr) {
+      return lanes_[uint64_t{column} * capacity_ + i];
+    }
+    if (!packed_) return LaneI64(column, i);
+    return PackedRegionLane(base_, info_, column, i);
+  }
+
+  void EnsureDecoded() const {
+    if (lanes_ != nullptr || capacity_ == 0) return;
+    scratch_ = geom::ColumnScratch(uint64_t{kColumnarColumns} * capacity_);
+    DecodeColumnarRegion(base_, capacity_, scratch_.data());
+    lanes_ = scratch_.data();
+  }
+
+  // Legacy raw-strip addressing (also the packed scratch layout: column-
+  // major 8-byte lanes).
   const uint8_t* Strip(uint32_t lane) const {
+    if (packed_) {
+      EnsureDecoded();
+      return reinterpret_cast<const uint8_t*>(lanes_) +
+             uint64_t{lane} * capacity_ * kLaneBytes;
+    }
     return base_ + uint64_t{lane} * capacity_ * kLaneBytes;
   }
 
   int64_t LaneI64(uint32_t lane, uint32_t i) const {
     int64_t v;
-    std::memcpy(&v, Strip(lane) + uint64_t{i} * kLaneBytes, kLaneBytes);
+    std::memcpy(&v, base_ + (uint64_t{lane} * capacity_ + i) * kLaneBytes,
+                kLaneBytes);
     return v;
   }
 
- private:
   const uint8_t* base_;
   uint32_t capacity_;
+  bool packed_;
+  PackedRegionInfo info_;
+  mutable geom::ColumnScratch scratch_;
+  mutable int64_t* lanes_ = nullptr;
 };
 
-// Mutable view over the same layout.
+// Mutable view over the same layout. Packed regions decode eagerly so
+// Get/Set interleave with read-your-writes; the destructor re-encodes the
+// region iff a write happened (canonical bytes — see the file comment).
 class ColumnarPageView : public ConstColumnarPageView {
  public:
   ColumnarPageView(Page* page, uint32_t base_off, uint32_t capacity)
       : ConstColumnarPageView(*page, base_off, capacity),
-        mut_base_(page->data() + base_off) {}
+        mut_base_(page->data() + base_off) {
+    if (packed_) EnsureDecoded();
+  }
+
+  ~ColumnarPageView() {
+    if (dirty_) EncodeColumnarRegion(mut_base_, capacity_, lanes_);
+  }
 
   void Set(uint32_t i, const geom::Segment& s) {
     SEGDB_DCHECK(i < capacity());
+    if (packed_) {
+      int64_t* lanes = MutLanes();
+      lanes[uint64_t{0} * capacity_ + i] = s.x1;
+      lanes[uint64_t{1} * capacity_ + i] = s.x2;
+      lanes[uint64_t{2} * capacity_ + i] = s.y1;
+      lanes[uint64_t{3} * capacity_ + i] = s.y2;
+      lanes[uint64_t{4} * capacity_ + i] = static_cast<int64_t>(s.id);
+      dirty_ = true;
+      return;
+    }
     StoreLane(0, i, s.x1);
     StoreLane(1, i, s.x2);
     StoreLane(2, i, s.y1);
     StoreLane(3, i, s.y2);
-    std::memcpy(MutStrip(4) + uint64_t{i} * kLaneBytes, &s.id, kLaneBytes);
+    StoreLane(4, i, static_cast<int64_t>(s.id));
   }
 
   void WriteRange(uint32_t first, const geom::Segment* src, uint32_t count) {
@@ -127,26 +201,40 @@ class ColumnarPageView : public ConstColumnarPageView {
   }
 
  private:
-  uint8_t* MutStrip(uint32_t lane) {
-    return mut_base_ + uint64_t{lane} * capacity() * kLaneBytes;
+  int64_t* MutLanes() {
+    // The packed constructor decoded already; lanes_ aliases the scratch.
+    return lanes_;
   }
 
   void StoreLane(uint32_t lane, uint32_t i, int64_t v) {
-    std::memcpy(MutStrip(lane) + uint64_t{i} * kLaneBytes, &v, kLaneBytes);
+    std::memcpy(mut_base_ + (uint64_t{lane} * capacity_ + i) * kLaneBytes,
+                &v, kLaneBytes);
   }
 
   uint8_t* mut_base_;
+  bool dirty_ = false;
 };
 
 // Leaf-record serialization policy for page-resident record arrays (the
 // BPlusTree leaf level). The primary template keeps the row-major layout —
 // correct for any trivially-copyable record and used by all non-segment
 // trees. Specializations (geom::Segment below; segtree's GFragment next to
-// its definition) switch the region to columnar strips without changing
-// the region's byte size, so leaf capacities stay identical either way.
+// its definition) switch the region to compressed columnar strips, which
+// SHRINKS the region: Capacity(bytes) is how leaf builders learn the
+// higher fan-out, and RegionBytes(capacity) is where any trailing
+// row-major metadata (GFragment) starts.
 template <typename Record>
 struct PageRecordLayout {
   static constexpr bool kColumnar = false;
+
+  // Records a region of `region_bytes` can hold under this layout.
+  static uint32_t Capacity(uint32_t region_bytes) {
+    return region_bytes / static_cast<uint32_t>(sizeof(Record));
+  }
+
+  static uint32_t RegionBytes(uint32_t capacity) {
+    return capacity * static_cast<uint32_t>(sizeof(Record));
+  }
 
   static Record Read(const Page& page, uint32_t base, uint32_t /*capacity*/,
                      uint32_t i) {
@@ -176,6 +264,14 @@ struct PageRecordLayout {
 template <>
 struct PageRecordLayout<geom::Segment> {
   static constexpr bool kColumnar = true;
+
+  static uint32_t Capacity(uint32_t region_bytes) {
+    return ColumnarRegionCapacity(region_bytes);
+  }
+
+  static uint32_t RegionBytes(uint32_t capacity) {
+    return static_cast<uint32_t>(ColumnarRegionBytes(capacity));
+  }
 
   static geom::Segment Read(const Page& page, uint32_t base,
                             uint32_t capacity, uint32_t i) {

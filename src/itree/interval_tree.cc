@@ -32,7 +32,7 @@ IntervalTree::~IntervalTree() {
 
 uint32_t IntervalTree::LeafCapacity() const {
   if (options_.leaf_capacity != 0) return options_.leaf_capacity;
-  return (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+  return io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader);
 }
 
 bool IntervalTree::TouchedRange(const std::vector<int64_t>& boundaries,
@@ -80,7 +80,7 @@ Status IntervalTree::WriteLeafPages(Node* node) {
   // allocation mid-rewrite must leave the leaf's stored pages intact.
   std::vector<io::PageId> fresh;
   const uint32_t per_page =
-      (pool_->page_size() - kLeafHeader) / sizeof(Segment);
+      io::ColumnarRegionCapacity(pool_->page_size() - kLeafHeader);
   size_t i = 0;
   while (i < node->leaf_segments.size()) {
     const uint32_t take = static_cast<uint32_t>(

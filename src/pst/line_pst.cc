@@ -28,7 +28,6 @@ LinePst::LinePst(io::BufferPool* pool, int64_t base_x, Direction direction,
       direction_(direction),
       imbalance_(options.imbalance) {
   const uint32_t page = pool_->page_size();
-  const uint32_t seg_bytes = sizeof(geom::Segment);
   if (options.fanout != 0) {
     fanout_ = std::max<uint32_t>(2, options.fanout);
   } else {
@@ -38,7 +37,7 @@ LinePst::LinePst(io::BufferPool* pool, int64_t base_x, Direction direction,
   }
   const uint32_t overhead = SegOff(0);
   SEGDB_DCHECK(overhead < page) << "page too small for LinePst fanout";
-  const uint32_t auto_cap = (page - overhead) / seg_bytes;
+  const uint32_t auto_cap = io::ColumnarRegionCapacity(page - overhead);
   cap_ = options.segments_per_node != 0
              ? std::min(options.segments_per_node, auto_cap)
              : auto_cap;

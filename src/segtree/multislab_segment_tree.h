@@ -75,10 +75,11 @@ namespace segdb::io {
 
 // Columnar leaf codec for GFragment (declared next to the struct so every
 // translation unit instantiating BPlusTree<GFragment, ...> sees it — ODR).
-// The geometry goes into the shared segment strips; the cascading metadata
-// is random-accessed per record (bridge landings), so it stays row-major in
-// a 16-byte trailer array after the strips. 40 + 16 == sizeof(GFragment),
-// hence leaf capacities and page counts are unchanged from row-major.
+// The geometry goes into the shared (compressed) segment strips; the
+// cascading metadata is random-accessed per record (bridge landings), so it
+// stays row-major in a 16-byte trailer array after the strip region. The
+// trailer starts at RegionBytes(capacity) — the compressed strip footprint —
+// so leaf capacity now beats row-major's bytes / 56.
 template <>
 struct PageRecordLayout<segtree::GFragment> {
   static constexpr bool kColumnar = true;
@@ -87,8 +88,20 @@ struct PageRecordLayout<segtree::GFragment> {
                 ConstColumnarPageView::kBytesPerRecord + kMetaBytes);
   static_assert(sizeof(PageId) == 4);
 
+  static uint32_t RegionBytes(uint32_t capacity) {
+    return static_cast<uint32_t>(ColumnarRegionBytes(capacity)) +
+           capacity * kMetaBytes;
+  }
+
+  // Largest capacity whose strip region plus metadata trailer fits.
+  static uint32_t Capacity(uint32_t region_bytes) {
+    uint32_t c = ColumnarRegionCapacity(region_bytes);
+    while (c > 0 && RegionBytes(c) > region_bytes) --c;
+    return c;
+  }
+
   static uint32_t MetaOff(uint32_t base, uint32_t capacity, uint32_t i) {
-    return base + capacity * ConstColumnarPageView::kBytesPerRecord +
+    return base + static_cast<uint32_t>(ColumnarRegionBytes(capacity)) +
            i * kMetaBytes;
   }
 
@@ -117,19 +130,38 @@ struct PageRecordLayout<segtree::GFragment> {
     page->WriteArray(m + 12, tail, 4);
   }
 
+  // Range variants share one view across the whole run so a packed strip
+  // region is decoded (and re-encoded) once, not once per record.
   static void ReadRange(const Page& page, uint32_t base, uint32_t capacity,
                         uint32_t first, segtree::GFragment* out,
                         uint32_t count) {
+    const ConstColumnarPageView view(page, base, capacity);
     for (uint32_t i = 0; i < count; ++i) {
-      out[i] = Read(page, base, capacity, first + i);
+      segtree::GFragment& g = out[i];
+      g.seg = view.Get(first + i);
+      const uint32_t m = MetaOff(base, capacity, first + i);
+      g.land_left = page.ReadAt<PageId>(m);
+      g.land_right = page.ReadAt<PageId>(m + 4);
+      g.slot_left = page.ReadAt<uint16_t>(m + 8);
+      g.slot_right = page.ReadAt<uint16_t>(m + 10);
+      g.flags = page.ReadAt<uint8_t>(m + 12);
     }
   }
 
   static void WriteRange(Page* page, uint32_t base, uint32_t capacity,
                          uint32_t first, const segtree::GFragment* src,
                          uint32_t count) {
+    ColumnarPageView view(page, base, capacity);
     for (uint32_t i = 0; i < count; ++i) {
-      Write(page, base, capacity, first + i, src[i]);
+      const segtree::GFragment& g = src[i];
+      view.Set(first + i, g.seg);
+      const uint32_t m = MetaOff(base, capacity, first + i);
+      page->WriteAt(m, g.land_left);
+      page->WriteAt(m + 4, g.land_right);
+      page->WriteAt(m + 8, g.slot_left);
+      page->WriteAt(m + 10, g.slot_right);
+      const uint8_t tail[4] = {g.flags, 0, 0, 0};
+      page->WriteArray(m + 12, tail, 4);
     }
   }
 };

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "btree/bplus_tree.h"
@@ -39,7 +40,9 @@ TEST(ColumnarPageViewTest, EmptyRegionRoundTrip) {
 }
 
 TEST(ColumnarPageViewTest, FullPageRoundTrip) {
-  // A page-filling region: capacity * 40 == page size exactly.
+  // The legacy row-budget capacity (102 at 4096 bytes); with the packed
+  // format this region now has slack, which PackedMaxCapacityRoundTrip
+  // below reclaims.
   constexpr uint32_t kCap = kPageSize / ConstColumnarPageView::kBytesPerRecord;
   const std::vector<geom::Segment> segs = MakeSegments(kCap, 42);
   Page p(kPageSize);
@@ -51,6 +54,58 @@ TEST(ColumnarPageViewTest, FullPageRoundTrip) {
   std::vector<geom::Segment> out(kCap);
   view.ReadRange(0, out.data(), kCap);
   EXPECT_EQ(out, segs);
+}
+
+TEST(ColumnarPageViewTest, PackedMaxCapacityRoundTrip) {
+  // The bit-packed format fits more records than the 40-byte row budget:
+  // at a 4096-byte region the capacity is 161 (was 102). Fill it to the
+  // brim, mutate, and read back through both view flavors.
+  constexpr uint32_t kCap = 161;
+  ASSERT_EQ(ColumnarRegionCapacity(kPageSize), kCap);
+  ASSERT_TRUE(ColumnarRegionIsPacked(kCap));
+  ASSERT_LE(ColumnarRegionBytes(kCap), kPageSize);
+  const std::vector<geom::Segment> segs = MakeSegments(kCap, 61);
+  Page p(kPageSize);
+  {
+    ColumnarPageView view(&p, 0, kCap);
+    view.WriteRange(0, segs.data(), kCap);
+    const geom::Segment patch = geom::Segment::Make({-9, -8}, {7, 6}, 5);
+    view.Set(kCap - 1, patch);
+    view.Set(kCap - 1, segs[kCap - 1]);  // restore through the same view
+  }  // dtor re-encodes the dirty scratch into the page
+  const ConstColumnarPageView view(p, 0, kCap);
+  for (uint32_t i = 0; i < kCap; ++i) {
+    ASSERT_EQ(view.Get(i), segs[i]) << "record " << i;
+  }
+  std::vector<geom::Segment> out(kCap);
+  view.ReadRange(0, out.data(), kCap);
+  EXPECT_EQ(out, segs);
+}
+
+TEST(ColumnarPageViewTest, PackedLegacyBoundary) {
+  // Capacities below kPackedMinCapacity stay raw 8-byte strips (the
+  // 56-byte header would dominate); capacity 4 is the first packed region.
+  ASSERT_FALSE(ColumnarRegionIsPacked(3));
+  ASSERT_TRUE(ColumnarRegionIsPacked(4));
+  for (uint32_t cap : {1u, 2u, 3u, 4u, 5u}) {
+    const std::vector<geom::Segment> segs = MakeSegments(cap, 100 + cap);
+    Page p(kPageSize);
+    {
+      ColumnarPageView view(&p, 24, cap);
+      view.WriteRange(0, segs.data(), cap);
+    }
+    const ConstColumnarPageView view(p, 24, cap);
+    for (uint32_t i = 0; i < cap; ++i) {
+      ASSERT_EQ(view.Get(i), segs[i]) << "cap " << cap << " record " << i;
+    }
+    if (!ColumnarRegionIsPacked(cap)) {
+      // Legacy layout contract: lane 0 (x1) lives at the region base as a
+      // raw little-endian strip — other code reads these bytes directly.
+      int64_t x1 = 0;
+      std::memcpy(&x1, p.data() + 24, sizeof(x1));
+      ASSERT_EQ(x1, segs[0].lo().x);
+    }
+  }
 }
 
 TEST(ColumnarPageViewTest, UnalignedBaseOffset) {

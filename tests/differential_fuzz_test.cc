@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +28,9 @@
 #include "baseline/rtree_index.h"
 #include "core/two_level_binary_index.h"
 #include "core/two_level_interval_index.h"
+#include "geom/segment.h"
+#include "io/column_codec.h"
+#include "util/random.h"
 
 namespace segdb::fuzz {
 namespace {
@@ -113,6 +118,49 @@ TEST_P(DifferentialFuzzTest, SurvivesOnePercentFaultRegime) {
   EXPECT_EQ(stats.retried_ok, stats.faulted_ops) << cfg.label;
 }
 
+// Tier'd pool: the same reliable-device stream must be answer-identical
+// when evicted pages round-trip through the compressed second tier. A
+// tiny frame count plus a generous tier budget maximizes stash/promote
+// traffic under the differential oracle.
+TEST_P(DifferentialFuzzTest, CompressedTierIsAnswerInvariant) {
+  const Config cfg = config();
+  FuzzOptions options;
+  options.seed = 20260805;  // same stream as TenThousandOpsNoFaults
+  options.ops = 6000;
+  options.supports_erase = cfg.supports_erase;
+  options.pool_frames = 64;
+  options.compressed_tier_bytes = 8u << 20;
+  FuzzStats stats;
+  const Status s =
+      RunDifferentialFuzz(cfg.label, cfg.factory, options, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.executed, options.ops);
+  EXPECT_EQ(stats.faulted_ops, 0u);
+}
+
+// Fault regime through the tier: injected read/alloc faults now land on a
+// pool whose misses may be promotions, so fault-atomicity (non-OK status,
+// audit-clean structure, successful paused retry) must hold across the
+// stash/promote path too.
+TEST_P(DifferentialFuzzTest, CompressedTierSurvivesFaultRegime) {
+  const Config cfg = config();
+  FuzzOptions options;
+  options.seed = 8152026;
+  options.ops = 4000;
+  options.supports_erase = cfg.supports_erase;
+  options.mutation_alloc_fault_rate = 0.01;
+  options.query_read_fault_rate = 0.01;
+  options.pool_frames = 64;
+  options.compressed_tier_bytes = 8u << 20;
+  FuzzStats stats;
+  const Status s =
+      RunDifferentialFuzz(cfg.label, cfg.factory, options, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.executed, options.ops);
+  EXPECT_GT(stats.faulted_ops, 0u) << cfg.label;
+  EXPECT_EQ(stats.retried_ok, stats.faulted_ops) << cfg.label;
+}
+
 INSTANTIATE_TEST_SUITE_P(Indexes, DifferentialFuzzTest,
                          ::testing::Range<size_t>(0, AllConfigs().size()),
                          [](const auto& info) {
@@ -142,6 +190,139 @@ TEST(FuzzHarnessTest, RunsAreDeterministic) {
   EXPECT_EQ(a.faulted_ops, b.faulted_ops);
   EXPECT_EQ(a.retried_ok, b.retried_ok);
   EXPECT_EQ(a.audits, b.audits);
+}
+
+// --- Column-codec differential fuzz ---------------------------------------
+//
+// The uncompressed lanes ARE the oracle: whatever adversarial distribution
+// the generator picks, encode -> decode must reproduce the lanes exactly,
+// the parsed header must agree lane-by-lane with the bulk decode, and
+// re-encoding must be canonical (byte-identical region). The deterministic
+// seed keeps this in the default suite; the CI fuzz job layers fresh seeds
+// on top via SEGDB_FUZZ_SEED below.
+
+// Fills one column with a distribution chosen by `shape`.
+void FillColumn(Rng& rng, int shape, int64_t* out, uint32_t n) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  switch (shape) {
+    case 0:  // stored-coordinate domain (covers the mirrored bound)
+      for (uint32_t i = 0; i < n; ++i) {
+        out[i] = rng.UniformInt(-3 * geom::kMaxCoord, 3 * geom::kMaxCoord);
+      }
+      break;
+    case 1:  // constant
+      for (uint32_t i = 0; i < n; ++i) out[i] = rng.UniformInt(-1000, 1000);
+      for (uint32_t i = 1; i < n; ++i) out[i] = out[0];
+      break;
+    case 2:  // sorted ramp with small gaps (delta-friendly)
+      if (n > 0) {
+        out[0] = rng.UniformInt(-geom::kMaxCoord, geom::kMaxCoord);
+        for (uint32_t i = 1; i < n; ++i) {
+          out[i] = out[i - 1] + static_cast<int64_t>(rng.Uniform(64));
+        }
+      }
+      break;
+    case 3:  // full-range sentinels and alternating sign
+      for (uint32_t i = 0; i < n; ++i) {
+        switch (rng.Uniform(5)) {
+          case 0: out[i] = kMin; break;
+          case 1: out[i] = kMax; break;
+          case 2: out[i] = (i % 2 == 0) ? int64_t{1} : int64_t{-1}; break;
+          case 3: out[i] = 0; break;
+          default: out[i] = static_cast<int64_t>(rng.Next()); break;
+        }
+      }
+      break;
+    case 4:  // uniform 64-bit noise (forces the id raw fallback)
+      for (uint32_t i = 0; i < n; ++i) {
+        out[i] = static_cast<int64_t>(rng.Next());
+      }
+      break;
+    default:  // stored-coordinate sentinels (the mirrored extremes)
+      for (uint32_t i = 0; i < n; ++i) {
+        switch (rng.Uniform(4)) {
+          case 0: out[i] = -3 * geom::kMaxCoord; break;
+          case 1: out[i] = 3 * geom::kMaxCoord; break;
+          case 2: out[i] = 0; break;
+          default: out[i] = (i % 2 == 0) ? int64_t{1} : int64_t{-1}; break;
+        }
+      }
+      break;
+  }
+}
+
+// Shapes legal for a coordinate column: the region codec guarantees the
+// 34-bit slot bound only over the stored-coordinate domain (|v| <= 3 *
+// kMaxCoord); shapes 3/4 exceed it and are reserved for the id column and
+// the standalone codec, which both carry a raw64 fallback.
+int CoordShape(Rng& rng) {
+  const int pick = static_cast<int>(rng.Uniform(4));
+  return pick == 3 ? 5 : pick;
+}
+
+void CodecFuzzRound(Rng& rng) {
+  const uint32_t cap = static_cast<uint32_t>(
+      rng.UniformInt(io::kPackedMinCapacity, 161));
+  std::vector<int64_t> lanes(size_t{io::kColumnarColumns} * cap);
+  for (uint32_t c = 0; c < 4; ++c) {
+    FillColumn(rng, CoordShape(rng), lanes.data() + size_t{c} * cap, cap);
+  }
+  FillColumn(rng, static_cast<int>(rng.Uniform(5)),
+             lanes.data() + size_t{4} * cap, cap);
+  std::vector<uint8_t> region(io::ColumnarRegionBytes(cap), 0xA5);
+  io::EncodeColumnarRegion(region.data(), cap, lanes.data());
+  std::vector<int64_t> decoded(lanes.size(), ~int64_t{0});
+  io::DecodeColumnarRegion(region.data(), cap, decoded.data());
+  ASSERT_EQ(decoded, lanes) << "cap " << cap;
+  const io::PackedRegionInfo info =
+      io::ParsePackedRegionHeader(region.data(), cap);
+  for (uint32_t c = 0; c < io::kColumnarColumns; ++c) {
+    const uint32_t probe = rng.Uniform(cap);
+    ASSERT_EQ(io::PackedRegionLane(region.data(), info, c, probe),
+              lanes[size_t{c} * cap + probe]);
+  }
+  std::vector<uint8_t> again(region.size(), 0x5A);
+  io::EncodeColumnarRegion(again.data(), cap, decoded.data());
+  ASSERT_EQ(std::memcmp(region.data(), again.data(), region.size()), 0)
+      << "non-canonical re-encode at cap " << cap;
+
+  // Standalone column codec under the same distributions, both with and
+  // without the delta candidate, decoding from an exact-size buffer.
+  std::vector<int64_t> col(cap);
+  FillColumn(rng, static_cast<int>(rng.Uniform(5)), col.data(), cap);
+  for (const bool allow_delta : {true, false}) {
+    std::vector<uint8_t> buf(io::ColumnMaxBytes(cap));
+    const size_t used =
+        io::EncodeColumn(col.data(), cap, allow_delta, buf.data());
+    ASSERT_LE(used, buf.size());
+    const std::vector<uint8_t> exact(buf.begin(), buf.begin() + used);
+    std::vector<int64_t> out(cap, ~int64_t{0});
+    io::DecodeColumn(exact.data(), exact.size(), cap, out.data());
+    ASSERT_EQ(out, col) << "allow_delta " << allow_delta;
+  }
+
+  // The page compressor must round-trip the encoded region itself — this
+  // is exactly the byte stream the buffer pool's tier stashes.
+  const std::vector<uint8_t> packed =
+      io::CompressPage(region.data(), static_cast<uint32_t>(region.size()));
+  ASSERT_LE(packed.size(), region.size() + 1);
+  std::vector<uint8_t> unpacked(region.size(), 0xEE);
+  io::DecompressPage(packed, unpacked.data(),
+                     static_cast<uint32_t>(region.size()));
+  ASSERT_EQ(unpacked, region);
+}
+
+TEST(CodecFuzzTest, RoundTripMatchesUncompressedOracle) {
+  Rng rng(20260808);
+  for (int round = 0; round < 400; ++round) {
+    CodecFuzzRound(rng);
+    if (HasFatalFailure()) {
+      std::fprintf(stderr, "[fuzz] codec reproducer: seed=20260808 "
+                           "failing round=%d\n", round);
+      return;
+    }
+  }
 }
 
 // Env-driven randomized entry points for the CI fuzz job (and for local
@@ -185,6 +366,27 @@ TEST(RandomizedFuzzTest, AllIndexesOnePercentFaults) {
     options.supports_erase = cfg.supports_erase;
     const Status s = RunDifferentialFuzz(cfg.label, cfg.factory, options);
     EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(RandomizedFuzzTest, CodecRoundTrips) {
+  const auto seed = EnvU64("SEGDB_FUZZ_SEED");
+  if (!seed.has_value()) GTEST_SKIP() << "SEGDB_FUZZ_SEED not set";
+  const uint64_t rounds = EnvU64("SEGDB_FUZZ_OPS").value_or(4000);
+  std::printf("[fuzz] randomized codec run: --seed=%llu --ops=%llu\n",
+              static_cast<unsigned long long>(*seed),
+              static_cast<unsigned long long>(rounds));
+  Rng rng(*seed);
+  for (uint64_t round = 0; round < rounds; ++round) {
+    CodecFuzzRound(rng);
+    if (HasFatalFailure()) {
+      std::fprintf(stderr,
+                   "[fuzz] codec reproducer: SEGDB_FUZZ_SEED=%llu failing "
+                   "round=%llu\n",
+                   static_cast<unsigned long long>(*seed),
+                   static_cast<unsigned long long>(round));
+      return;
+    }
   }
 }
 

@@ -42,7 +42,8 @@ class Fuzzer {
         fault_mode_(options.mutation_alloc_fault_rate > 0 ||
                     options.query_read_fault_rate > 0),
         disk_(options.page_size, io::FaultPlan{}),
-        pool_(&disk_, options.pool_frames),
+        pool_(&disk_, options.pool_frames,
+              io::BufferPoolOptions{options.compressed_tier_bytes}),
         rng_(options.seed) {
     disk_.set_enabled(false);  // reliable until an op arms it
     index_ = factory(&pool_);

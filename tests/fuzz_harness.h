@@ -62,6 +62,10 @@ struct FuzzOptions {
   // Simulated device / pool geometry.
   uint32_t page_size = 1024;
   uint32_t pool_frames = 4096;
+  // Compressed second-tier budget for the index's pool (0 = off). Answers
+  // must be tier-invariant; with faults on, this routes every injected
+  // read/alloc fault through the stash/promotion path as well.
+  size_t compressed_tier_bytes = 0;
 };
 
 struct FuzzStats {

@@ -128,7 +128,10 @@ TEST(DiskManagerTest, HighWaterTracksPeakUsage) {
 
 class BufferPoolTest : public ::testing::Test {
  protected:
-  BufferPoolTest() : disk_(kPageSize), pool_(&disk_, 4) {}
+  // Tier pinned off: these tests assert the single-tier frame-LRU model
+  // (a re-fetch of an evicted page is a demand miss), which a compressed
+  // second tier deliberately changes. The tier has its own suite.
+  BufferPoolTest() : disk_(kPageSize), pool_(&disk_, 4, BufferPoolOptions{}) {}
 
   DiskManager disk_;
   BufferPool pool_;

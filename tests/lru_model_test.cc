@@ -47,7 +47,9 @@ class ModelLru {
 TEST(LruModelTest, HitMissPatternMatchesReference) {
   constexpr size_t kFrames = 16;
   DiskManager disk(256);
-  BufferPool pool(&disk, kFrames);
+  // Tier pinned off: this is the single-tier miss-pattern reference; with a
+  // compressed tier, evicted-page re-fetches become promotions, not misses.
+  BufferPool pool(&disk, kFrames, BufferPoolOptions{});
   ModelLru model(kFrames);
 
   std::vector<PageId> ids;

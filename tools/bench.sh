@@ -2,17 +2,28 @@
 # Runs the tracked benchmark set and writes machine-readable BENCH_*.json
 # next to the sources, so the perf trajectory is versioned with the code:
 #
-#   tools/bench.sh [build-dir]        # default build dir: ./build
+#   tools/bench.sh [build-dir]            # default build dir: ./build
+#   tools/bench.sh --scaling [build-dir]  # multi-core scaling sweep only
 #
 # Produces:
 #   BENCH_micro.json  — google-benchmark CPU microbenchmarks
-#   BENCH_e3.json     — Solution A: cold I/O counts + parallel throughput
-#   BENCH_e4.json     — Solution B: cold I/O counts + parallel throughput
+#   BENCH_e3.json     — Solution A: cold I/O + tier stats + throughput
+#   BENCH_e4.json     — Solution B: cold I/O + tier stats + throughput
+#
+# --scaling skips the cold/tier sections and sweeps the parallel batch
+# throughput with thread counts extended past the hardware concurrency,
+# writing BENCH_e3_scaling.json / BENCH_e4_scaling.json (untracked: the
+# curve is machine-shaped, unlike the model-level I/O counts).
 #
 # SEGDB_BENCH_SCALE is honored (e.g. SEGDB_BENCH_SCALE=0.1 for smoke runs).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SCALING=0
+if [[ "${1:-}" == "--scaling" ]]; then
+  SCALING=1
+  shift
+fi
 BUILD="${1:-build}"
 
 for bin in bench_micro bench_e3_solution_a bench_e4_solution_b; do
@@ -21,6 +32,13 @@ for bin in bench_micro bench_e3_solution_a bench_e4_solution_b; do
     exit 1
   fi
 done
+
+if [[ "$SCALING" == 1 ]]; then
+  "$BUILD/bench/bench_e3_solution_a" --scaling --json BENCH_e3_scaling.json
+  "$BUILD/bench/bench_e4_solution_b" --scaling --json BENCH_e4_scaling.json
+  echo "wrote BENCH_e3_scaling.json BENCH_e4_scaling.json"
+  exit 0
+fi
 
 "$BUILD/bench/bench_micro" \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json

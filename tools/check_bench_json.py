@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Schema validation for google-benchmark JSON output (CI bench smoke).
+"""Schema validation for the tracked BENCH_*.json files (CI bench smoke).
 
-Usage: tools/check_bench_json.py BENCH.json [required-name-substring ...]
+Usage: tools/check_bench_json.py [--min-ratio X] BENCH.json [required ...]
 
-Checks (stdlib only, no third-party deps):
+Two formats are auto-detected:
+
+google-benchmark output (BENCH_micro.json, top-level `benchmarks`):
   * top level has `context` and a non-empty `benchmarks` list;
   * context names the host (`host_name`) and CPU count (`num_cpus`);
   * every benchmark entry has a name, iterations >= 1, finite non-negative
@@ -12,7 +14,16 @@ Checks (stdlib only, no third-party deps):
   * benchmarks that errored (`error_occurred`) fail validation unless the
     error is the documented SIMD-unavailable skip;
   * each extra argv substring must match at least one benchmark name
-    (defaults to requiring the scan_kernel section).
+    (defaults to requiring the scan_kernel and decode_kernel sections).
+
+segdb experiment records (BENCH_e3/e4.json, top-level `records`):
+  * top level has `hardware_threads` and a non-empty `records` list;
+  * every record names its experiment/structure and has finite
+    non-negative n/page_size/num_queries/avg_ios/queries_per_sec;
+  * each extra argv substring must match at least one experiment name;
+  * with --min-ratio X, at least one record must report a column-codec
+    compression_ratio, and every reported ratio must be >= X (the
+    acceptance floor is 1.3).
 """
 import json
 import math
@@ -24,11 +35,61 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def finite_nonneg(v) -> bool:
+    return isinstance(v, (int, float)) and math.isfinite(v) and v >= 0
+
+
+def check_records(doc: dict, path: str, required, min_ratio) -> None:
+    if "hardware_threads" not in doc:
+        fail("records file missing hardware_threads")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        fail("records missing or empty")
+    names = []
+    ratios = []
+    for r in records:
+        exp = r.get("experiment")
+        if not isinstance(exp, str) or not exp:
+            fail("record without an experiment name")
+        if not isinstance(r.get("structure"), str) or not r["structure"]:
+            fail(f"{exp}: missing structure")
+        for key in ("n", "page_size", "num_queries", "avg_ios",
+                    "queries_per_sec"):
+            if not finite_nonneg(r.get(key)):
+                fail(f"{exp}: bad {key} {r.get(key)!r}")
+        names.append(exp)
+        ratio = r.get("compression_ratio", 0)
+        if not finite_nonneg(ratio):
+            fail(f"{exp}: bad compression_ratio {ratio!r}")
+        if ratio:
+            ratios.append((exp, ratio))
+    for sub in required:
+        if not any(sub in n for n in names):
+            fail(f"no record matching {sub!r}")
+    if min_ratio is not None:
+        if not ratios:
+            fail("no record reports a compression_ratio")
+        for exp, ratio in ratios:
+            if ratio < min_ratio:
+                fail(f"{exp}: compression_ratio {ratio:.4f} < {min_ratio}")
+    print(f"check_bench_json: OK: {len(names)} records in {path}")
+
+
 def main() -> None:
-    if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py BENCH.json [required-substring ...]")
-    path = sys.argv[1]
-    required = sys.argv[2:] or ["ScanKernel"]
+    args = sys.argv[1:]
+    min_ratio = None
+    if args and args[0] == "--min-ratio":
+        if len(args) < 2:
+            fail("--min-ratio needs a value")
+        try:
+            min_ratio = float(args[1])
+        except ValueError:
+            fail(f"bad --min-ratio value {args[1]!r}")
+        args = args[2:]
+    if not args:
+        fail("usage: check_bench_json.py [--min-ratio X] BENCH.json "
+             "[required-substring ...]")
+    path = args[0]
 
     try:
         with open(path, encoding="utf-8") as f:
@@ -38,6 +99,12 @@ def main() -> None:
 
     if not isinstance(doc, dict):
         fail("top level is not an object")
+    if "records" in doc:
+        check_records(doc, path, args[1:], min_ratio)
+        return
+    if min_ratio is not None:
+        fail("--min-ratio only applies to segdb records files")
+    required = args[1:] or ["ScanKernel", "DecodeKernel"]
     context = doc.get("context")
     if not isinstance(context, dict):
         fail("missing context object")

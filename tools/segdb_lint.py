@@ -81,6 +81,7 @@ SYNC_HEADER = "src/util/sync.h"
 # review as a new mutex: who owns the lifetime, which threads see it.
 THREAD_LOCAL_ALLOWLIST = {
     "src/geom/filter_kernel.cc",  # per-worker ResultBuffer arena
+    "src/geom/decode_kernel.cc",  # per-worker column-decode scratch pool
 }
 
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
@@ -134,6 +135,19 @@ STD_SYMBOL_RE = re.compile(
 ANGLE_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<([^>]+)>")
 THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
 SAFETY_COMMENT_RE = re.compile(r"//.*\bSAFETY:")
+
+# Column-codec internals: parsing packed-region headers or (un)packing
+# bit-packed lanes outside their owning layers skips the views' decode
+# caching and canonical re-encode, and silently breaks when the page
+# format evolves. Index layers go through ColumnarPageView /
+# ConstColumnarPageView (or the strips() API feeding the filter kernels).
+STRIP_ACCESS_RE = re.compile(
+    r"\b(ParsePackedRegionHeader|PackedRegionLane|EncodeColumnarRegion|"
+    r"DecodeColumnarRegion|PackLaneBits|UnpackLaneBitsTail|UnpackLaneBits|"
+    r"CompressPage|DecompressPage)\s*\(")
+# The layers that own the packed format: the codec itself and the decode
+# kernels it dispatches to.
+STRIP_ACCESS_OWNERS = ("src/io/", "src/geom/decode_kernel.")
 
 
 @dataclass(frozen=True)
@@ -357,9 +371,23 @@ def check_header_self_containment(rel, _raw_lines, code_lines):
                 "directly; headers must include what they use")
 
 
+def check_strip_access(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel.startswith(STRIP_ACCESS_OWNERS):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = STRIP_ACCESS_RE.search(line)
+        if m:
+            yield Violation(
+                rel, lineno, "strip-access",
+                f"{m.group(1)}() outside the column-codec owners "
+                "(src/io/, the decode kernels) pokes the packed page "
+                "format directly; go through io::ColumnarPageView / "
+                "ConstColumnarPageView")
+
+
 RULES = (check_layering, check_raw_sync, check_io_bypass,
          check_naked_suppression, check_thread_local,
-         check_header_self_containment)
+         check_header_self_containment, check_strip_access)
 
 
 # --------------------------------------------------------------------------

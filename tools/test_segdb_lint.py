@@ -194,6 +194,56 @@ class ThreadLocalTest(unittest.TestCase):
             [])
 
 
+class StripAccessTest(unittest.TestCase):
+    def test_codec_call_outside_owners_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/btree/bplus_tree.h",
+            "io::DecodeColumnarRegion(base, cap, lanes);\n")
+        self.assertEqual(rules_hit(violations), ["strip-access"])
+        self.assertIn("ColumnarPageView", violations[0].message)
+
+    def test_header_parse_outside_owners_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/core/two_level_binary_index.cc",
+            "auto info = io::ParsePackedRegionHeader(bytes, cap);\n")
+        self.assertEqual(rules_hit(violations), ["strip-access"])
+
+    def test_page_compressor_outside_owners_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/segtree/multislab_segment_tree.h",
+            "auto packed = io::CompressPage(page.data(), page.size());\n")
+        self.assertEqual(rules_hit(violations), ["strip-access"])
+
+    def test_io_layer_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/io/buffer_pool.cc",
+                "auto packed = CompressPage(f.page.data(), page_size_);\n"),
+            [])
+
+    def test_decode_kernel_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/geom/decode_kernel.cc",
+                "const uint64_t v = UnpackLaneBits(packed, i, width);\n"),
+            [])
+
+    def test_tests_and_bench_exempt(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "tests/column_codec_test.cc",
+                "io::EncodeColumnarRegion(region.data(), cap, lanes);\n"),
+            [])
+
+    def test_view_usage_is_clean(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/pst/line_pst.cc",
+                "io::ConstColumnarPageView view(page, off, cap);\n"
+                "auto s = view.Get(3);\n"),
+            [])
+
+
 class HeaderSelfContainmentTest(unittest.TestCase):
     def test_missing_include_flagged(self):
         violations = segdb_lint.lint_text(
