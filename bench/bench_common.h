@@ -21,6 +21,7 @@
 #ifndef SEGDB_BENCH_BENCH_COMMON_H_
 #define SEGDB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -133,7 +134,27 @@ struct BenchRecord {
   // Compressed-tier promotions observed during the measured section
   // (nonzero only for the *-tier experiments).
   uint64_t compressed_hits = 0;
+  // Serving/device telemetry (the E14 records). Zero or empty fields are
+  // OMITTED from the JSON — same rule as wall_ns/queries_per_sec on cold
+  // records, so a record only carries the measurements it actually made.
+  double p50_ns = 0;  // per-request latency percentiles (Serve calls)
+  double p95_ns = 0;
+  double p99_ns = 0;
+  uint64_t queue_depth = 0;  // peak queue/in-flight depth during the run
+  std::string io_backend;    // async engine name: "uring"|"threads"|"sync"
+  double io_speedup = 0;     // batched over one-syscall-per-page wall time
 };
+
+// p-th percentile (0..100) by nearest-rank over a copy of `samples`.
+inline double PercentileNs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
 
 // Process-wide codec compression ratio so far (0 until something encoded).
 inline double CodecCompressionRatio() {
@@ -185,14 +206,38 @@ class JsonWriter {
           f,
           "%s\n    {\"experiment\": \"%s\", \"structure\": \"%s\", "
           "\"n\": %llu, \"page_size\": %u, \"num_queries\": %llu, "
-          "\"avg_ios\": %.4f, \"max_ios\": %.1f, \"wall_ns\": %.0f, "
-          "\"queries_per_sec\": %.2f, \"threads\": %u, "
-          "\"compression_ratio\": %.4f, \"compressed_hits\": %llu}",
+          "\"avg_ios\": %.4f, \"max_ios\": %.1f, ",
           i == 0 ? "" : ",", r.experiment.c_str(), r.structure.c_str(),
           static_cast<unsigned long long>(r.n), r.page_size,
           static_cast<unsigned long long>(r.num_queries), r.avg_ios,
-          r.max_ios, r.wall_ns, r.queries_per_sec, r.threads,
-          r.compression_ratio,
+          r.max_ios);
+      // A record that measured no wall time (the cold I/O-count rows)
+      // carries no wall fields at all — a literal 0 would read as "zero
+      // nanoseconds measured", which tools/check_bench_json.py rejects.
+      if (r.wall_ns > 0) {
+        std::fprintf(f, "\"wall_ns\": %.0f, \"queries_per_sec\": %.2f, ",
+                     r.wall_ns, r.queries_per_sec);
+      }
+      if (r.p99_ns > 0) {
+        std::fprintf(f,
+                     "\"p50_ns\": %.0f, \"p95_ns\": %.0f, \"p99_ns\": %.0f, ",
+                     r.p50_ns, r.p95_ns, r.p99_ns);
+      }
+      if (r.queue_depth > 0) {
+        std::fprintf(f, "\"queue_depth\": %llu, ",
+                     static_cast<unsigned long long>(r.queue_depth));
+      }
+      if (!r.io_backend.empty()) {
+        std::fprintf(f, "\"io_backend\": \"%s\", ", r.io_backend.c_str());
+      }
+      if (r.io_speedup > 0) {
+        std::fprintf(f, "\"io_speedup\": %.3f, ", r.io_speedup);
+      }
+      std::fprintf(
+          f,
+          "\"threads\": %u, \"compression_ratio\": %.4f, "
+          "\"compressed_hits\": %llu}",
+          r.threads, r.compression_ratio,
           static_cast<unsigned long long>(r.compressed_hits));
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -260,7 +305,7 @@ inline void RunTieredExperiment(const char* experiment, uint64_t seed,
   TablePrinter table({"tier_bytes", "avg_ios", "compressed_hits/query",
                       "codec_ratio"});
   for (const size_t tier_bytes : {size_t{0}, size_t{16} << 20}) {
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 512, io::BufferPoolOptions{tier_bytes});
     Rng rng(seed);
     auto segs = workload::GenMapLayer(rng, N, 1 << 22);

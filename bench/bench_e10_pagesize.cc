@@ -20,7 +20,7 @@ void RunPageSweep() {
   Rng rng(1011);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);
   for (uint32_t page : {512u, 1024u, 2048u, 4096u, 8192u}) {
-    io::DiskManager disk(page);
+    io::SimDiskManager disk(page);
     io::BufferPool pool(&disk, (1u << 26) / page);
     Rng qrng(41);
     auto box = workload::ComputeBoundingBox(segs);
@@ -52,7 +52,7 @@ void RunFanoutSweep() {
   const uint64_t N = bench::Scaled(uint64_t{1} << 16);
   Rng rng(1012);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 15);
   Rng qrng(43);
   auto box = workload::ComputeBoundingBox(segs);
@@ -79,7 +79,7 @@ void RunWarmCache() {
   Rng rng(1013);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);
   for (uint32_t frames : {64u, 512u, 4096u, 32768u}) {
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, frames);
     core::TwoLevelIntervalIndex index(&pool);
     bench::Check(index.BulkLoad(segs), "build");

@@ -17,7 +17,7 @@ namespace {
 
 void RunWorkload(const char* name, const std::vector<geom::Segment>& segs,
                  TablePrinter* table) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 14);
   baseline::EndpointPstIndex reduction(&pool, 0);
   bench::Check(reduction.BulkLoad(segs), "build");

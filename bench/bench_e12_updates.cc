@@ -16,7 +16,7 @@ namespace {
 
 template <typename Index>
 void MeasureChurn(const char* label, TablePrinter* table, uint64_t N) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   Rng rng(1015);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);

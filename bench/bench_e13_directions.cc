@@ -28,7 +28,7 @@ void Run() {
   for (const Dir d : {Dir{"(0,1) vertical", 0, 1}, Dir{"(1,0) horizontal", 1, 0},
                       Dir{"(1,1)", 1, 1}, Dir{"(3,-2)", 3, -2},
                       Dir{"(7,5)", 7, 5}}) {
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     core::ShearedIndex index(
         std::make_unique<core::TwoLevelIntervalIndex>(&pool), d.dx, d.dy);

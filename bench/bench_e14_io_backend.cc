@@ -1,0 +1,276 @@
+// E14 — real-file async I/O backend (ISSUE 8).
+//
+// Cold-read section: the same live page set of a built index is read from
+// the FileDiskManager twice — once as one blocking syscall per page (the
+// pre-async baseline: ReadPage through the bounce buffer), once as
+// batched PeekPagesBatch calls through the IoScheduler + AsyncIoEngine
+// (dedup, adjacent-run merge, queue-depth overlap). The io_speedup field
+// of the E14-cold-batched record is the acceptance metric: batched cold
+// reads must beat one-syscall-per-page by >= 1.3x.
+//
+// Serving section: concurrent clients drive QueryEngine::Serve against
+// the warm index with per-request deadlines and a bounded admission
+// queue; records carry p50/p95/p99 per-request latency and the peak
+// admission-queue depth. `--scaling` sweeps the client count past the
+// hardware concurrency (tools/bench.sh --scaling -> BENCH_e14_scaling).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/two_level_interval_index.h"
+#include "io/file_disk_manager.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace segdb {
+namespace {
+
+std::string BenchFilePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") +
+         "/segdb_bench_e14.segdb";
+}
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// Owns the on-disk index every section measures: a FileDiskManager-backed
+// pool with a bulk-loaded Solution B index.
+struct FileBackedIndex {
+  std::unique_ptr<io::FileDiskManager> disk;
+  std::unique_ptr<io::BufferPool> pool;
+  std::unique_ptr<core::TwoLevelIntervalIndex> index;
+  std::vector<geom::Segment> segs;
+  uint64_t n = 0;
+
+  explicit FileBackedIndex(uint64_t n_segments) : n(n_segments) {
+    const std::string path = BenchFilePath();
+    std::remove(path.c_str());
+    auto opened = io::FileDiskManager::Open(path);
+    bench::Check(opened.status(), "open bench file");
+    disk = std::move(opened).value();
+    pool = std::make_unique<io::BufferPool>(disk.get(), 1 << 15);
+    Rng rng(1004);
+    segs = workload::GenMapLayer(rng, n, 1 << 22);
+    index = std::make_unique<core::TwoLevelIntervalIndex>(pool.get());
+    bench::Check(index->BulkLoad(segs), "build");
+    bench::Check(pool->FlushAll(), "flush");
+  }
+
+  ~FileBackedIndex() {
+    index.reset();
+    pool.reset();
+    disk.reset();
+    std::remove(BenchFilePath().c_str());
+  }
+
+  // Every live page id, shuffled deterministically — the cold working set.
+  std::vector<io::PageId> ShuffledLivePages() {
+    std::vector<io::PageId> ids;
+    io::Page probe(disk->page_size());
+    for (uint64_t id = 0; id < disk->high_water_pages(); ++id) {
+      if (disk->PeekPage(static_cast<io::PageId>(id), &probe).ok()) {
+        ids.push_back(static_cast<io::PageId>(id));
+      }
+    }
+    Rng rng(99);
+    for (size_t i = ids.size(); i > 1; --i) {
+      std::swap(ids[i - 1], ids[rng.Uniform(static_cast<uint64_t>(i))]);
+    }
+    return ids;
+  }
+};
+
+void RunColdReads(bench::JsonWriter* json, FileBackedIndex& fixture) {
+  bench::PrintHeader("E14 file-backend cold reads",
+                     "batched async submissions vs one syscall per page");
+  std::vector<io::PageId> ids = fixture.ShuffledLivePages();
+  io::FileDiskManager& disk = *fixture.disk;
+  const uint32_t page_size = disk.page_size();
+
+  // Baseline: one blocking transfer per page, in shuffled order.
+  io::Page page(page_size);
+  const auto sync_start = std::chrono::steady_clock::now();
+  for (const io::PageId id : ids) {
+    bench::Check(disk.ReadPage(id, &page), "sync read");
+  }
+  const double sync_ns = ElapsedNs(sync_start);
+
+  // Batched: the same pages through the scheduler, 256 per batch.
+  constexpr size_t kBatch = 256;
+  std::vector<io::Page> pages(kBatch, io::Page(page_size));
+  disk.ResetSchedulerStats();
+  const auto batched_start = std::chrono::steady_clock::now();
+  for (size_t at = 0; at < ids.size(); at += kBatch) {
+    const size_t count = std::min(kBatch, ids.size() - at);
+    std::vector<io::PageFill> fills(count);
+    for (size_t i = 0; i < count; ++i) {
+      fills[i].id = ids[at + i];
+      fills[i].out = &pages[i];
+    }
+    disk.PeekPagesBatch(fills);
+    for (const io::PageFill& fill : fills) {
+      bench::Check(fill.status, "batched read");
+    }
+  }
+  const double batched_ns = ElapsedNs(batched_start);
+  const io::IoSchedulerStats sched = disk.scheduler_stats();
+  const double speedup = batched_ns > 0 ? sync_ns / batched_ns : 0;
+
+  TablePrinter table({"pages", "engine", "direct", "sync_ms", "batched_ms",
+                      "speedup", "merged", "max_inflight"});
+  table.AddRow({TablePrinter::Fmt(uint64_t{ids.size()}), disk.engine_name(),
+                disk.direct_io() ? "yes" : "no",
+                TablePrinter::Fmt(sync_ns * 1e-6),
+                TablePrinter::Fmt(batched_ns * 1e-6),
+                TablePrinter::Fmt(speedup),
+                TablePrinter::Fmt(sched.merged_pages),
+                TablePrinter::Fmt(sched.max_inflight)});
+  bench::PrintTable(table);
+
+  bench::BenchRecord sync_record;
+  sync_record.experiment = "E14-cold-sync";
+  sync_record.structure = fixture.index->name();
+  sync_record.n = fixture.n;
+  sync_record.page_size = page_size;
+  sync_record.num_queries = ids.size();  // one "query" = one page read
+  sync_record.wall_ns = sync_ns;
+  sync_record.queries_per_sec =
+      sync_ns > 0 ? static_cast<double>(ids.size()) / (sync_ns * 1e-9) : 0;
+  sync_record.io_backend = "sync";
+  json->Add(std::move(sync_record));
+
+  bench::BenchRecord batched_record;
+  batched_record.experiment = "E14-cold-batched";
+  batched_record.structure = fixture.index->name();
+  batched_record.n = fixture.n;
+  batched_record.page_size = page_size;
+  batched_record.num_queries = ids.size();
+  batched_record.wall_ns = batched_ns;
+  batched_record.queries_per_sec =
+      batched_ns > 0 ? static_cast<double>(ids.size()) / (batched_ns * 1e-9)
+                     : 0;
+  batched_record.io_backend = disk.engine_name();
+  batched_record.io_speedup = speedup;
+  batched_record.queue_depth = sched.max_inflight;
+  json->Add(std::move(batched_record));
+}
+
+void RunServing(bench::JsonWriter* json, FileBackedIndex& fixture,
+                uint32_t clients) {
+  const std::string banner =
+      "E14s serving layer, " + std::to_string(clients) + " clients";
+  bench::PrintHeader(banner.c_str(),
+                     "deadline-aware Serve; bounded queue sheds overload");
+  core::QueryEngineOptions options;
+  options.threads = 1;  // Serve runs on client threads; no batch pool
+  options.max_concurrent = 2;
+  options.max_queue = 16;
+  core::QueryEngine engine(options);
+
+  auto box = workload::ComputeBoundingBox(fixture.segs);
+  constexpr int kPerClient = 128;
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> late_count{0};
+  const core::SegmentIndex& index = *fixture.index;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng qrng(500 + c);
+      auto queries = workload::GenVsQueries(qrng, kPerClient, box, 0.01);
+      std::vector<geom::Segment> out;
+      latencies[c].reserve(kPerClient);
+      for (const workload::VsQuery& q : queries) {
+        out.clear();
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status s = engine.Serve(
+            index, core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out,
+            util::Deadline::After(std::chrono::milliseconds(50)));
+        if (s.ok()) {
+          latencies[c].push_back(ElapsedNs(t0));
+          ++ok_count;
+        } else if (s.code() == StatusCode::kOverloaded) {
+          ++shed_count;
+        } else {
+          ++late_count;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ns = ElapsedNs(start);
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  const double p50 = bench::PercentileNs(all, 50);
+  const double p95 = bench::PercentileNs(all, 95);
+  const double p99 = bench::PercentileNs(all, 99);
+  const core::ServingStats stats = engine.serving_stats();
+
+  TablePrinter table({"clients", "ok", "shed", "late", "p50_us", "p95_us",
+                      "p99_us", "peak_queue"});
+  table.AddRow({TablePrinter::Fmt(uint64_t{clients}),
+                TablePrinter::Fmt(ok_count.load()),
+                TablePrinter::Fmt(shed_count.load()),
+                TablePrinter::Fmt(late_count.load()),
+                TablePrinter::Fmt(p50 * 1e-3), TablePrinter::Fmt(p95 * 1e-3),
+                TablePrinter::Fmt(p99 * 1e-3),
+                TablePrinter::Fmt(stats.max_queue_depth)});
+  bench::PrintTable(table);
+
+  bench::BenchRecord record;
+  record.experiment = "E14-serving";
+  record.structure = fixture.index->name();
+  record.n = fixture.n;
+  record.page_size = fixture.disk->page_size();
+  record.num_queries = uint64_t{clients} * kPerClient;
+  record.wall_ns = wall_ns;
+  record.queries_per_sec =
+      wall_ns > 0 ? static_cast<double>(ok_count.load()) / (wall_ns * 1e-9)
+                  : 0;
+  record.threads = clients;
+  record.p50_ns = p50;
+  record.p95_ns = p95;
+  record.p99_ns = p99;
+  // max(1, ...): clients that never queued still report depth 1 so the
+  // field is present — "no queueing observed" is itself telemetry.
+  record.queue_depth = std::max<uint64_t>(1, stats.max_queue_depth);
+  record.io_backend = fixture.disk->engine_name();
+  json->Add(std::move(record));
+}
+
+}  // namespace
+}  // namespace segdb
+
+int main(int argc, char** argv) {
+  segdb::bench::JsonWriter json(argc, argv);
+  const bool scaling = segdb::bench::HasFlag(argc, argv, "--scaling");
+  segdb::FileBackedIndex fixture(segdb::bench::Scaled(262144));
+  if (scaling) {
+    // Serving percentile sweep past the hardware concurrency.
+    for (uint32_t clients : segdb::bench::ParallelThreadCounts(true)) {
+      segdb::RunServing(&json, fixture, clients);
+    }
+    return 0;
+  }
+  segdb::RunColdReads(&json, fixture);
+  segdb::RunServing(&json, fixture, 8);
+  return 0;
+}

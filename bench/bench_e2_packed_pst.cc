@@ -37,7 +37,7 @@ void Run() {
   for (uint64_t n : {uint64_t{1} << 14, uint64_t{1} << 16, uint64_t{1} << 18,
                      uint64_t{1} << 19}) {
     const uint64_t N = bench::Scaled(n);
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     auto segs = workload::GenLineBasedSorted(rng, N, 0, 1 << 20);
 

@@ -31,7 +31,7 @@ void RunCold(bench::JsonWriter* json) {
        {uint64_t{1} << 13, uint64_t{1} << 15, uint64_t{1} << 17,
         uint64_t{262144}}) {
     const uint64_t N = bench::Scaled(n);
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     auto segs = workload::GenMapLayer(rng, N, 1 << 22);
     core::TwoLevelIntervalIndex index(&pool);
@@ -53,9 +53,16 @@ void RunCold(bench::JsonWriter* json) {
                   TablePrinter::Fmt(cost.avg_output, 1),
                   TablePrinter::Fmt(theory, 1),
                   TablePrinter::Fmt(uint64_t{index.height()})});
-    json->Add({"E4-cold", index.name(), N, 4096, queries.size(),
-               cost.avg_ios, cost.max_ios, 0, 0, 1,
-               bench::CodecCompressionRatio(), 0});
+    bench::BenchRecord record;
+    record.experiment = "E4-cold";
+    record.structure = index.name();
+    record.n = N;
+    record.page_size = 4096;
+    record.num_queries = queries.size();
+    record.avg_ios = cost.avg_ios;
+    record.max_ios = cost.max_ios;
+    record.compression_ratio = bench::CodecCompressionRatio();
+    json->Add(std::move(record));
   }
   bench::PrintTable(table);
 }
@@ -64,7 +71,7 @@ void RunParallel(bench::JsonWriter* json, bool scaling) {
   bench::PrintHeader("E4p Solution B parallel batch queries",
                      "warm pool; QueryEngine fan-out, ordering preserved");
   const uint64_t N = bench::Scaled(262144);
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 15);
   Rng rng(1004);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);
@@ -85,9 +92,17 @@ void RunParallel(bench::JsonWriter* json, bool scaling) {
                   TablePrinter::Fmt(t.wall_ns / 8 * 1e-6),
                   TablePrinter::Fmt(
                       base_qps > 0 ? t.queries_per_sec / base_qps : 0.0)});
-    json->Add({"E4-parallel", index.name(), N, 4096,
-               queries.size() * 8, 0, 0, t.wall_ns, t.queries_per_sec,
-               threads, bench::CodecCompressionRatio(), 0});
+    bench::BenchRecord record;
+    record.experiment = "E4-parallel";
+    record.structure = index.name();
+    record.n = N;
+    record.page_size = 4096;
+    record.num_queries = queries.size() * 8;
+    record.wall_ns = t.wall_ns;
+    record.queries_per_sec = t.queries_per_sec;
+    record.threads = threads;
+    record.compression_ratio = bench::CodecCompressionRatio();
+    json->Add(std::move(record));
   }
   bench::PrintTable(table);
 }

@@ -23,7 +23,7 @@ void Run() {
        {uint64_t{1} << 13, uint64_t{1} << 15, uint64_t{1} << 17,
         uint64_t{262144}}) {
     const uint64_t N = bench::Scaled(n);
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     auto segs = workload::GenMapLayer(rng, N, 1 << 22);
 

@@ -23,7 +23,7 @@ void RunRawG() {
   Rng rng(1006);
   for (uint32_t b : {8u, 16u, 32u, 64u}) {
     const uint64_t N = bench::Scaled(40000);
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     auto segs = workload::GenNestedSpans(rng, N, 1 << 20);
     std::vector<int64_t> bounds;
@@ -81,7 +81,7 @@ void RunEndToEnd() {
   for (uint64_t n : {uint64_t{1} << 14, uint64_t{1} << 16,
                      uint64_t{1} << 17}) {
     const uint64_t N = bench::Scaled(n);
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 15);
     // Nested spans maximize long fragments (the G-heavy regime).
     auto segs = workload::GenNestedSpans(rng, N, 1 << 20);

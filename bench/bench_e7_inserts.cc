@@ -17,7 +17,7 @@ namespace {
 
 template <typename Index>
 void MeasureInserts(const char* label, TablePrinter* table, uint64_t N) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   // A small pool (512 frames = 2 MiB): with realistic cache pressure the
   // physical miss/writeback counts approximate the model's I/Os; the
   // page-touch column is the cache-free upper bound.

@@ -26,7 +26,7 @@ namespace {
 void RunWorkload(const char* wl_name, std::vector<geom::Segment> segs) {
   std::printf("-- workload: %s (N=%zu) --\n", wl_name, segs.size());
   TablePrinter table({"index", "pages", "avg_ios", "max_ios", "avg_out"});
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 15);
 
   Rng qrng(31);

@@ -18,7 +18,7 @@ void Run() {
   bench::PrintHeader("E9 selectivity sweep (the '+t' terms)",
                      "query I/Os vs output size at fixed N");
   const uint64_t N = bench::Scaled(uint64_t{1} << 17);
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 15);
   Rng rng(1010);
   auto segs = workload::GenMapLayer(rng, N, 1 << 22);

@@ -58,7 +58,7 @@ void BM_IntersectsVerticalSegment(benchmark::State& state) {
 BENCHMARK(BM_IntersectsVerticalSegment);
 
 void BM_PageRoundTrip(benchmark::State& state) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   auto id = disk.AllocatePage();
   io::Page page(4096);
   Rng rng(3);
@@ -78,7 +78,7 @@ void BM_BuildSolutionA(benchmark::State& state) {
   Rng rng(4);
   auto segs = workload::GenMapLayer(rng, n, 1 << 22);
   for (auto _ : state) {
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 14);
     core::TwoLevelBinaryIndex index(&pool);
     benchmark::DoNotOptimize(index.BulkLoad(segs).ok());
@@ -93,7 +93,7 @@ void BM_BuildSolutionB(benchmark::State& state) {
   Rng rng(5);
   auto segs = workload::GenMapLayer(rng, n, 1 << 22);
   for (auto _ : state) {
-    io::DiskManager disk(4096);
+    io::SimDiskManager disk(4096);
     io::BufferPool pool(&disk, 1 << 14);
     core::TwoLevelIntervalIndex index(&pool);
     benchmark::DoNotOptimize(index.BulkLoad(segs).ok());
@@ -108,7 +108,7 @@ void QueryLatency(benchmark::State& state) {
   const uint64_t n = 1 << 15;
   Rng rng(6);
   auto segs = workload::GenMapLayer(rng, n, 1 << 22);
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 14);
   Index index(&pool);
   if (!index.BulkLoad(segs).ok()) {
@@ -152,7 +152,7 @@ void BM_SweepValidate(benchmark::State& state) {
 BENCHMARK(BM_SweepValidate)->Arg(1 << 12)->Arg(1 << 15);
 
 void BM_IntervalStab(benchmark::State& state) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1 << 14);
   itree::IntervalSet set(&pool);
   Rng rng(9);

@@ -35,7 +35,7 @@ int main() {
   }
   std::printf("fault map: %zu NCT segments\n", faults.size());
 
-  segdb::io::DiskManager disk(4096);
+  segdb::io::SimDiskManager disk(4096);
   segdb::io::BufferPool pool(&disk, 1 << 14);
 
   // Survey bearing: direction (5, 2) — a fixed rational slope of 2/5.

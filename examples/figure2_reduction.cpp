@@ -49,7 +49,7 @@ void PrintIds(const char* label, const std::vector<uint64_t>& ids) {
 }  // namespace
 
 int main() {
-  segdb::io::DiskManager disk(4096);
+  segdb::io::SimDiskManager disk(4096);
   segdb::io::BufferPool pool(&disk, 1 << 12);
 
   // Base line x = 0; segments extend right (the paper draws the base line

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   auto map = segdb::workload::GenMapLayer(rng, n, 1 << 22);
   std::printf("map layer: %zu NCT segments\n", map.size());
 
-  segdb::io::DiskManager disk(4096);
+  segdb::io::SimDiskManager disk(4096);
   segdb::io::BufferPool pool(&disk, 1 << 14);
 
   segdb::core::TwoLevelBinaryIndex solution_a(&pool);

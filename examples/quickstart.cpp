@@ -39,7 +39,7 @@ int main() {
   // A simulated disk with 4 KiB blocks and an LRU buffer pool. Every
   // index operation goes through the pool; its miss counter is the I/O
   // cost in the paper's model.
-  segdb::io::DiskManager disk(4096);
+  segdb::io::SimDiskManager disk(4096);
   segdb::io::BufferPool pool(&disk, 1024);
 
   // A tiny "map": a road, a wall, a river and two power lines. The set is

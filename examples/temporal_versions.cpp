@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::printf("version store: %zu versions across %lld keys\n",
               versions.size(), static_cast<long long>(key));
 
-  segdb::io::DiskManager disk(4096);
+  segdb::io::SimDiskManager disk(4096);
   segdb::io::BufferPool pool(&disk, 1 << 14);
   segdb::core::TwoLevelIntervalIndex index(&pool);
   if (auto s = index.BulkLoad(versions); !s.ok()) {

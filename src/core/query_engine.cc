@@ -1,8 +1,10 @@
 #include "core/query_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
+#include "util/check.h"
 #include "util/sync.h"
 
 namespace segdb::core {
@@ -18,7 +20,10 @@ uint32_t ResolveThreads(uint32_t requested) {
 }  // namespace
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
-    : threads_(ResolveThreads(options.threads)) {
+    : threads_(ResolveThreads(options.threads)),
+      max_concurrent_(options.max_concurrent != 0 ? options.max_concurrent
+                                                  : threads_),
+      max_queue_(options.max_queue) {
   if (threads_ > 1) {
     pool_ = std::make_unique<util::ThreadPool>(threads_);
   }
@@ -85,6 +90,106 @@ Status QueryEngine::QueryBatch(
     if (!s.ok()) return std::move(s);
   }
   return Status::OK();
+}
+
+void QueryEngine::GrantWaitersLocked() {
+  // A grant RESERVES the slot: inflight_ goes up here, on the waiter's
+  // behalf, so an arrival taking the fast path between this notify and the
+  // waiter's wake-up still sees the engine at capacity. A granted waiter
+  // that can no longer use its slot (deadline passed while parked) gives
+  // the slot back through the same accounting: --inflight_ then re-grant.
+  while (!waiters_.empty() && inflight_ < max_concurrent_) {
+    Waiter* w = waiters_.front();
+    waiters_.pop_front();
+    ++inflight_;
+    w->admitted = true;
+    w->cv.NotifyOne();
+  }
+}
+
+Status QueryEngine::Serve(const SegmentIndex& index,
+                          const VerticalSegmentQuery& query,
+                          std::vector<geom::Segment>* out,
+                          util::Deadline deadline) {
+  {
+    util::MutexLock lock(&serve_mu_);
+    if (deadline.expired()) {
+      ++sstats_.deadline_exceeded;
+      return Status::DeadlineExceeded("Serve: deadline expired on arrival");
+    }
+    if (inflight_ < max_concurrent_) {
+      ++inflight_;  // fast path: free slot, no queueing
+    } else {
+      if (waiters_.size() >= max_queue_) {
+        ++sstats_.shed_overload;
+        return Status::Overloaded("Serve: admission queue full");
+      }
+      Waiter self;
+      waiters_.push_back(&self);
+      ++sstats_.queued;
+      sstats_.max_queue_depth =
+          std::max<uint64_t>(sstats_.max_queue_depth, waiters_.size());
+      while (!self.admitted) {
+        if (deadline.is_infinite()) {
+          self.cv.Wait(serve_mu_);
+        } else if (!self.cv.WaitUntil(serve_mu_, deadline.when())) {
+          // Timed out — but the grant may have landed in the window
+          // between the clock expiring and this thread re-acquiring the
+          // mutex, so break to the admitted re-check rather than assuming.
+          break;
+        }
+      }
+      if (!self.admitted) {
+        // Expired while queued: withdraw. Still in the deque, because only
+        // a grant removes a waiter and a grant sets admitted.
+        auto it = std::find(waiters_.begin(), waiters_.end(), &self);
+        SEGDB_CHECK(it != waiters_.end());
+        waiters_.erase(it);
+        ++sstats_.deadline_exceeded;
+        return Status::DeadlineExceeded("Serve: deadline expired in queue");
+      }
+      if (deadline.expired()) {
+        // Granted a slot this request can no longer use: give the
+        // reservation back and pass it down the line.
+        --inflight_;
+        GrantWaitersLocked();
+        ++sstats_.deadline_exceeded;
+        return Status::DeadlineExceeded(
+            "Serve: deadline expired while queued for a slot");
+      }
+    }
+    ++sstats_.admitted;
+  }
+
+  // Slot held; run on the calling thread, outside the admission lock.
+  Status status = index.Query(query, out);
+
+  {
+    util::MutexLock lock(&serve_mu_);
+    ++sstats_.completed;
+    --inflight_;
+    GrantWaitersLocked();
+    if (status.ok() && deadline.expired()) {
+      // The work finished but past its deadline — the caller asked for an
+      // answer by `deadline`, and a late answer is a miss, not a success.
+      ++sstats_.deadline_exceeded;
+      status = Status::DeadlineExceeded("Serve: deadline expired during query");
+    }
+  }
+  return status;
+}
+
+ServingStats QueryEngine::serving_stats() const {
+  util::MutexLock lock(&serve_mu_);
+  ServingStats out = sstats_;
+  out.queue_depth = waiters_.size();
+  out.inflight = inflight_;
+  return out;
+}
+
+void QueryEngine::ResetServingStats() {
+  util::MutexLock lock(&serve_mu_);
+  sstats_ = ServingStats{};
 }
 
 }  // namespace segdb::core

@@ -1,26 +1,51 @@
-// Parallel batch-query engine over any SegmentIndex. Queries in a batch
-// are independent reads, so they fan out across a fixed worker pool; the
-// storage layer below (BufferPool / DiskManager read paths) is thread-safe
-// for exactly this pattern. Results keep the batch's ordering: result i is
-// what index.Query(queries[i], ...) appends, byte for byte.
+// Parallel batch-query engine and serving layer over any SegmentIndex.
 //
-// With threads == 1 the engine runs the batch inline on the calling
-// thread, bit-identical to a plain Query loop (the determinism and
-// exactness suites rely on this).
+// QueryBatch: queries in a batch are independent reads, so they fan out
+// across a fixed worker pool; the storage layer below (BufferPool /
+// DiskManager read paths) is thread-safe for exactly this pattern.
+// Results keep the batch's ordering: result i is what
+// index.Query(queries[i], ...) appends, byte for byte. With threads == 1
+// the engine runs the batch inline on the calling thread, bit-identical
+// to a plain Query loop (the determinism and exactness suites rely on
+// this).
 //
-// The batch must not run concurrently with writers of the same index or
+// Serve: the per-request entry point for a server handling independent
+// clients. Each request runs on its *calling* thread (clients bring their
+// own concurrency) but passes admission control first:
+//
+//     arrive -> [deadline expired?] -> kDeadlineExceeded
+//            -> [slot free?]        -> execute
+//            -> [queue full?]       -> kOverloaded (shed; retryable)
+//            -> wait FIFO           -> granted slot -> execute
+//                                   -> deadline passes -> kDeadlineExceeded
+//
+// At most max_concurrent requests execute at once; excess waiters queue
+// (bounded by max_queue) and are granted slots in arrival order as
+// executions finish. A waiter whose deadline passes leaves the queue; a
+// waiter granted a slot it can no longer use hands it to the next in
+// line. Load past the queue bound is shed immediately with the distinct,
+// retryable kOverloaded — a full queue means waiting would only add
+// latency for everyone (the paper's north star is serving heavy traffic
+// as fast as the hardware allows, which at saturation means shedding,
+// not queueing without bound). ServingStats exposes the counters the
+// bench telemetry reports (queue depth, sheds, deadline misses).
+//
+// Neither path may run concurrently with writers of the same index or
 // pool (BulkLoad / Insert / Erase / NewPage / EvictAll): the engine
 // parallelizes readers, it does not add reader-writer isolation.
 #ifndef SEGDB_CORE_QUERY_ENGINE_H_
 #define SEGDB_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "core/segment_index.h"
+#include "util/clock.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace segdb::core {
@@ -29,6 +54,25 @@ struct QueryEngineOptions {
   // Worker threads for batches. 0 = hardware concurrency; 1 = inline
   // (no pool, bit-identical to a serial Query loop).
   uint32_t threads = 0;
+  // Serve admission control: max requests executing concurrently.
+  // 0 = same as threads (after its own 0 -> hardware resolution).
+  uint32_t max_concurrent = 0;
+  // Serve wait queue bound: requests beyond max_concurrent wait here, in
+  // FIFO order; arrivals finding the queue full are shed with
+  // kOverloaded. 0 = never queue (shed the moment all slots are busy).
+  uint32_t max_queue = 64;
+};
+
+struct ServingStats {
+  uint64_t admitted = 0;           // requests that reached execution
+  uint64_t completed = 0;          // executions finished (any status)
+  uint64_t queued = 0;             // requests that waited for a slot
+  uint64_t shed_overload = 0;      // rejected with kOverloaded
+  uint64_t deadline_exceeded = 0;  // expired before, in, or after a slot
+  uint64_t max_queue_depth = 0;    // high-water waiters
+  // Gauges sampled by serving_stats(), not reset by ResetServingStats.
+  uint64_t queue_depth = 0;        // current waiters
+  uint64_t inflight = 0;           // currently executing
 };
 
 class QueryEngine {
@@ -50,9 +94,48 @@ class QueryEngine {
                     std::span<const VerticalSegmentQuery> queries,
                     std::vector<std::vector<geom::Segment>>* results);
 
+  uint32_t max_concurrent() const { return max_concurrent_; }
+  uint32_t max_queue() const { return max_queue_; }
+
+  // Per-request serving entry point (see file comment): admission control
+  // and deadline enforcement around one index.Query, run on the calling
+  // thread once admitted. Thread-safe — any number of client threads may
+  // Serve concurrently against a read-only index. Returns the query's own
+  // status once executed, kOverloaded when shed at a full queue, or
+  // kDeadlineExceeded when the deadline passed before admission, while
+  // queued, or during execution (the result vector is then unspecified).
+  Status Serve(const SegmentIndex& index, const VerticalSegmentQuery& query,
+               std::vector<geom::Segment>* out,
+               util::Deadline deadline = util::Deadline::Infinite());
+
+  // Counters since the last ResetServingStats plus live gauges
+  // (queue_depth, inflight) sampled at the call.
+  ServingStats serving_stats() const;
+  void ResetServingStats();
+
  private:
+  // One queued Serve call, stack-allocated in its own frame. `admitted` is
+  // guarded by serve_mu_; the analysis cannot express a member-of-local
+  // guard, so every access sits visibly inside a serve_mu_ scope instead.
+  struct Waiter {
+    util::CondVar cv;
+    bool admitted = false;
+  };
+
+  // Hands free slots to waiters in FIFO order, reserving the slot
+  // (inflight_ is incremented on the waiter's behalf) so a fast-path
+  // arrival cannot steal it between grant and wake-up.
+  void GrantWaitersLocked() SEGDB_REQUIRES(serve_mu_);
+
   uint32_t threads_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
+
+  uint32_t max_concurrent_;
+  uint32_t max_queue_;
+  mutable util::Mutex serve_mu_;
+  uint32_t inflight_ SEGDB_GUARDED_BY(serve_mu_) = 0;
+  std::deque<Waiter*> waiters_ SEGDB_GUARDED_BY(serve_mu_);
+  ServingStats sstats_ SEGDB_GUARDED_BY(serve_mu_);
 };
 
 }  // namespace segdb::core

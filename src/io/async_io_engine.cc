@@ -1,0 +1,523 @@
+#include "io/async_io_engine.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define SEGDB_HAS_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+#include <unistd.h>
+
+#include <atomic>
+
+namespace segdb::io {
+
+namespace {
+
+std::string ErrnoMsg(const char* what, int err) {
+  std::string msg = what;
+  msg += ": ";
+  msg += std::strerror(err);
+  return msg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Retrying positional read/write (shared by the thread-pool engine and the
+// FileDiskManager metadata path).
+// ---------------------------------------------------------------------------
+
+Status ReadFullAt(int fd, uint8_t* dst, size_t len, uint64_t offset,
+                  PreadFn raw) {
+  if (raw == nullptr) {
+    raw = [](int f, void* b, unsigned long n, long off) -> long {
+      return ::pread(f, b, n, off);
+    };
+  }
+  size_t done = 0;
+  while (done < len) {
+    long n = raw(fd, dst + done, len - done,
+                 static_cast<long>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;  // retryable
+      return Status::IoError(ErrnoMsg("pread", errno));
+    }
+    if (n == 0) {
+      return Status::IoError("pread: unexpected end of file");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFullAt(int fd, const uint8_t* src, size_t len, uint64_t offset,
+                   PwriteFn raw) {
+  if (raw == nullptr) {
+    raw = [](int f, const void* b, unsigned long n, long off) -> long {
+      return ::pwrite(f, b, n, off);
+    };
+  }
+  size_t done = 0;
+  while (done < len) {
+    long n = raw(fd, src + done, len - done,
+                 static_cast<long>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;  // retryable
+      return Status::IoError(ErrnoMsg("pwrite", errno));
+    }
+    if (n == 0) {
+      return Status::IoError("pwrite: wrote zero bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synchronous engine: one blocking syscall per op. The E14 bench baseline.
+// ---------------------------------------------------------------------------
+
+class SyncIoEngine final : public AsyncIoEngine {
+ public:
+  explicit SyncIoEngine(int fd) : fd_(fd) {}
+
+  const char* name() const override { return "sync"; }
+  uint32_t queue_depth() const override { return 1; }
+  uint32_t inflight() const override {
+    return static_cast<uint32_t>(done_.size());
+  }
+
+  Status Start(std::span<IoOp* const> ops) override {
+    for (IoOp* op : ops) {
+      op->status = op->kind == IoOp::Kind::kRead
+                       ? ReadFullAt(fd_, op->buf, op->length, op->offset)
+                       : WriteFullAt(fd_, op->buf, op->length, op->offset);
+      done_.push_back(op);
+    }
+    return Status::OK();
+  }
+
+  Status WaitOne(std::vector<IoOp*>* completed) override {
+    if (done_.empty()) {
+      return Status::FailedPrecondition("WaitOne with no ops in flight");
+    }
+    completed->insert(completed->end(), done_.begin(), done_.end());
+    done_.clear();
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  std::vector<IoOp*> done_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-pool engine: overlaps I/O with N workers issuing pread/pwrite.
+// ---------------------------------------------------------------------------
+
+class ThreadPoolIoEngine final : public AsyncIoEngine {
+ public:
+  ThreadPoolIoEngine(int fd, uint32_t threads, uint32_t queue_depth)
+      : fd_(fd), depth_(queue_depth), pool_(threads) {}
+
+  ~ThreadPoolIoEngine() override {
+    // Drain before the pool joins: queued tasks reference this object.
+    std::vector<IoOp*> sink;
+    while (inflight() > 0) WaitOne(&sink).IgnoreError();
+  }
+
+  const char* name() const override { return "threads"; }
+  uint32_t queue_depth() const override { return depth_; }
+  uint32_t inflight() const override {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+  Status Start(std::span<IoOp* const> ops) override {
+    if (inflight() + ops.size() > depth_) {
+      return Status::FailedPrecondition("Start would exceed queue depth");
+    }
+    inflight_.fetch_add(static_cast<uint32_t>(ops.size()),
+                        std::memory_order_acq_rel);
+    for (IoOp* op : ops) {
+      pool_.Submit([this, op] {
+        op->status = op->kind == IoOp::Kind::kRead
+                         ? ReadFullAt(fd_, op->buf, op->length, op->offset)
+                         : WriteFullAt(fd_, op->buf, op->length, op->offset);
+        {
+          util::MutexLock lock(&mu_);
+          done_.push_back(op);
+        }
+        cv_.NotifyOne();
+      });
+    }
+    return Status::OK();
+  }
+
+  Status WaitOne(std::vector<IoOp*>* completed) override {
+    if (inflight() == 0) {
+      return Status::FailedPrecondition("WaitOne with no ops in flight");
+    }
+    size_t drained;
+    {
+      util::MutexLock lock(&mu_);
+      while (done_.empty()) cv_.Wait(mu_);
+      drained = done_.size();
+      completed->insert(completed->end(), done_.begin(), done_.end());
+      done_.clear();
+    }
+    inflight_.fetch_sub(static_cast<uint32_t>(drained),
+                        std::memory_order_acq_rel);
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  const uint32_t depth_;
+  std::atomic<uint32_t> inflight_{0};
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::vector<IoOp*> done_ SEGDB_GUARDED_BY(mu_);
+  util::ThreadPool pool_;  // last member: joins before the rest destructs
+};
+
+#ifdef SEGDB_HAS_IO_URING
+
+// ---------------------------------------------------------------------------
+// io_uring engine over raw syscalls (no liburing). Single-driver contract
+// means no locking: only the ring head/tail words shared with the kernel
+// need atomic access (std::atomic_ref with acquire/release, mirroring the
+// kernel's smp_load_acquire / smp_store_release pairing).
+// ---------------------------------------------------------------------------
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+class UringIoEngine final : public AsyncIoEngine {
+ public:
+  static Result<std::unique_ptr<AsyncIoEngine>> Create(int fd,
+                                                       uint32_t queue_depth) {
+    auto engine = std::unique_ptr<UringIoEngine>(new UringIoEngine(fd));
+    SEGDB_RETURN_IF_ERROR(engine->Init(queue_depth));
+    return {std::move(engine)};
+  }
+
+  ~UringIoEngine() override {
+    if (sq_mem_ != MAP_FAILED) ::munmap(sq_mem_, sq_bytes_);
+    if (cq_mem_ != MAP_FAILED && cq_mem_ != sq_mem_) {
+      ::munmap(cq_mem_, cq_bytes_);
+    }
+    if (sqe_mem_ != MAP_FAILED) ::munmap(sqe_mem_, sqe_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  const char* name() const override { return "uring"; }
+  uint32_t queue_depth() const override { return depth_; }
+  uint32_t inflight() const override { return inflight_; }
+
+  Status Start(std::span<IoOp* const> ops) override {
+    if (inflight_ + ops.size() > depth_) {
+      return Status::FailedPrecondition("Start would exceed queue depth");
+    }
+    for (IoOp* op : ops) {
+      uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = Slot{op, 0};
+      PushSqe(slot);
+      ++inflight_;
+    }
+    return Submit(static_cast<unsigned>(ops.size()));
+  }
+
+  Status WaitOne(std::vector<IoOp*>* completed) override {
+    if (inflight_ == 0) {
+      return Status::FailedPrecondition("WaitOne with no ops in flight");
+    }
+    size_t before = completed->size();
+    while (completed->size() == before) {
+      int rc = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMsg("io_uring_enter(wait)", errno));
+      }
+      SEGDB_RETURN_IF_ERROR(Reap(completed));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Slot {
+    IoOp* op = nullptr;
+    uint32_t done = 0;  // bytes transferred so far (short-transfer resume)
+  };
+
+  explicit UringIoEngine(int fd) : file_fd_(fd) {}
+
+  Status Init(uint32_t queue_depth) {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    ring_fd_ = SysIoUringSetup(queue_depth, &params);
+    if (ring_fd_ < 0) {
+      return Status::IoError(ErrnoMsg("io_uring_setup", errno));
+    }
+    depth_ = params.sq_entries;  // kernel may round up; use what it gave us
+    sq_bytes_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+    cq_bytes_ =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_bytes_ > sq_bytes_) sq_bytes_ = cq_bytes_;
+    sq_mem_ = ::mmap(nullptr, sq_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mem_ == MAP_FAILED) {
+      return Status::IoError(ErrnoMsg("mmap(sq ring)", errno));
+    }
+    if (single_mmap) {
+      cq_mem_ = sq_mem_;
+    } else {
+      cq_mem_ = ::mmap(nullptr, cq_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_,
+                       IORING_OFF_CQ_RING);
+      if (cq_mem_ == MAP_FAILED) {
+        return Status::IoError(ErrnoMsg("mmap(cq ring)", errno));
+      }
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqe_mem_ = ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_mem_ == MAP_FAILED) {
+      return Status::IoError(ErrnoMsg("mmap(sqes)", errno));
+    }
+
+    auto* sq = static_cast<uint8_t*>(sq_mem_);
+    sq_head_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + params.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_mem_);
+    cq_head_ = reinterpret_cast<uint32_t*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<uint32_t*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    sqes_ = static_cast<io_uring_sqe*>(sqe_mem_);
+
+    slots_.resize(depth_);
+    free_slots_.reserve(depth_);
+    for (uint32_t i = 0; i < depth_; ++i) {
+      free_slots_.push_back(depth_ - 1 - i);
+    }
+    return Status::OK();
+  }
+
+  // Queues one SQE resuming the slot's op at its current progress. The
+  // caller advances the tail visible to the kernel via Submit().
+  void PushSqe(uint32_t slot) {
+    const Slot& s = slots_[slot];
+    uint32_t tail = std::atomic_ref<uint32_t>(*sq_tail_).load(
+        std::memory_order_relaxed);
+    uint32_t index = tail & sq_mask_;
+    io_uring_sqe& sqe = sqes_[index];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = s.op->kind == IoOp::Kind::kRead ? IORING_OP_READ
+                                                 : IORING_OP_WRITE;
+    sqe.fd = file_fd_;
+    sqe.addr = reinterpret_cast<uint64_t>(s.op->buf + s.done);
+    sqe.len = s.op->length - s.done;
+    sqe.off = s.op->offset + s.done;
+    sqe.user_data = slot;
+    sq_array_[index] = index;
+    std::atomic_ref<uint32_t>(*sq_tail_).store(tail + 1,
+                                               std::memory_order_release);
+  }
+
+  Status Submit(unsigned to_submit) {
+    while (to_submit > 0) {
+      int rc = SysIoUringEnter(ring_fd_, to_submit, 0, 0);
+      if (rc < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return Status::IoError(ErrnoMsg("io_uring_enter(submit)", errno));
+      }
+      to_submit -= static_cast<unsigned>(rc);
+    }
+    return Status::OK();
+  }
+
+  // Drains the completion ring. Short transfers and EINTR-class results
+  // are resubmitted from where they left off; finished ops are appended
+  // to `completed`.
+  Status Reap(std::vector<IoOp*>* completed) {
+    unsigned resubmits = 0;
+    uint32_t head = std::atomic_ref<uint32_t>(*cq_head_).load(
+        std::memory_order_relaxed);
+    for (;;) {
+      uint32_t tail = std::atomic_ref<uint32_t>(*cq_tail_).load(
+          std::memory_order_acquire);
+      if (head == tail) break;
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      uint32_t slot = static_cast<uint32_t>(cqe.user_data);
+      Slot& s = slots_[slot];
+      int32_t res = cqe.res;
+      ++head;
+      std::atomic_ref<uint32_t>(*cq_head_).store(head,
+                                                 std::memory_order_release);
+      if (res == -EINTR || res == -EAGAIN) {
+        PushSqe(slot);
+        ++resubmits;
+        continue;
+      }
+      if (res < 0) {
+        s.op->status = Status::IoError(ErrnoMsg(
+            s.op->kind == IoOp::Kind::kRead ? "uring read" : "uring write",
+            -res));
+      } else {
+        s.done += static_cast<uint32_t>(res);
+        if (res == 0 && s.done < s.op->length) {
+          s.op->status = Status::IoError("uring: unexpected end of file");
+        } else if (s.done < s.op->length) {
+          PushSqe(slot);  // short transfer: resume the remainder
+          ++resubmits;
+          continue;
+        } else {
+          s.op->status = Status::OK();
+        }
+      }
+      completed->push_back(s.op);
+      free_slots_.push_back(slot);
+      --inflight_;
+    }
+    if (resubmits > 0) return Submit(resubmits);
+    return Status::OK();
+  }
+
+  const int file_fd_;
+  int ring_fd_ = -1;
+  uint32_t depth_ = 0;
+  void* sq_mem_ = MAP_FAILED;
+  void* cq_mem_ = MAP_FAILED;
+  void* sqe_mem_ = MAP_FAILED;
+  size_t sq_bytes_ = 0;
+  size_t cq_bytes_ = 0;
+  size_t sqe_bytes_ = 0;
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t inflight_ = 0;
+};
+
+#endif  // SEGDB_HAS_IO_URING
+
+}  // namespace
+
+bool IoUringSupported() {
+#ifdef SEGDB_HAS_IO_URING
+  static const bool supported = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    int fd = SysIoUringSetup(1, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Result<std::unique_ptr<AsyncIoEngine>> CreateAsyncIoEngine(
+    int fd, const AsyncIoEngineOptions& options) {
+  IoEngineKind kind = options.kind;
+  if (kind == IoEngineKind::kAuto) {
+    if (const char* env = std::getenv("SEGDB_IO_ENGINE")) {
+      std::string v = env;
+      if (v == "uring" || v == "io_uring") {
+        kind = IoEngineKind::kIoUring;
+      } else if (v == "threads") {
+        kind = IoEngineKind::kThreads;
+      } else if (v == "sync") {
+        kind = IoEngineKind::kSync;
+      } else if (!v.empty()) {
+        return Status::InvalidArgument(
+            "SEGDB_IO_ENGINE must be uring|threads|sync");
+      }
+    }
+  }
+  if (kind == IoEngineKind::kAuto) {
+    kind = IoUringSupported() ? IoEngineKind::kIoUring
+                              : IoEngineKind::kThreads;
+  }
+  if (options.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+  switch (kind) {
+    case IoEngineKind::kIoUring:
+#ifdef SEGDB_HAS_IO_URING
+      if (!IoUringSupported()) {
+        return Status::InvalidArgument(
+            "io_uring engine requested but the kernel rejects ring setup");
+      }
+      return UringIoEngine::Create(fd, options.queue_depth);
+#else
+      return Status::InvalidArgument(
+          "io_uring engine requested but built without <linux/io_uring.h>");
+#endif
+    case IoEngineKind::kThreads: {
+      if (options.threads == 0) {
+        return Status::InvalidArgument("threads must be positive");
+      }
+      return {std::make_unique<ThreadPoolIoEngine>(fd, options.threads,
+                                                   options.queue_depth)};
+    }
+    case IoEngineKind::kSync:
+      return {std::make_unique<SyncIoEngine>(fd)};
+    case IoEngineKind::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable engine kind");
+}
+
+Status RunToCompletion(AsyncIoEngine* engine, std::span<IoOp* const> ops) {
+  std::vector<IoOp*> completed;
+  size_t next = 0;
+  while (next < ops.size() || engine->inflight() > 0) {
+    uint32_t room = engine->queue_depth() - engine->inflight();
+    if (room > 0 && next < ops.size()) {
+      size_t take = std::min<size_t>(room, ops.size() - next);
+      SEGDB_RETURN_IF_ERROR(engine->Start(ops.subspan(next, take)));
+      next += take;
+    }
+    if (engine->inflight() > 0) {
+      SEGDB_RETURN_IF_ERROR(engine->WaitOne(&completed));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace segdb::io

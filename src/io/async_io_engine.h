@@ -1,0 +1,121 @@
+// Asynchronous block I/O against a real file descriptor, behind one
+// interface so the rest of the tree never touches a syscall. Three
+// engines implement it:
+//
+//   - io_uring ("uring"): raw-syscall submission/completion rings (no
+//     liburing dependency) — one io_uring_enter can submit a whole batch
+//     of page reads and the kernel completes them out of order. This is
+//     the path that makes the paper's log_B terms pay off on a device:
+//     B-sized transfers only beat binary search when the per-block
+//     latency is overlapped, not serialized.
+//   - thread pool ("threads"): N workers issuing pread/pwrite. Works on
+//     every kernel (CI runners may lack io_uring or sandbox it away);
+//     overlaps I/O via OS threads instead of a submission ring.
+//   - synchronous ("sync"): one blocking syscall per op, queue depth 1.
+//     Exists as the bench baseline: E14 measures batched engines against
+//     exactly this.
+//
+// Selection is runtime: CreateAsyncIoEngine(kAuto) probes io_uring
+// support and falls back to the thread pool; the SEGDB_IO_ENGINE
+// environment variable (uring | threads | sync) overrides for tests/CI.
+//
+// Concurrency: an engine instance is externally synchronized — one
+// caller drives Start/WaitOne at a time (io::FileDiskManager serializes
+// behind its own mutex). The thread-pool engine is internally threaded
+// but its public surface keeps the same single-driver contract.
+#ifndef SEGDB_IO_ASYNC_IO_ENGINE_H_
+#define SEGDB_IO_ASYNC_IO_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace segdb::io {
+
+// One async operation: transfer `length` bytes between `buf` and the file
+// at `offset`. The caller owns op and buffer until the op completes (is
+// returned by WaitOne or a Start error). `status` is the completion
+// result; short transfers are retried internally and surface only as
+// kIoError if the file genuinely ends early.
+struct IoOp {
+  enum class Kind : uint8_t { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint8_t* buf = nullptr;
+  Status status;
+};
+
+class AsyncIoEngine {
+ public:
+  virtual ~AsyncIoEngine() = default;
+
+  AsyncIoEngine() = default;
+  AsyncIoEngine(const AsyncIoEngine&) = delete;
+  AsyncIoEngine& operator=(const AsyncIoEngine&) = delete;
+
+  // "uring" | "threads" | "sync" — surfaced in bench telemetry.
+  virtual const char* name() const = 0;
+
+  // Maximum ops in flight. Start requires inflight() + ops.size() to fit.
+  virtual uint32_t queue_depth() const = 0;
+  virtual uint32_t inflight() const = 0;
+
+  // Submits ops for execution. Returns non-OK only for submission-level
+  // failures (over queue depth, ring submit error); per-op I/O errors are
+  // reported through IoOp::status at completion. The sync engine executes
+  // inline and makes every op immediately waitable.
+  virtual Status Start(std::span<IoOp* const> ops) = 0;
+
+  // Blocks until at least one in-flight op completes, then appends every
+  // op completed so far to `completed` (each with status set). Requires
+  // inflight() > 0.
+  virtual Status WaitOne(std::vector<IoOp*>* completed) = 0;
+};
+
+enum class IoEngineKind : uint8_t { kAuto, kIoUring, kThreads, kSync };
+
+struct AsyncIoEngineOptions {
+  IoEngineKind kind = IoEngineKind::kAuto;
+  // Submission ring size / max overlapped ops. The scheduler batches up
+  // to this many page reads per submission wave.
+  uint32_t queue_depth = 32;
+  // Worker count for the thread-pool engine.
+  uint32_t threads = 4;
+};
+
+// True if this kernel accepts io_uring ring setup (probed once).
+bool IoUringSupported();
+
+// Builds an engine over `fd` (not owned; must outlive the engine).
+// kAuto resolves SEGDB_IO_ENGINE if set, else io_uring when supported,
+// else the thread pool. Fails with kInvalidArgument for an explicit
+// kIoUring on a kernel without support.
+Result<std::unique_ptr<AsyncIoEngine>> CreateAsyncIoEngine(
+    int fd, const AsyncIoEngineOptions& options = {});
+
+// Drives `ops` through the engine respecting its queue depth and blocks
+// until all complete. Returns the first submission-level error; per-op
+// results land in each op's status.
+Status RunToCompletion(AsyncIoEngine* engine, std::span<IoOp* const> ops);
+
+// pread/pwrite with EINTR and short-transfer retry. The function-pointer
+// seam lets tests inject syscall behaviors (EINTR storms, short reads)
+// without a real flaky device; production callers pass nullptr for the
+// real syscalls. Exposed here because the thread-pool engine and the
+// FileDiskManager metadata path share them.
+using PreadFn = long (*)(int fd, void* buf, unsigned long count,
+                         long offset);
+using PwriteFn = long (*)(int fd, const void* buf, unsigned long count,
+                          long offset);
+Status ReadFullAt(int fd, uint8_t* dst, size_t len, uint64_t offset,
+                  PreadFn raw = nullptr);
+Status WriteFullAt(int fd, const uint8_t* src, size_t len, uint64_t offset,
+                   PwriteFn raw = nullptr);
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_ASYNC_IO_ENGINE_H_

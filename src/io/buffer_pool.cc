@@ -302,6 +302,17 @@ Status BufferPool::FreePage(PageId id) {
 
 void BufferPool::Prefetch(std::span<const PageId> ids) {
   disk_->PrefetchPages(ids);
+
+  // Phase 1 — claim a free frame per stageable page, under its shard's
+  // lock. A claimed frame carries the page id and the stager's pin but no
+  // page-table entry, so demand fetches neither see it nor evict it; the
+  // `staging` flag tells the audit what state it is in.
+  struct Claim {
+    PageId id;
+    size_t frame;
+  };
+  std::vector<Claim> claims;
+  claims.reserve(ids.size());
   for (PageId id : ids) {
     if (id == kInvalidPageId) continue;
     Shard& shard = ShardFor(id);
@@ -312,30 +323,66 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
     // tier/page-table disjointness invariant.
     if (shard.ctier.find(id) != shard.ctier.end()) continue;
     // Free frames only: read-ahead must never displace demand-resident
-    // pages, or it would perturb the measured hit/miss pattern.
+    // pages, or it would perturb the measured hit/miss pattern. A frame
+    // claimed earlier in this batch has its id set, so it is not free and
+    // a duplicate id in `ids` claims nothing twice.
     size_t free_frame = frames_.size();
+    bool already_claimed = false;
     for (size_t idx : shard.frames) {
-      if (frames_[idx].id == kInvalidPageId) {
-        free_frame = idx;
+      Frame& g = frames_[idx];
+      if (g.id == id && g.staging) {
+        already_claimed = true;
         break;
       }
+      if (free_frame == frames_.size() && g.id == kInvalidPageId) {
+        free_frame = idx;
+      }
     }
-    if (free_frame == frames_.size()) continue;
+    if (already_claimed || free_frame == frames_.size()) continue;
     Frame& f = frames_[free_frame];
-    // PeekPage copies the bytes without counting a demand read; the
-    // charge is taken by the first Fetch of the staged page. On a failed
-    // read (e.g. an injected fault) the frame must stay FREE — unmapped,
-    // unpinned, clean — so the stage is a no-op: f.id is still
-    // kInvalidPageId and no page-table entry exists yet, and the partial
-    // bytes in f.page are unreachable until some later read succeeds into
-    // the frame. The fault-injection suite pins this down.
-    if (!disk_->PeekPage(id, &f.page).ok()) continue;
     f.id = id;
-    f.pin_count.store(0, std::memory_order_relaxed);
+    f.pin_count.store(1, std::memory_order_relaxed);
     f.dirty.store(false, std::memory_order_relaxed);
+    f.prefetched = false;
+    f.staging = true;
+    claims.push_back(Claim{id, free_frame});
+  }
+  if (claims.empty()) return;
+
+  // Phase 2 — one uncounted bulk read for the whole batch, outside every
+  // shard lock. The file backend turns this span into deduped, merged,
+  // queue-depth-bounded async submissions; the sim backend memcpys. Either
+  // way no demand read is charged — each page's miss lands at its first
+  // Fetch, which keeps cold I/O counts bit-identical across backends.
+  std::vector<PageFill> fills;
+  fills.reserve(claims.size());
+  for (const Claim& c : claims) {
+    fills.push_back(PageFill{c.id, &frames_[c.frame].page, Status::OK()});
+  }
+  disk_->PeekPagesBatch(fills);
+
+  // Phase 3 — install or release, re-locking each shard. On a failed read
+  // (e.g. an injected fault) the frame goes back to FREE — unmapped,
+  // unpinned, clean — so the stage is a no-op and the partial bytes are
+  // unreachable; the fault-injection suite pins this down. A page that
+  // became resident meanwhile (demand fetch raced the fill) also releases
+  // the claim: the table entry wins.
+  for (size_t i = 0; i < claims.size(); ++i) {
+    const Claim& c = claims[i];
+    Shard& shard = ShardFor(c.id);
+    util::MutexLock lock(&shard.mu);
+    Frame& f = frames_[c.frame];
+    f.staging = false;
+    if (!fills[i].status.ok() ||
+        shard.page_table.find(c.id) != shard.page_table.end()) {
+      f.id = kInvalidPageId;
+      f.pin_count.store(0, std::memory_order_relaxed);
+      continue;
+    }
     f.prefetched = true;
+    f.pin_count.store(0, std::memory_order_relaxed);
     f.lru_tick.store(NextTick(), std::memory_order_relaxed);
-    shard.page_table[id] = free_frame;
+    shard.page_table[c.id] = c.frame;
     ++shard.stats.prefetches;
   }
 }
@@ -447,6 +494,26 @@ Status BufferPool::CheckInvariants() const {
         }
         if (f.dirty.load(std::memory_order_relaxed)) {
           return Status::Corruption("empty frame marked dirty");
+        }
+        if (f.staging) {
+          return Status::Corruption("staging frame with no page id");
+        }
+        continue;
+      }
+      if (f.staging) {
+        // Claimed by an in-flight batched Prefetch: holds exactly the
+        // stager's pin, is not yet mapped (so not resident), and its page
+        // bytes are undefined until the fill completes.
+        if (f.pin_count.load(std::memory_order_relaxed) != 1) {
+          return Status::Corruption(
+              "staging frame must hold exactly the stager's pin");
+        }
+        if (f.prefetched) {
+          return Status::Corruption("staging frame already marked staged");
+        }
+        auto claimed = shard.page_table.find(f.id);
+        if (claimed != shard.page_table.end() && claimed->second == idx) {
+          return Status::Corruption("staging frame is in the page table");
         }
         continue;
       }

@@ -154,6 +154,13 @@ class BufferPool {
   // page still counts one miss (the I/O the paper's model charges) but
   // needs no physical read. Never evicts; pages that don't fit or fail to
   // read are silently skipped. Thread-safe.
+  //
+  // Completion-based: frames are claimed first (pinned, `staging`), then
+  // every claimed page is filled in ONE DiskManager::PeekPagesBatch — on
+  // the file backend that is a single batched async submission through
+  // the I/O scheduler — and installed as fills complete. Cold I/O counts
+  // are unchanged: the batch is uncounted, and each staged page's miss is
+  // still charged at its first demand Fetch.
   void Prefetch(std::span<const PageId> ids);
 
   // Writes back all dirty frames (pages stay resident). Quiescent only.
@@ -195,6 +202,12 @@ class BufferPool {
     // by SEGDB_REQUIRES on every helper that touches it instead of
     // SEGDB_GUARDED_BY.
     bool prefetched = false;
+    // Claimed by an in-flight batched Prefetch: the frame holds the
+    // stager's pin and its id, but is NOT in the page table until the
+    // asynchronous fill completes and installs it (or releases the frame
+    // on a failed read / lost race with a demand fetch). Same guard story
+    // as `prefetched`.
+    bool staging = false;
     std::atomic<uint64_t> lru_tick{0};
   };
 

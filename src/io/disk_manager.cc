@@ -4,105 +4,132 @@
 
 namespace segdb::io {
 
-DiskManager::DiskManager(uint32_t page_size_bytes)
-    : page_size_(page_size_bytes) {}
+void DiskManager::PeekPagesBatch(std::span<PageFill> fills) {
+  for (PageFill& fill : fills) {
+    fill.status = PeekPage(fill.id, fill.out);
+  }
+}
 
-bool DiskManager::IsLive(PageId id) const {
+DiskStats DiskManager::stats() const {
+  DiskStats s;
+  s.reads = counters_.reads.load(std::memory_order_relaxed);
+  s.writes = counters_.writes.load(std::memory_order_relaxed);
+  s.allocations = counters_.allocations.load(std::memory_order_relaxed);
+  s.frees = counters_.frees.load(std::memory_order_relaxed);
+  s.prefetch_hints =
+      counters_.prefetch_hints.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DiskManager::ResetStats() {
+  counters_.reads.store(0, std::memory_order_relaxed);
+  counters_.writes.store(0, std::memory_order_relaxed);
+  counters_.allocations.store(0, std::memory_order_relaxed);
+  counters_.frees.store(0, std::memory_order_relaxed);
+  counters_.prefetch_hints.store(0, std::memory_order_relaxed);
+}
+
+SimDiskManager::SimDiskManager(uint32_t page_size_bytes)
+    : DiskManager(page_size_bytes) {}
+
+bool SimDiskManager::IsLive(PageId id) const {
   return id < store_.size() && live_[id];
 }
 
-Result<PageId> DiskManager::AllocatePage() {
+Result<PageId> SimDiskManager::AllocatePage() {
   PageId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
     free_list_.pop_back();
     live_[id] = true;
-    std::memset(store_[id].get(), 0, page_size_);
+    std::memset(store_[id].get(), 0, page_size());
   } else {
     if (store_.size() >= kInvalidPageId) {
       return Status::ResourceExhausted("disk page-id space exhausted");
     }
     id = static_cast<PageId>(store_.size());
-    store_.push_back(std::make_unique<uint8_t[]>(page_size_));
-    std::memset(store_.back().get(), 0, page_size_);
+    store_.push_back(std::make_unique<uint8_t[]>(page_size()));
+    std::memset(store_.back().get(), 0, page_size());
     live_.push_back(true);
   }
-  allocations_.fetch_add(1, std::memory_order_relaxed);
+  counters_.allocations.fetch_add(1, std::memory_order_relaxed);
   ++pages_in_use_;
   if (pages_in_use_ > high_water_) high_water_ = pages_in_use_;
   return id;
 }
 
-Status DiskManager::FreePage(PageId id) {
+Status SimDiskManager::FreePage(PageId id) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("FreePage: page not allocated");
   }
   live_[id] = false;
   free_list_.push_back(id);
-  frees_.fetch_add(1, std::memory_order_relaxed);
+  counters_.frees.fetch_add(1, std::memory_order_relaxed);
   --pages_in_use_;
   return Status::OK();
 }
 
-Status DiskManager::ReadPage(PageId id, Page* out) {
+Status SimDiskManager::ReadPage(PageId id, Page* out) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("ReadPage: page not allocated");
   }
-  if (out->size() != page_size_) {
+  if (out->size() != page_size()) {
     return Status::InvalidArgument("ReadPage: page buffer size mismatch");
   }
-  std::memcpy(out->data(), store_[id].get(), page_size_);
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(out->data(), store_[id].get(), page_size());
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status DiskManager::PeekPage(PageId id, Page* out) const {
+Status SimDiskManager::PeekPage(PageId id, Page* out) const {
   if (!IsLive(id)) {
     return Status::InvalidArgument("PeekPage: page not allocated");
   }
-  if (out->size() != page_size_) {
+  if (out->size() != page_size()) {
     return Status::InvalidArgument("PeekPage: page buffer size mismatch");
   }
-  std::memcpy(out->data(), store_[id].get(), page_size_);
+  std::memcpy(out->data(), store_[id].get(), page_size());
   return Status::OK();
 }
 
-Status DiskManager::WritePage(PageId id, const Page& page) {
+Status SimDiskManager::WritePage(PageId id, const Page& page) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("WritePage: page not allocated");
   }
-  if (page.size() != page_size_) {
+  if (page.size() != page_size()) {
     return Status::InvalidArgument("WritePage: page buffer size mismatch");
   }
-  std::memcpy(store_[id].get(), page.data(), page_size_);
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(store_[id].get(), page.data(), page_size());
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-void DiskManager::PrefetchPages(std::span<const PageId> ids) {
+Status SimDiskManager::WritePagePrefix(PageId id, const Page& page,
+                                       uint32_t prefix_bytes) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("WritePagePrefix: page not allocated");
+  }
+  if (page.size() != page_size()) {
+    return Status::InvalidArgument(
+        "WritePagePrefix: page buffer size mismatch");
+  }
+  if (prefix_bytes == 0 || prefix_bytes >= page_size()) {
+    return Status::InvalidArgument(
+        "WritePagePrefix: prefix must be a non-empty strict prefix");
+  }
+  std::memcpy(store_[id].get(), page.data(), prefix_bytes);
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void SimDiskManager::PrefetchPages(std::span<const PageId> ids) {
   uint64_t hinted = 0;
   for (PageId id : ids) {
     if (IsLive(id)) ++hinted;
   }
-  if (hinted != 0) prefetch_hints_.fetch_add(hinted, std::memory_order_relaxed);
-}
-
-DiskStats DiskManager::stats() const {
-  DiskStats s;
-  s.reads = reads_.load(std::memory_order_relaxed);
-  s.writes = writes_.load(std::memory_order_relaxed);
-  s.allocations = allocations_.load(std::memory_order_relaxed);
-  s.frees = frees_.load(std::memory_order_relaxed);
-  s.prefetch_hints = prefetch_hints_.load(std::memory_order_relaxed);
-  return s;
-}
-
-void DiskManager::ResetStats() {
-  reads_.store(0, std::memory_order_relaxed);
-  writes_.store(0, std::memory_order_relaxed);
-  allocations_.store(0, std::memory_order_relaxed);
-  frees_.store(0, std::memory_order_relaxed);
-  prefetch_hints_.store(0, std::memory_order_relaxed);
+  if (hinted != 0) {
+    counters_.prefetch_hints.fetch_add(hinted, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace segdb::io

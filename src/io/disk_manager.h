@@ -1,16 +1,27 @@
-// Simulated secondary storage. The paper's cost model counts I/O
-// operations — block reads/writes of B records each. DiskManager provides
-// exactly that abstraction: an addressable array of fixed-size pages with
-// read/write/allocate/free and per-operation counters. Backing memory is
-// RAM, which is irrelevant to the measured quantity (page transfers).
+// Secondary storage behind the buffer pool. The paper's cost model counts
+// I/O operations — block reads/writes of B records each. DiskManager is
+// the abstract device contract providing exactly that abstraction: an
+// addressable array of fixed-size pages with read/write/allocate/free and
+// per-operation counters. Two backends implement it:
 //
-// Concurrency: the read path — ReadPage, PeekPage, PrefetchPages, the
-// stats snapshot — is safe from any number of threads (counters are
-// atomics; the page array is only ever read). Everything that mutates the
-// page set or page contents — AllocatePage, FreePage, WritePage,
-// ResetStats — requires external synchronization with no concurrent
-// readers; the BufferPool enforces this by funnelling writes through its
-// quiescent writer path.
+//   - SimDiskManager (this header): RAM-backed simulation. Backing memory
+//     is irrelevant to the measured quantity (page transfers), so every
+//     model-level experiment runs here.
+//   - io::FileDiskManager (file_disk_manager.h): a real file with
+//     O_DIRECT + batched asynchronous reads through an AsyncIoEngine
+//     (io_uring or a thread-pool fallback). Same counter semantics, so
+//     golden I/O counts are bit-identical across backends.
+//
+// io::FaultInjectingDiskManager composes over either backend, injecting a
+// seeded fault plan above the device.
+//
+// Concurrency: the read path — ReadPage, PeekPage, PeekPagesBatch,
+// PrefetchPages, the stats snapshot — is safe from any number of threads
+// (counters are atomics; the page set is only ever read). Everything that
+// mutates the page set or page contents — AllocatePage, FreePage,
+// WritePage, ResetStats — requires external synchronization with no
+// concurrent readers; the BufferPool enforces this by funnelling writes
+// through its quiescent writer path.
 //
 // Lock discipline (DESIGN.md section 12): DiskManager intentionally holds
 // NO capability of its own — there is no mutex here for the thread-safety
@@ -42,14 +53,24 @@ struct DiskStats {
   uint64_t prefetch_hints = 0;  // pages named in PrefetchPages calls
 };
 
-// The five page operations are virtual so io::FaultInjectingDiskManager can
-// interpose a seeded fault plan between the pool and the backing store; the
-// base class remains the reliable device every other test uses.
+// One page of an uncounted bulk read (PeekPagesBatch): the device fills
+// `out` (which must match the page size) and records the per-page outcome
+// in `status`. Pages are attempted in order, so a fault-injecting wrapper
+// draws exactly one decision per fill, same as a PeekPage loop.
+struct PageFill {
+  PageId id = kInvalidPageId;
+  Page* out = nullptr;
+  Status status;
+};
+
+// Abstract device. The page operations are virtual so backends can differ
+// in storage (RAM vs. a real file) and so io::FaultInjectingDiskManager
+// can interpose a seeded fault plan between the pool and any backend.
 class DiskManager {
  public:
-  // `page_size_bytes` is the simulated block size; it determines B (records
+  // `page_size_bytes` is the device block size; it determines B (records
   // per block) for every structure built on this disk.
-  explicit DiskManager(uint32_t page_size_bytes);
+  explicit DiskManager(uint32_t page_size_bytes) : page_size_(page_size_bytes) {}
   virtual ~DiskManager() = default;
 
   DiskManager(const DiskManager&) = delete;
@@ -58,53 +79,95 @@ class DiskManager {
   uint32_t page_size() const { return page_size_; }
 
   // Allocates a zeroed page and returns its id.
-  virtual Result<PageId> AllocatePage();
+  virtual Result<PageId> AllocatePage() = 0;
 
   // Returns a page to the free list. The caller must not use the id again.
-  // Free is a metadata operation on the simulated device and is defined to
-  // be reliable (never injected with faults): rollback and rebuild paths
+  // Free is a metadata operation on the device and is defined to be
+  // reliable (never injected with faults): rollback and rebuild paths
   // depend on being able to return pages unconditionally.
-  virtual Status FreePage(PageId id);
+  virtual Status FreePage(PageId id) = 0;
 
   // Copies the page contents into `out` (which must have matching size).
   // Counts one physical read.
-  virtual Status ReadPage(PageId id, Page* out);
+  virtual Status ReadPage(PageId id, Page* out) = 0;
 
   // Like ReadPage but counts nothing — the buffer pool's audit compares
   // resident frames against disk without perturbing the I/O measurement
   // protocol, and Prefetch stages pages whose read is charged later.
-  virtual Status PeekPage(PageId id, Page* out) const;
+  virtual Status PeekPage(PageId id, Page* out) const = 0;
 
   // Stores the page contents. Counts one physical write.
-  virtual Status WritePage(PageId id, const Page& page);
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  // Stores only the first `prefix_bytes` of `page`; the rest of the stored
+  // page keeps its old bytes. This is the torn-write hook used by
+  // io::FaultInjectingDiskManager — on a real file the write is genuinely
+  // truncated. Requires 0 < prefix_bytes < page_size. Counts one physical
+  // write (the prefix did reach the device).
+  virtual Status WritePagePrefix(PageId id, const Page& page,
+                                 uint32_t prefix_bytes) = 0;
+
+  // Uncounted bulk read of many pages (the buffer pool's prefetch fill).
+  // Backends with an async engine batch the whole span into one
+  // submission; the default is a PeekPage loop in fill order.
+  virtual void PeekPagesBatch(std::span<PageFill> fills);
 
   // Read-ahead hint: a real device would queue the block reads here; the
-  // RAM-backed simulation only counts the hinted pages (invalid or dead
-  // ids are ignored). Thread-safe.
-  void PrefetchPages(std::span<const PageId> ids);
+  // simulation only counts the hinted pages (invalid or dead ids are
+  // ignored). Thread-safe.
+  virtual void PrefetchPages(std::span<const PageId> ids) = 0;
 
   // Number of pages currently allocated (space-usage experiments).
-  uint64_t pages_in_use() const { return pages_in_use_; }
-  uint64_t high_water_pages() const { return high_water_; }
+  virtual uint64_t pages_in_use() const = 0;
+  virtual uint64_t high_water_pages() const = 0;
 
-  // Snapshot of the atomic counters.
-  DiskStats stats() const;
-  void ResetStats();
+  // Snapshot of the atomic counters. Virtual so a delegating wrapper
+  // reports its backend's counters instead of its own (never-touched)
+  // block.
+  virtual DiskStats stats() const;
+  virtual void ResetStats();
+
+ protected:
+  // The model's op counters, shared by the concrete backends. Atomics:
+  // the read path bumps them from any number of threads.
+  struct Counters {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> allocations{0};
+    std::atomic<uint64_t> frees{0};
+    std::atomic<uint64_t> prefetch_hints{0};
+  };
+  Counters counters_;
+
+ private:
+  const uint32_t page_size_;
+};
+
+// RAM-backed simulated device: the original backend every model-level
+// experiment runs on.
+class SimDiskManager : public DiskManager {
+ public:
+  explicit SimDiskManager(uint32_t page_size_bytes);
+
+  Result<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status PeekPage(PageId id, Page* out) const override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status WritePagePrefix(PageId id, const Page& page,
+                         uint32_t prefix_bytes) override;
+  void PrefetchPages(std::span<const PageId> ids) override;
+  uint64_t pages_in_use() const override { return pages_in_use_; }
+  uint64_t high_water_pages() const override { return high_water_; }
 
  private:
   bool IsLive(PageId id) const;
 
-  const uint32_t page_size_;
   std::vector<std::unique_ptr<uint8_t[]>> store_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   uint64_t pages_in_use_ = 0;
   uint64_t high_water_ = 0;
-  std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> allocations_{0};
-  std::atomic<uint64_t> frees_{0};
-  std::atomic<uint64_t> prefetch_hints_{0};
 };
 
 }  // namespace segdb::io

@@ -1,7 +1,8 @@
 #include "io/fault_injection.h"
 
-#include <cstring>
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace segdb::io {
 
@@ -80,12 +81,16 @@ Result<PageId> FaultInjectingDiskManager::AllocatePage() {
     Status fate = Decide(Op::kAlloc, kInvalidPageId, &unused);
     if (!fate.ok()) return fate;
   }
-  Result<PageId> id = DiskManager::AllocatePage();
+  Result<PageId> id = base_->AllocatePage();
   if (id.ok()) {
     util::MutexLock lock(&mu_);
     if (enabled_) ++allocs_granted_;
   }
   return id;
+}
+
+Status FaultInjectingDiskManager::FreePage(PageId id) {
+  return base_->FreePage(id);
 }
 
 Status FaultInjectingDiskManager::ReadPage(PageId id, Page* out) {
@@ -94,7 +99,7 @@ Status FaultInjectingDiskManager::ReadPage(PageId id, Page* out) {
     uint32_t unused = 0;
     SEGDB_RETURN_IF_ERROR(Decide(Op::kRead, id, &unused));
   }
-  return DiskManager::ReadPage(id, out);
+  return base_->ReadPage(id, out);
 }
 
 Status FaultInjectingDiskManager::PeekPage(PageId id, Page* out) const {
@@ -103,7 +108,7 @@ Status FaultInjectingDiskManager::PeekPage(PageId id, Page* out) const {
     uint32_t unused = 0;
     SEGDB_RETURN_IF_ERROR(Decide(Op::kPeek, id, &unused));
   }
-  return DiskManager::PeekPage(id, out);
+  return base_->PeekPage(id, out);
 }
 
 Status FaultInjectingDiskManager::WritePage(PageId id, const Page& page) {
@@ -113,18 +118,62 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const Page& page) {
     util::MutexLock lock(&mu_);
     fate = Decide(Op::kWrite, id, &torn_prefix);
   }
-  if (fate.ok()) return DiskManager::WritePage(id, page);
+  if (fate.ok()) return base_->WritePage(id, page);
   if (torn_prefix == 0) return fate;  // clean failure: nothing stored
-  // Torn write: a prefix of the new page reaches the store merged over the
-  // old bytes, and the caller still sees the error. The merged image is
-  // built from the current stored page so the suffix keeps its old
-  // contents. If the page is dead the device would have rejected the write
-  // anyway; report the injected error without touching the store.
-  Page merged(page_size());
-  if (!DiskManager::PeekPage(id, &merged).ok()) return fate;
-  std::memcpy(merged.data(), page.data(), torn_prefix);
-  DiskManager::WritePage(id, merged).IgnoreError();
+  // Torn write: a prefix of the new page reaches the store (on the file
+  // backend the device write is genuinely truncated), and the caller still
+  // sees the error. If the page is dead the device rejects the prefix
+  // write; report the injected error without touching the store.
+  base_->WritePagePrefix(id, page, torn_prefix).IgnoreError();
   return fate;
+}
+
+Status FaultInjectingDiskManager::WritePagePrefix(PageId id, const Page& page,
+                                                  uint32_t prefix_bytes) {
+  uint32_t torn_prefix = 0;
+  Status fate;
+  {
+    util::MutexLock lock(&mu_);
+    fate = Decide(Op::kWrite, id, &torn_prefix);
+  }
+  if (fate.ok()) return base_->WritePagePrefix(id, page, prefix_bytes);
+  if (torn_prefix == 0) return fate;
+  // Tearing a prefix write can only shorten it further.
+  base_->WritePagePrefix(id, page, std::min(torn_prefix, prefix_bytes))
+      .IgnoreError();
+  return fate;
+}
+
+void FaultInjectingDiskManager::PeekPagesBatch(std::span<PageFill> fills) {
+  // Decide each fill's fate in order, so the fault stream is identical to a
+  // PeekPage loop over the same ids. Surviving fills are forwarded to the
+  // backend in one (sub-)batch.
+  std::vector<PageFill> pass;
+  std::vector<size_t> pass_index;
+  pass.reserve(fills.size());
+  pass_index.reserve(fills.size());
+  {
+    util::MutexLock lock(&mu_);
+    for (size_t i = 0; i < fills.size(); ++i) {
+      uint32_t unused = 0;
+      Status fate = Decide(Op::kPeek, fills[i].id, &unused);
+      if (fate.ok()) {
+        pass.push_back(PageFill{fills[i].id, fills[i].out, Status::OK()});
+        pass_index.push_back(i);
+      } else {
+        fills[i].status = std::move(fate);
+      }
+    }
+  }
+  if (pass.empty()) return;
+  base_->PeekPagesBatch(pass);
+  for (size_t j = 0; j < pass.size(); ++j) {
+    fills[pass_index[j]].status = std::move(pass[j].status);
+  }
+}
+
+void FaultInjectingDiskManager::PrefetchPages(std::span<const PageId> ids) {
+  base_->PrefetchPages(ids);
 }
 
 }  // namespace segdb::io

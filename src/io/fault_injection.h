@@ -10,8 +10,17 @@
 //     kIoError / kResourceExhausted)
 // — all drawn from a seeded util Rng, so any failing run replays
 // bit-identically from its seed. FreePage is deliberately NOT faultable:
-// it is a metadata operation on the simulated device, and rollback /
-// rebuild paths depend on returning pages unconditionally.
+// it is a metadata operation on the device, and rollback / rebuild paths
+// depend on returning pages unconditionally.
+//
+// The wrapper composes over any DiskManager backend. The historical
+// one-argument form owns a SimDiskManager; the composing form takes a
+// non-owned base — pointing it at a FileDiskManager injects the same
+// seeded fault stream above the async engine, and a torn write genuinely
+// truncates the file write (via DiskManager::WritePagePrefix). Because
+// faults are decided *above* the device, a sim-backed and a file-backed
+// run with the same plan and op sequence observe identical fault streams
+// (ops_seen / faults_injected match bit-for-bit).
 //
 // The fault plan is probabilistic (per-op rates) plus a one-shot scheduled
 // fault (`ScheduleFailAtOp`) for pinpointing "what if exactly the K-th disk
@@ -29,7 +38,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <span>
 
 #include "io/disk_manager.h"
 #include "io/page.h"
@@ -62,8 +73,28 @@ struct FaultPlan {
 
 class FaultInjectingDiskManager : public DiskManager {
  public:
+  // Owns a fresh SimDiskManager of the given page size (the historical
+  // form: a faulty simulated device).
   FaultInjectingDiskManager(uint32_t page_size_bytes, const FaultPlan& plan)
-      : DiskManager(page_size_bytes), plan_(plan), rng_(plan.seed) {}
+      : FaultInjectingDiskManager(
+            std::make_unique<SimDiskManager>(page_size_bytes), plan) {}
+
+  // Composes over a caller-owned backend (sim or file). `base` must
+  // outlive the wrapper.
+  FaultInjectingDiskManager(DiskManager* base, const FaultPlan& plan)
+      : DiskManager(base->page_size()), base_(base), plan_(plan),
+        rng_(plan.seed) {}
+
+  // Composes over an owned backend.
+  FaultInjectingDiskManager(std::unique_ptr<DiskManager> base,
+                            const FaultPlan& plan)
+      : DiskManager(base->page_size()), owned_(std::move(base)),
+        base_(owned_.get()), plan_(plan), rng_(plan.seed) {}
+
+  // The backend the faults sit above (audit and repair paths in harnesses
+  // may want uninjected access; prefer set_enabled(false) so the op stream
+  // stays visible to ops_seen()).
+  DiskManager* base() { return base_; }
 
   // Pauses / resumes injection. While disabled, operations pass straight
   // through: they are not counted in ops_seen() and consume no randomness.
@@ -107,10 +138,22 @@ class FaultInjectingDiskManager : public DiskManager {
   }
 
   Result<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;  // reliable by contract: delegates
   Status ReadPage(PageId id, Page* out) override;
   Status PeekPage(PageId id, Page* out) const override;
   Status WritePage(PageId id, const Page& page) override;
-  // FreePage intentionally not overridden: reliable by contract.
+  Status WritePagePrefix(PageId id, const Page& page,
+                         uint32_t prefix_bytes) override;
+  void PeekPagesBatch(std::span<PageFill> fills) override;
+  void PrefetchPages(std::span<const PageId> ids) override;
+  uint64_t pages_in_use() const override { return base_->pages_in_use(); }
+  uint64_t high_water_pages() const override {
+    return base_->high_water_pages();
+  }
+  // The wrapper's own counter block is never touched; the model's I/O
+  // accounting lives in the backend.
+  DiskStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
 
  private:
   enum class Op { kAlloc, kRead, kPeek, kWrite };
@@ -121,6 +164,8 @@ class FaultInjectingDiskManager : public DiskManager {
   Status Decide(Op op, PageId id, uint32_t* torn_prefix_bytes) const
       SEGDB_REQUIRES(mu_);
 
+  std::unique_ptr<DiskManager> owned_;
+  DiskManager* const base_;
   mutable util::Mutex mu_;
   FaultPlan plan_ SEGDB_GUARDED_BY(mu_);
   // mutable: PeekPage is const but draws from the fault stream.

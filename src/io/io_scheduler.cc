@@ -1,0 +1,169 @@
+#include "io/io_scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace segdb::io {
+
+IoScheduler::IoScheduler(AsyncIoEngine* engine, uint32_t page_size,
+                         uint64_t data_offset, uint32_t max_merge_pages)
+    : engine_(engine),
+      page_size_(page_size),
+      data_offset_(data_offset),
+      max_merge_pages_(max_merge_pages == 0 ? 1 : max_merge_pages) {
+  SEGDB_CHECK(engine != nullptr);
+  SEGDB_CHECK(page_size > 0);
+}
+
+namespace {
+
+// One engine op covering `count` consecutive device pages starting at
+// `first`. Every run reads into an aligned scratch buffer and is
+// scattered to the requesters' destinations on completion — O_DIRECT
+// demands 4 KiB-aligned transfer buffers and the callers' Page storage
+// gives no such guarantee, so the bounce is unconditional (one memcpy per
+// page, noise next to a device transfer).
+struct Run {
+  PageId first = kInvalidPageId;
+  uint32_t count = 0;
+  std::vector<PageReadRequest*> primaries;  // one per page, in run order
+  std::unique_ptr<uint8_t[], decltype(&std::free)> scratch{nullptr,
+                                                           &std::free};
+  IoOp op;
+};
+
+constexpr size_t kScratchAlign = 4096;
+
+}  // namespace
+
+Status IoScheduler::ReadPages(std::span<PageReadRequest> requests) {
+  ++stats_.batches;
+  stats_.pages += requests.size();
+  stats_.max_batch_pages =
+      std::max<uint64_t>(stats_.max_batch_pages, requests.size());
+  if (requests.empty()) return Status::OK();
+
+  // Dedup: the first request for an id is its primary; later requests for
+  // the same id are satisfied by copy after the primary completes.
+  std::vector<PageReadRequest*> order;
+  order.reserve(requests.size());
+  for (PageReadRequest& r : requests) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const PageReadRequest* a, const PageReadRequest* b) {
+                     return a->id < b->id;
+                   });
+  std::vector<PageReadRequest*> primaries;
+  std::vector<std::pair<PageReadRequest*, PageReadRequest*>> duplicates;
+  primaries.reserve(order.size());
+  for (PageReadRequest* r : order) {
+    if (!primaries.empty() && primaries.back()->id == r->id) {
+      duplicates.emplace_back(r, primaries.back());
+      ++stats_.dedup_skips;
+    } else {
+      primaries.push_back(r);
+    }
+  }
+
+  // Merge runs of adjacent page ids into multi-page transfers.
+  std::vector<Run> runs;
+  runs.reserve(primaries.size());
+  for (size_t i = 0; i < primaries.size();) {
+    size_t j = i + 1;
+    while (j < primaries.size() && j - i < max_merge_pages_ &&
+           primaries[j]->id == primaries[j - 1]->id + 1) {
+      ++j;
+    }
+    Run run;
+    run.first = primaries[i]->id;
+    run.count = static_cast<uint32_t>(j - i);
+    run.primaries.assign(primaries.begin() + i, primaries.begin() + j);
+    runs.push_back(std::move(run));
+    i = j;
+  }
+  for (Run& run : runs) {
+    if (run.count > 1) {
+      stats_.merged_pages += run.count;
+      stats_.max_merged_run =
+          std::max<uint64_t>(stats_.max_merged_run, run.count);
+    }
+    size_t bytes = size_t{run.count} * page_size_;
+    size_t alloc = (bytes + kScratchAlign - 1) / kScratchAlign *
+                   kScratchAlign;  // aligned_alloc wants size % align == 0
+    run.scratch.reset(
+        static_cast<uint8_t*>(std::aligned_alloc(kScratchAlign, alloc)));
+    SEGDB_CHECK(run.scratch != nullptr) << "scheduler scratch allocation";
+    run.op.kind = IoOp::Kind::kRead;
+    run.op.offset = data_offset_ + uint64_t{run.first} * page_size_;
+    run.op.length = run.count * page_size_;
+    run.op.buf = run.scratch.get();
+  }
+
+  // Drive the engine in waves bounded by its queue depth.
+  std::unordered_map<const IoOp*, Run*> by_op;
+  by_op.reserve(runs.size());
+  for (Run& run : runs) by_op.emplace(&run.op, &run);
+  std::vector<IoOp*> wave;
+  std::vector<IoOp*> completed;
+  size_t next = 0;
+  size_t finished = 0;
+  Status submit_error;
+  while (finished < runs.size()) {
+    uint32_t room = engine_->queue_depth() - engine_->inflight();
+    if (submit_error.ok() && room > 0 && next < runs.size()) {
+      wave.clear();
+      size_t take = std::min<size_t>(room, runs.size() - next);
+      for (size_t k = 0; k < take; ++k) wave.push_back(&runs[next + k].op);
+      Status s = engine_->Start(wave);
+      if (s.ok()) {
+        next += take;
+        stats_.submissions += take;
+        stats_.max_inflight =
+            std::max<uint64_t>(stats_.max_inflight, engine_->inflight());
+      } else {
+        // Submission-level failure: fail every unsubmitted run and stop
+        // submitting, but still drain what is already in flight.
+        submit_error = s;
+        for (size_t k = next; k < runs.size(); ++k) {
+          for (PageReadRequest* r : runs[k].primaries) r->status = s;
+          ++finished;
+        }
+        next = runs.size();
+        continue;
+      }
+    }
+    if (engine_->inflight() == 0) {
+      if (next >= runs.size()) break;
+      continue;
+    }
+    completed.clear();
+    SEGDB_RETURN_IF_ERROR(engine_->WaitOne(&completed));
+    for (IoOp* op : completed) {
+      Run* run = by_op.at(op);
+      for (size_t p = 0; p < run->primaries.size(); ++p) {
+        PageReadRequest* r = run->primaries[p];
+        r->status = op->status;
+        if (op->status.ok()) {
+          std::memcpy(r->dst, run->scratch.get() + p * size_t{page_size_},
+                      page_size_);
+        }
+      }
+      ++finished;
+    }
+  }
+
+  for (auto& [dup, primary] : duplicates) {
+    dup->status = primary->status;
+    if (primary->status.ok()) {
+      std::memcpy(dup->dst, primary->dst, page_size_);
+    }
+  }
+  return submit_error;
+}
+
+}  // namespace segdb::io

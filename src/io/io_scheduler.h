@@ -1,0 +1,82 @@
+// Batching I/O scheduler between the page-level read paths and an
+// AsyncIoEngine. The index descent emits prefetch hints one level ahead
+// (a node's children and their leaf pages); served naively that is one
+// syscall per page — exactly the pattern the external-memory model says
+// to avoid. The scheduler turns a span of page reads into few, large,
+// overlapped submissions:
+//
+//   1. dedup: a page id appearing twice in one batch is read once and
+//      copied to every requester;
+//   2. adjacent-range merge: runs of consecutive page ids (common for a
+//      node's leaf pages, which are allocated together) coalesce into a
+//      single multi-page transfer through a scratch buffer;
+//   3. bounded queue depth: merged ops are fed to the engine in waves of
+//      at most its queue depth, submitting more as completions arrive.
+//
+// Stats are cumulative and feed the bench telemetry (queue-depth fields
+// in the E14 records) plus the scheduler unit tests.
+//
+// Concurrency: externally synchronized, same contract as the engine it
+// drives (FileDiskManager serializes callers behind its mutex).
+#ifndef SEGDB_IO_IO_SCHEDULER_H_
+#define SEGDB_IO_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/async_io_engine.h"
+#include "io/page.h"
+#include "util/status.h"
+
+namespace segdb::io {
+
+// One page read: fill `dst` (page_size bytes) from the device page at
+// `id`. `status` is the per-page outcome.
+struct PageReadRequest {
+  PageId id = kInvalidPageId;
+  uint8_t* dst = nullptr;
+  Status status;
+};
+
+struct IoSchedulerStats {
+  uint64_t batches = 0;           // ReadPages calls
+  uint64_t pages = 0;             // pages requested (pre-dedup)
+  uint64_t dedup_skips = 0;       // duplicate ids served by copy
+  uint64_t submissions = 0;       // ops handed to the engine
+  uint64_t merged_pages = 0;      // pages carried by multi-page ops
+  uint64_t max_batch_pages = 0;   // largest single ReadPages batch
+  uint64_t max_merged_run = 0;    // longest adjacent run merged (pages)
+  uint64_t max_inflight = 0;      // peak ops in flight at the engine
+};
+
+class IoScheduler {
+ public:
+  // `engine` must outlive the scheduler. `page_size` is the device block
+  // size; `data_offset` is the file offset of page 0 (the FileDiskManager
+  // superblock/bitmap region precedes it). `max_merge_pages` caps how many
+  // consecutive pages fuse into one transfer (scratch memory bound).
+  IoScheduler(AsyncIoEngine* engine, uint32_t page_size,
+              uint64_t data_offset, uint32_t max_merge_pages = 16);
+
+  // Executes the batch: dedups, merges adjacent runs, and drives the
+  // engine at its queue depth until every request has a status. Returns
+  // the first submission-level failure (per-page I/O errors land in each
+  // request's status; on a merged op the error fans out to every page of
+  // the run).
+  Status ReadPages(std::span<PageReadRequest> requests);
+
+  const IoSchedulerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoSchedulerStats{}; }
+
+ private:
+  AsyncIoEngine* const engine_;
+  const uint32_t page_size_;
+  const uint64_t data_offset_;
+  const uint32_t max_merge_pages_;
+  IoSchedulerStats stats_;
+};
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_IO_SCHEDULER_H_

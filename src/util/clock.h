@@ -1,0 +1,56 @@
+// Deadline: a point on the steady clock a request must finish by. The
+// serving layer (core::QueryEngine::Serve) checks it at admission, while
+// queued, and after execution; expired requests fail with
+// Status::DeadlineExceeded instead of occupying a slot another request
+// could still meet.
+//
+// steady_clock on purpose: deadlines order *elapsed time*, and a wall
+// clock that jumps (NTP) would expire or resurrect requests spuriously.
+#ifndef SEGDB_UTIL_CLOCK_H_
+#define SEGDB_UTIL_CLOCK_H_
+
+#include <chrono>
+
+namespace segdb::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: no deadline (never expires).
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point when) { return Deadline(when, true); }
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> budget) {
+    return At(Clock::now() +
+              std::chrono::duration_cast<Clock::duration>(budget));
+  }
+
+  bool is_infinite() const { return !bounded_; }
+  bool expired() const { return bounded_ && Clock::now() >= when_; }
+
+  // The time point for CondVar::WaitUntil. Only meaningful when bounded;
+  // callers branch on is_infinite() and use plain Wait otherwise.
+  Clock::time_point when() const { return when_; }
+
+  // Time left; never negative. Infinite deadlines report Clock::duration
+  // max.
+  Clock::duration remaining() const {
+    if (!bounded_) return Clock::duration::max();
+    Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+ private:
+  Deadline(Clock::time_point when, bool bounded)
+      : when_(when), bounded_(bounded) {}
+
+  Clock::time_point when_{};
+  bool bounded_ = false;
+};
+
+}  // namespace segdb::util
+
+#endif  // SEGDB_UTIL_CLOCK_H_

@@ -32,6 +32,14 @@ enum class StatusCode {
   // io::FaultInjectingDiskManager). Unlike kCorruption, the operation is
   // expected to succeed when retried.
   kIoError,
+  // The serving layer shed this request: its admission queue is full.
+  // Transient by design — the client backs off and retries; nothing about
+  // the request itself is wrong.
+  kOverloaded,
+  // The request's deadline passed before (or while) it ran. NOT retryable
+  // as-is: the same deadline stays expired; the caller must issue a fresh
+  // request with a new deadline.
+  kDeadlineExceeded,
 };
 
 // A lightweight status object: a code plus an optional message. The OK
@@ -68,19 +76,28 @@ class [[nodiscard]] Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // True for transient device-level failures (kIoError): the same
-  // operation is expected to succeed when retried. Every other error code
+  // True for transient failures where the SAME operation is expected to
+  // succeed when retried: device-level kIoError, and kOverloaded (the
+  // serving queue drains; back off and resubmit). Every other error code
   // is permanent — retrying a kCorruption or kInvalidArgument just
-  // repeats the failure. The semantic checker (tools/segdb_sema) enforces
-  // the flip side: a kIoError may only be converted to OK inside a retry
-  // loop.
+  // repeats the failure, and a kDeadlineExceeded needs a NEW deadline,
+  // not a retry of the expired one. The semantic checker (tools/
+  // segdb_sema) enforces the flip side: a retryable code may only be
+  // converted to OK inside a retry loop.
   [[nodiscard]] bool retryable() const {
-    return code_ == StatusCode::kIoError;
+    return code_ == StatusCode::kIoError ||
+           code_ == StatusCode::kOverloaded;
   }
 
   // Explicitly discards this status. The only sanctioned way to drop an
@@ -112,6 +129,8 @@ class [[nodiscard]] Status {
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kOverloaded: return "Overloaded";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -27,6 +27,7 @@
 #ifndef SEGDB_UTIL_SYNC_H_
 #define SEGDB_UTIL_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -150,6 +151,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  // Like Wait, but also returns once `deadline` (steady clock) has
+  // passed. Returns false on timeout, true otherwise. Same capability
+  // contract as Wait; same spurious-wakeup caveat — re-check both the
+  // predicate and the clock in a loop.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      SEGDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();  // the caller's MutexLock still owns the mutex
+    return status == std::cv_status::no_timeout;
   }
 
   // No predicate overload on purpose: the analysis does not carry the

@@ -59,7 +59,7 @@ class AdversarialPstTest : public ::testing::TestWithParam<uint32_t> {
       EXPECT_EQ(Ids(out), Oracle(segs, qx, ylo, yhi)) << "qx=" << qx;
     }
   }
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 
@@ -132,7 +132,7 @@ INSTANTIATE_TEST_SUITE_P(Fanouts, AdversarialPstTest,
 
 template <typename Index>
 void RunExtremeCoordinates() {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 1024);
   const int64_t m = geom::kMaxCoord;
   // Segments hugging the coordinate bounds: edges, a near-diagonal, a
@@ -177,7 +177,7 @@ template <typename Index>
 void RunAllOnOneLine() {
   // Every segment vertical on the same line: the entire database lives in
   // one C structure.
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 512);
   std::vector<Segment> segs;
   for (uint64_t i = 0; i < 300; ++i) {
@@ -210,7 +210,7 @@ template <typename Index>
 void RunStaircaseChain() {
   // A single connected polyline: consecutive segments share endpoints,
   // alternating steep/flat — every node boundary lands on a shared point.
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 1024);
   std::vector<Segment> segs;
   Point prev{0, 0};

@@ -120,14 +120,14 @@ std::vector<Segment> ChurnWorkload(uint64_t seed) {
 }
 
 TEST(AuditChurnTest, TwoLevelBinaryIndex) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   core::TwoLevelBinaryIndex index(&pool);
   RunChurn(&index, &pool, ChurnWorkload(0xA11CE), 1);
 }
 
 TEST(AuditChurnTest, TwoLevelBinaryIndexPlainPst) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   core::TwoLevelBinaryOptions options;
   options.pst_fanout = 2;   // Lemma 2 configuration
@@ -137,14 +137,14 @@ TEST(AuditChurnTest, TwoLevelBinaryIndexPlainPst) {
 }
 
 TEST(AuditChurnTest, TwoLevelIntervalIndex) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   core::TwoLevelIntervalIndex index(&pool);
   RunChurn(&index, &pool, ChurnWorkload(0xC0FFEE), 3);
 }
 
 TEST(AuditChurnTest, TwoLevelIntervalIndexSmallFanout) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   core::TwoLevelIntervalOptions options;
   options.fanout = 4;         // deep tree, populated G structures
@@ -154,21 +154,21 @@ TEST(AuditChurnTest, TwoLevelIntervalIndexSmallFanout) {
 }
 
 TEST(AuditChurnTest, IntervalStabIndex) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   baseline::IntervalStabIndex index(&pool);
   RunChurn(&index, &pool, ChurnWorkload(0xFACE), 5);
 }
 
 TEST(AuditChurnTest, FullScanIndex) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   baseline::FullScanIndex index(&pool);
   RunChurn(&index, &pool, ChurnWorkload(0xF00D), 6);
 }
 
 TEST(AuditChurnTest, RTreeIndex) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   baseline::RTreeIndex index(&pool);
   RunChurn(&index, &pool, ChurnWorkload(0x5EED), 7);
@@ -177,7 +177,7 @@ TEST(AuditChurnTest, RTreeIndex) {
 // The shear wrapper: churn through the transformed coordinate space; its
 // audit delegates to the wrapped structure.
 TEST(AuditChurnTest, ShearedIndexChurn) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 256);
   core::ShearedIndex sheared(
       std::make_unique<core::TwoLevelBinaryIndex>(&pool), 1, 1);
@@ -216,7 +216,7 @@ TEST(AuditChurnTest, BPlusTreeChurn) {
       return a.key < b.key ? -1 : (a.key > b.key ? 1 : 0);
     }
   };
-  io::DiskManager disk(512);  // small pages -> frequent splits
+  io::SimDiskManager disk(512);  // small pages -> frequent splits
   io::BufferPool pool(&disk, 64);
   btree::BPlusTree<KV, ByKey> tree(&pool, ByKey{});
   Rng rng(0xBEE);
@@ -251,7 +251,7 @@ TEST(AuditChurnTest, BPlusTreeChurn) {
 // The pool audit actually detects the defect it is specified to catch: a
 // write that skipped MarkDirty diverges a clean frame from disk.
 TEST(AuditChurnTest, BufferPoolAuditCatchesMissedDirtyBit) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 4);
   io::PageId id;
   {

@@ -60,7 +60,7 @@ class BaselineTest : public ::testing::Test {
     }
   }
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 

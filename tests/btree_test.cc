@@ -31,7 +31,7 @@ class BTreeTest : public ::testing::TestWithParam<uint32_t> {
  protected:
   BTreeTest() : disk_(GetParam()), pool_(&disk_, 64) {}
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 
@@ -395,7 +395,7 @@ struct AtXCompare {
 };
 
 TEST(SegmentBTreeTest, OrdersByIntersectionWithBoundary) {
-  io::DiskManager disk(512);
+  io::SimDiskManager disk(512);
   io::BufferPool pool(&disk, 32);
   BPlusTree<geom::Segment, AtXCompare> tree(&pool, AtXCompare{10});
   // Non-crossing segments spanning x=10, inserted out of order.

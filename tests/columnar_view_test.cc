@@ -223,7 +223,7 @@ struct SegCompare {
 };
 
 TEST(ColumnarBTreeTest, BulkLoadAndMutateRoundTrip) {
-  DiskManager disk(512);  // small pages force multi-leaf trees
+  SimDiskManager disk(512);  // small pages force multi-leaf trees
   BufferPool pool(&disk, 64);
   btree::BPlusTree<geom::Segment, SegCompare> tree(&pool, SegCompare{});
   std::vector<geom::Segment> segs = MakeSegments(300, 21);

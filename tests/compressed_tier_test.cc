@@ -55,7 +55,7 @@ std::vector<PageId> MakePages(BufferPool* pool, uint32_t n) {
 }
 
 TEST(CompressedTierTest, PromotionServesEvictedPagesWithoutDiskReads) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   BufferPool pool(&disk, 4, BufferPoolOptions{1 << 20});
   const auto ids = MakePages(&pool, 12);  // 3x the frame count
   pool.ResetStats();
@@ -86,7 +86,7 @@ TEST(CompressedTierTest, PromotionServesEvictedPagesWithoutDiskReads) {
 }
 
 TEST(CompressedTierTest, ColdProtocolIsTierInvariant) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   BufferPool pool(&disk, 4, BufferPoolOptions{1 << 20});
   const auto ids = MakePages(&pool, 8);
 
@@ -106,7 +106,7 @@ TEST(CompressedTierTest, ColdProtocolIsTierInvariant) {
 }
 
 TEST(CompressedTierTest, BudgetEvictsOldestEntries) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   // Budget fits only a few compressed pages; the rest must be evicted
   // oldest-first rather than blowing the cap.
   BufferPool pool(&disk, 2, BufferPoolOptions{3 * kPageSize});
@@ -119,7 +119,7 @@ TEST(CompressedTierTest, BudgetEvictsOldestEntries) {
 }
 
 TEST(CompressedTierTest, ZeroBudgetIsExactPassThrough) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   BufferPool pool(&disk, 4, BufferPoolOptions{0});
   const auto ids = MakePages(&pool, 12);
   pool.ResetStats();
@@ -138,7 +138,7 @@ TEST(CompressedTierTest, ZeroBudgetIsExactPassThrough) {
 }
 
 TEST(CompressedTierTest, FreePageDropsTierEntry) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   BufferPool pool(&disk, 2, BufferPoolOptions{1 << 20});
   const auto ids = MakePages(&pool, 6);
   // ids[0] sits in the tier (evicted long ago). Freeing it must purge the
@@ -163,7 +163,7 @@ TEST(CompressedTierTest, FreePageDropsTierEntry) {
 }
 
 TEST(CompressedTierTest, DirtyPagesReachTierOnlyAfterWriteback) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   BufferPool pool(&disk, 2, BufferPoolOptions{1 << 20});
   const auto ids = MakePages(&pool, 2);
   // Dirty a page, then force its eviction; the stash must reflect the new
@@ -262,7 +262,7 @@ TEST(CompressedTierFaultTest, PromotionPathSurvivesReadFaultRegime) {
 // --- Concurrency (runs under TSan via the CI -R 'Concurrency' filter) ----
 
 TEST(CompressedTierConcurrencyTest, ConcurrentReadersPromoteSafely) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   // More pages than frames: readers continuously evict through the tier
   // and promote back, all shards under contention.
   BufferPool pool(&disk, 8, BufferPoolOptions{1 << 20});
@@ -296,7 +296,7 @@ TEST(CompressedTierConcurrencyTest, ConcurrentReadersPromoteSafely) {
 }
 
 TEST(CompressedTierConcurrencyTest, ConcurrentReadersWithTinyBudget) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   // Budget pressure: stores and budget evictions race with promotions.
   BufferPool pool(&disk, 4, BufferPoolOptions{2 * kPageSize});
   const auto ids = MakePages(&pool, 24);

@@ -86,7 +86,7 @@ void FetchStorm(io::BufferPool* pool, const std::vector<io::PageId>& ids,
 }
 
 TEST(ConcurrencyTest, FetchStormShardedPool) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 4096);  // 4 shards
   ASSERT_GT(pool.shard_count(), 1u);
   auto ids = FillPages(&pool, 1024);
@@ -98,7 +98,7 @@ TEST(ConcurrencyTest, FetchStormShardedPool) {
 }
 
 TEST(ConcurrencyTest, FetchStormUnderEvictionPressure) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 128);  // 1 shard, working set 8x the frames
   ASSERT_EQ(pool.shard_count(), 1u);
   auto ids = FillPages(&pool, 1024);
@@ -107,7 +107,7 @@ TEST(ConcurrencyTest, FetchStormUnderEvictionPressure) {
 }
 
 TEST(ConcurrencyTest, CrossShardEvictionStorm) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 2048);  // 2 shards, evicting on both
   ASSERT_EQ(pool.shard_count(), 2u);
   auto ids = FillPages(&pool, 4096);
@@ -116,7 +116,7 @@ TEST(ConcurrencyTest, CrossShardEvictionStorm) {
 }
 
 TEST(ConcurrencyTest, ConcurrentPrefetchAndFetch) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 4096);
   auto ids = FillPages(&pool, 2048);
   ASSERT_TRUE(pool.EvictAll().ok());
@@ -156,7 +156,7 @@ TEST(ConcurrencyTest, ColdIoCountsIndependentOfShardCount) {
   // The acceptance bar for the sharded stats: cold-cache per-query miss
   // counts must equal the single-shard (pre-concurrency) counters.
   auto run = [](size_t frames, size_t* shards, std::vector<uint64_t>* ios) {
-    io::DiskManager disk(1024);
+    io::SimDiskManager disk(1024);
     io::BufferPool pool(&disk, frames);
     *shards = pool.shard_count();
     Rng rng(91);
@@ -194,7 +194,7 @@ std::vector<uint64_t> SortedIds(const std::vector<Segment>& segs) {
 
 template <typename Index>
 void RunEngineAgainstOracle(uint64_t seed) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 1 << 13);
   Rng rng(seed);
   auto segs = workload::GenMapLayer(rng, 2000, 100000);
@@ -257,7 +257,7 @@ TEST(ConcurrencyTest, QueryEngineSolutionBMatchesOracle) {
 }
 
 TEST(ConcurrencyTest, QueryEnginePropagatesFirstError) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 1 << 10);
   Rng rng(303);
   auto segs = workload::GenMapLayer(rng, 500, 50000);
@@ -274,7 +274,7 @@ TEST(ConcurrencyTest, QueryEnginePropagatesFirstError) {
 }
 
 TEST(ConcurrencyTest, QueryEngineEmptyBatch) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 64);
   core::TwoLevelBinaryIndex index(&pool);
   core::QueryEngine engine({.threads = 4});
@@ -291,7 +291,7 @@ TEST(ConcurrencyTest, QueryEngineEmptyBatch) {
 // inspecting it and tolerates lock-free unpin tick advances, making it
 // legal concurrently with the *pure* read path (clean pages, no writers).
 TEST(ConcurrencyTest, AuditConcurrentWithReadStorm) {
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   // 2 shards with a working set twice the frames: the storm must keep
   // evicting, i.e. keep mutating the page tables the audit walks — with
   // an all-resident working set the map never changes and the pre-fix
@@ -329,7 +329,7 @@ TEST(ConcurrencyTest, StatsConsistentDuringFetchStorm) {
   // stats() aggregates per-shard counters under the shard locks; polled
   // mid-storm it must always satisfy hits + misses == fetches and stay
   // monotone (each shard's triple is updated atomically under its mutex).
-  io::DiskManager disk(256);
+  io::SimDiskManager disk(256);
   io::BufferPool pool(&disk, 4096);
   auto ids = FillPages(&pool, 512);
   pool.ResetStats();

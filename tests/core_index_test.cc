@@ -117,7 +117,7 @@ class CoreIndexTest : public ::testing::TestWithParam<CoreConfig> {
     }
   }
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 

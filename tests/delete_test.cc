@@ -48,7 +48,7 @@ std::vector<uint64_t> OracleIds(const std::vector<Segment>& segs, int64_t x0,
 }
 
 TEST(LinePstDeleteTest, DeleteHalfMatchesOracle) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 512);
   Rng rng(91);
   auto segs = workload::GenLineBasedRepaired(rng, 400, 0, 2000);
@@ -77,7 +77,7 @@ TEST(LinePstDeleteTest, DeleteHalfMatchesOracle) {
 }
 
 TEST(LinePstDeleteTest, DeleteMissingIsNotFound) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 512);
   pst::LinePst pst(&pool, 0, pst::Direction::kRight);
   Segment s = Segment::Make({0, 5}, {10, 7}, 1);
@@ -89,7 +89,7 @@ TEST(LinePstDeleteTest, DeleteMissingIsNotFound) {
 }
 
 TEST(LinePstDeleteTest, DeleteEverythingRepacksPages) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 512);
   Rng rng(92);
   auto segs = workload::GenLineBasedSorted(rng, 600, 0, 3000);
@@ -106,7 +106,7 @@ TEST(LinePstDeleteTest, DeleteEverythingRepacksPages) {
 }
 
 TEST(LinePstDeleteTest, InterleavedInsertDelete) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 512);
   Rng rng(93);
   auto segs = workload::GenLineBasedRepaired(rng, 500, 0, 1500);
@@ -134,7 +134,7 @@ TEST(LinePstDeleteTest, InterleavedInsertDelete) {
 }
 
 TEST(PointPstDeleteTest, EraseByRecord) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 256);
   pst::PointPst pst(&pool);
   std::vector<pst::PointRecord> pts;
@@ -156,7 +156,7 @@ TEST(PointPstDeleteTest, EraseByRecord) {
 class SegtreeDeleteTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(SegtreeDeleteTest, DeleteMatchesOracle) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 1024);
   Rng rng(94);
   std::vector<int64_t> bounds;
@@ -214,7 +214,7 @@ INSTANTIATE_TEST_SUITE_P(Modes, SegtreeDeleteTest, ::testing::Bool(),
 
 template <typename Index>
 void RunIndexDeleteTest(uint64_t seed) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 4096);
   Rng rng(seed);
   auto segs = workload::GenMapLayer(rng, 900, 100000);
@@ -270,7 +270,7 @@ TEST(IndexDeleteTest, FullScan) {
 }
 
 TEST(IndexDeleteTest, Oracle) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 16);
   baseline::OracleIndex index;
   Segment s = Segment::Make({0, 0}, {5, 5}, 1);

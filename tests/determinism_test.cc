@@ -50,7 +50,7 @@ TEST(DeterminismTest, IndexIoCountsRepeat) {
   // identical cold-cache I/O counts — the experiment harness depends on
   // this for comparability.
   auto run_once = [](std::vector<uint64_t>* ios) {
-    io::DiskManager disk(1024);
+    io::SimDiskManager disk(1024);
     io::BufferPool pool(&disk, 2048);
     Rng rng(77);
     auto segs = workload::GenMapLayer(rng, 800, 100000);

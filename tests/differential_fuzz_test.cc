@@ -192,6 +192,48 @@ TEST(FuzzHarnessTest, RunsAreDeterministic) {
   EXPECT_EQ(a.audits, b.audits);
 }
 
+// The fuzz stream must run UNCHANGED when the device under the fault
+// wrapper is the real-file backend: faults are decided above the engine,
+// so op-for-op fault placement, the retry contract, and every statistic
+// must match a SimDiskManager run of the same (seed, ops) — page size
+// moves to the file backend's 4 KiB minimum on both sides so the two runs
+// share geometry. This is the regression gate for composing
+// FaultInjectingDiskManager over FileDiskManager.
+TEST(FileBackendFuzzTest, FaultRegimeMatchesSimBackendStatForStat) {
+  const std::string path =
+      ::testing::TempDir() + "/segdb_fuzz_file_backend.segdb";
+  std::remove(path.c_str());
+  const IndexFactory factory = [](io::BufferPool* pool) {
+    return std::make_unique<core::TwoLevelIntervalIndex>(pool);
+  };
+  FuzzOptions options;
+  options.seed = 8152026;
+  options.ops = 2000;
+  options.mutation_alloc_fault_rate = 0.01;
+  options.query_read_fault_rate = 0.01;
+  options.page_size = 4096;
+  options.pool_frames = 64;
+
+  FuzzStats sim;
+  ASSERT_TRUE(RunDifferentialFuzz("tli@sim", factory, options, &sim).ok());
+
+  options.backend_file = path;
+  FuzzStats file;
+  const Status s = RunDifferentialFuzz("tli@file", factory, options, &file);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  EXPECT_EQ(file.executed, sim.executed);
+  EXPECT_EQ(file.queries, sim.queries);
+  EXPECT_EQ(file.mutations, sim.mutations);
+  EXPECT_EQ(file.faulted_ops, sim.faulted_ops);
+  EXPECT_EQ(file.retried_ok, sim.retried_ok);
+  EXPECT_EQ(file.audits, sim.audits);
+  // The regime must actually bite on this stream, and every bite heal.
+  EXPECT_GT(file.faulted_ops, 0u);
+  EXPECT_EQ(file.retried_ok, file.faulted_ops);
+  std::remove(path.c_str());
+}
+
 // --- Column-codec differential fuzz ---------------------------------------
 //
 // The uncompressed lanes ARE the oracle: whatever adversarial distribution

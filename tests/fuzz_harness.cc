@@ -8,6 +8,8 @@
 #include "baseline/oracle.h"
 #include "geom/segment.h"
 #include "io/fault_injection.h"
+#include "io/file_disk_manager.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "workload/generators.h"
 #include "workload/queries.h"
@@ -32,6 +34,22 @@ std::string DescribeQuery(const VerticalSegmentQuery& q) {
          "," + std::to_string(q.yhi) + "]";
 }
 
+// The device under the fault wrapper: the in-memory simulator by default,
+// or a real-file backend when the run asks for one. Construction failure
+// is a harness-setup bug, not a fuzz finding, so it aborts rather than
+// threading a Status through the ctor.
+std::unique_ptr<io::DiskManager> MakeBaseDevice(const FuzzOptions& options) {
+  if (options.backend_file.empty()) {
+    return std::make_unique<io::SimDiskManager>(options.page_size);
+  }
+  io::FileDiskManagerOptions fopts;
+  fopts.page_size = options.page_size;
+  auto opened = io::FileDiskManager::Open(options.backend_file, fopts);
+  SEGDB_CHECK(opened.ok()) << "fuzz backend_file open failed: "
+                           << opened.status().ToString();
+  return std::move(opened).value();
+}
+
 // One fuzz run: owns the device, pool, index, oracle and the op stream.
 class Fuzzer {
  public:
@@ -41,7 +59,7 @@ class Fuzzer {
         options_(options),
         fault_mode_(options.mutation_alloc_fault_rate > 0 ||
                     options.query_read_fault_rate > 0),
-        disk_(options.page_size, io::FaultPlan{}),
+        disk_(MakeBaseDevice(options), io::FaultPlan{}),
         pool_(&disk_, options.pool_frames,
               io::BufferPoolOptions{options.compressed_tier_bytes}),
         rng_(options.seed) {

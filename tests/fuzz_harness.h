@@ -62,6 +62,14 @@ struct FuzzOptions {
   // Simulated device / pool geometry.
   uint32_t page_size = 1024;
   uint32_t pool_frames = 4096;
+  // When non-empty, the index-under-test runs on a real-file
+  // io::FileDiskManager created at this path (caller owns cleanup)
+  // instead of the in-memory SimDiskManager; page_size must then be a
+  // multiple of 4096 (the file backend's alignment rule). The fault
+  // wrapper composes on top unchanged — faults are decided above the
+  // device, so fault placement per (seed, op) is identical across
+  // backends and every reproducer line stays valid.
+  std::string backend_file;
   // Compressed second-tier budget for the index's pool (0 = off). Answers
   // must be tier-invariant; with faults on, this routes every injected
   // read/alloc fault through the stash/promotion path as well.

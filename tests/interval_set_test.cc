@@ -41,7 +41,7 @@ std::vector<uint64_t> IntersectOracle(const std::vector<Interval>& ivs,
 class IntervalSetTest : public ::testing::Test {
  protected:
   IntervalSetTest() : disk_(1024), pool_(&disk_, 512), set_(&pool_) {}
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
   IntervalSet set_;
 };

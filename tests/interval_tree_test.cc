@@ -64,7 +64,7 @@ class IntervalTreeTest : public ::testing::TestWithParam<ItConfig> {
       EXPECT_EQ(Ids(out), StabOracle(segs, x0)) << "x0=" << x0;
     }
   }
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 

@@ -52,7 +52,7 @@ TEST(PageTest, ZeroClearsContents) {
 }
 
 TEST(DiskManagerTest, AllocateReadWriteRoundTrip) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto id = disk.AllocatePage();
   ASSERT_TRUE(id.ok());
   Page w(kPageSize);
@@ -64,7 +64,7 @@ TEST(DiskManagerTest, AllocateReadWriteRoundTrip) {
 }
 
 TEST(DiskManagerTest, FreshPagesAreZeroed) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto id = disk.AllocatePage();
   ASSERT_TRUE(id.ok());
   Page r(kPageSize);
@@ -73,7 +73,7 @@ TEST(DiskManagerTest, FreshPagesAreZeroed) {
 }
 
 TEST(DiskManagerTest, FreeAndReuse) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto a = disk.AllocatePage();
   ASSERT_TRUE(a.ok());
   Page w(kPageSize);
@@ -90,7 +90,7 @@ TEST(DiskManagerTest, FreeAndReuse) {
 }
 
 TEST(DiskManagerTest, AccessAfterFreeFails) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto id = disk.AllocatePage();
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(disk.FreePage(id.value()).ok());
@@ -101,7 +101,7 @@ TEST(DiskManagerTest, AccessAfterFreeFails) {
 }
 
 TEST(DiskManagerTest, StatsCountOperations) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto id = disk.AllocatePage();
   ASSERT_TRUE(id.ok());
   Page p(kPageSize);
@@ -116,7 +116,7 @@ TEST(DiskManagerTest, StatsCountOperations) {
 }
 
 TEST(DiskManagerTest, HighWaterTracksPeakUsage) {
-  DiskManager disk(kPageSize);
+  SimDiskManager disk(kPageSize);
   auto a = disk.AllocatePage();
   auto b = disk.AllocatePage();
   ASSERT_TRUE(a.ok());
@@ -133,7 +133,7 @@ class BufferPoolTest : public ::testing::Test {
   // second tier deliberately changes. The tier has its own suite.
   BufferPoolTest() : disk_(kPageSize), pool_(&disk_, 4, BufferPoolOptions{}) {}
 
-  DiskManager disk_;
+  SimDiskManager disk_;
   BufferPool pool_;
 };
 

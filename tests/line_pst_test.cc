@@ -55,7 +55,7 @@ class LinePstTest : public ::testing::TestWithParam<PstConfig> {
     return o;
   }
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 
@@ -280,7 +280,7 @@ INSTANTIATE_TEST_SUITE_P(
 // --- I/O-complexity shape checks (Lemma 2 / Lemma 3) ----------------------
 
 TEST(LinePstIoTest, QueryIosLogarithmicForSmallOutput) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 4096);
   Rng rng(13);
   auto segs = workload::GenLineBasedSorted(rng, 60000, 0, 100000);
@@ -312,7 +312,7 @@ TEST(LinePstIoTest, QueryIosLogarithmicForSmallOutput) {
 }
 
 TEST(LinePstIoTest, PackedFanoutBeatsBinary) {
-  io::DiskManager disk(4096);
+  io::SimDiskManager disk(4096);
   io::BufferPool pool(&disk, 8192);
   Rng rng(14);
   auto segs = workload::GenLineBasedSorted(rng, 120000, 0, 100000);

@@ -46,7 +46,7 @@ class ModelLru {
 
 TEST(LruModelTest, HitMissPatternMatchesReference) {
   constexpr size_t kFrames = 16;
-  DiskManager disk(256);
+  SimDiskManager disk(256);
   // Tier pinned off: this is the single-tier miss-pattern reference; with a
   // compressed tier, evicted-page re-fetches become promotions, not misses.
   BufferPool pool(&disk, kFrames, BufferPoolOptions{});
@@ -79,7 +79,7 @@ TEST(LruModelTest, HitMissPatternMatchesReference) {
 
 TEST(LruModelTest, PinnedPagesAreNotEvicted) {
   constexpr size_t kFrames = 4;
-  DiskManager disk(256);
+  SimDiskManager disk(256);
   BufferPool pool(&disk, kFrames);
   std::vector<PageId> ids;
   for (int i = 0; i < 8; ++i) {
@@ -105,7 +105,7 @@ TEST(LruModelTest, PinnedPagesAreNotEvicted) {
 
 TEST(LruModelTest, WritebackOnlyForDirtyVictims) {
   constexpr size_t kFrames = 2;
-  DiskManager disk(256);
+  SimDiskManager disk(256);
   BufferPool pool(&disk, kFrames);
   std::vector<PageId> ids;
   for (int i = 0; i < 4; ++i) {

@@ -38,7 +38,7 @@ class PointPstTest : public ::testing::TestWithParam<uint32_t> {
     return o;
   }
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 

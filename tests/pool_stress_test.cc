@@ -43,7 +43,7 @@ std::vector<uint64_t> Oracle(const std::vector<Segment>& segs,
 }
 
 TEST(PoolStressTest, LinePstWithEightFrames) {
-  io::DiskManager disk(512);
+  io::SimDiskManager disk(512);
   io::BufferPool pool(&disk, 8);
   Rng rng(161);
   auto segs = workload::GenLineBasedRepaired(rng, 300, 0, 1500);
@@ -70,7 +70,7 @@ TEST(PoolStressTest, LinePstWithEightFrames) {
 
 template <typename Index>
 void RunTinyPool(uint64_t seed, size_t frames) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, frames);
   Rng rng(seed);
   auto segs = workload::GenMapLayer(rng, 700, 80000);
@@ -104,7 +104,7 @@ TEST(PoolStressTest, SolutionBWithSixteenFrames) {
 TEST(PoolStressTest, ExhaustionSurfacesCleanly) {
   // With frames fewer than a single operation's pin depth the pool must
   // fail with ResourceExhausted, never crash or corrupt.
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 1);
   auto a = pool.NewPage();
   ASSERT_TRUE(a.ok());

@@ -72,7 +72,7 @@ class SegtreeTest : public ::testing::TestWithParam<GConfig> {
     return o;
   }
 
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 

@@ -1,0 +1,287 @@
+// Serving-layer tests for QueryEngine::Serve (ISSUE 8): per-query
+// deadlines, bounded-queue admission control shedding with kOverloaded,
+// FIFO slot hand-off, and the accounting identities behind the bench
+// telemetry. The multi-threaded suite is named ServingConcurrencyTest so
+// the TSan CI job's `Concurrency|PoolStress` filter picks it up.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "core/two_level_interval_index.h"
+#include "gtest/gtest.h"
+#include "io/buffer_pool.h"
+#include "io/disk_manager.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/sync.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace segdb::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+// A SegmentIndex whose Query blocks until released — the serving layer is
+// generic over the index, so admission control is tested against a query
+// of controllable duration rather than a timed real one.
+class GateIndex final : public SegmentIndex {
+ public:
+  Status BulkLoad(std::span<const geom::Segment>) override {
+    return Status::OK();
+  }
+  Status Insert(const geom::Segment&) override { return Status::OK(); }
+  Status Query(const VerticalSegmentQuery&,
+               std::vector<geom::Segment>*) const override {
+    util::MutexLock lock(&mu_);
+    ++entered_;
+    entered_cv_.NotifyAll();
+    while (!open_) gate_cv_.Wait(mu_);
+    return Status::OK();
+  }
+  uint64_t size() const override { return 0; }
+  uint64_t page_count() const override { return 0; }
+  std::string name() const override { return "gate"; }
+
+  // Blocks until `count` queries are inside Query.
+  void AwaitEntered(int count) const {
+    util::MutexLock lock(&mu_);
+    while (entered_ < count) entered_cv_.Wait(mu_);
+  }
+  void Open() {
+    util::MutexLock lock(&mu_);
+    open_ = true;
+    gate_cv_.NotifyAll();
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  mutable int entered_ SEGDB_GUARDED_BY(mu_) = 0;
+  bool open_ SEGDB_GUARDED_BY(mu_) = false;
+  mutable util::CondVar entered_cv_;
+  mutable util::CondVar gate_cv_;
+};
+
+QueryEngineOptions ServingOptions(uint32_t max_concurrent,
+                                  uint32_t max_queue) {
+  QueryEngineOptions options;
+  options.threads = 1;  // Serve runs on caller threads; no batch pool
+  options.max_concurrent = max_concurrent;
+  options.max_queue = max_queue;
+  return options;
+}
+
+TEST(ServingTest, ServeMatchesDirectQuery) {
+  io::SimDiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 12);
+  Rng rng(7);
+  auto segs = workload::GenMapLayer(rng, 2048, 1 << 20);
+  TwoLevelIntervalIndex index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  QueryEngine engine(ServingOptions(4, 8));
+
+  Rng qrng(11);
+  auto box = workload::ComputeBoundingBox(segs);
+  for (const auto& q : workload::GenVsQueries(qrng, 32, box, 0.02)) {
+    const VerticalSegmentQuery query{q.x0, q.ylo, q.yhi};
+    std::vector<geom::Segment> direct;
+    std::vector<geom::Segment> served;
+    ASSERT_TRUE(index.Query(query, &direct).ok());
+    ASSERT_TRUE(engine.Serve(index, query, &served).ok());
+    ASSERT_EQ(served.size(), direct.size());
+  }
+  const ServingStats stats = engine.serving_stats();
+  EXPECT_EQ(stats.admitted, 32u);
+  EXPECT_EQ(stats.completed, 32u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.shed_overload, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(ServingTest, ExpiredDeadlineIsRejectedBeforeAdmission) {
+  GateIndex index;
+  QueryEngine engine(ServingOptions(1, 4));
+  std::vector<geom::Segment> out;
+  const Status s = engine.Serve(index, VerticalSegmentQuery{}, &out,
+                                util::Deadline::After(milliseconds(-5)));
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(s.retryable());  // needs a fresh deadline, not a retry
+  const ServingStats stats = engine.serving_stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(ServingTest, FullQueueShedsWithOverloaded) {
+  GateIndex index;
+  QueryEngine engine(ServingOptions(/*max_concurrent=*/1, /*max_queue=*/0));
+  std::vector<geom::Segment> out1;
+  Status held = Status::OK();
+  std::thread holder([&] {
+    held = engine.Serve(index, VerticalSegmentQuery{}, &out1);
+  });
+  index.AwaitEntered(1);  // the slot is now occupied
+  std::vector<geom::Segment> out2;
+  const Status shed = engine.Serve(index, VerticalSegmentQuery{}, &out2);
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(shed.retryable());  // the distinct, transient shed signal
+  index.Open();
+  holder.join();
+  EXPECT_TRUE(held.ok());
+  const ServingStats stats = engine.serving_stats();
+  EXPECT_EQ(stats.shed_overload, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServingTest, QueuedRequestTimesOutWithDeadlineExceeded) {
+  GateIndex index;
+  QueryEngine engine(ServingOptions(/*max_concurrent=*/1, /*max_queue=*/4));
+  std::vector<geom::Segment> out1;
+  Status held = Status::OK();
+  std::thread holder([&] {
+    held = engine.Serve(index, VerticalSegmentQuery{}, &out1);
+  });
+  index.AwaitEntered(1);
+  // Queued behind the held slot with a deadline that expires while
+  // waiting: must self-remove and report kDeadlineExceeded.
+  std::vector<geom::Segment> out2;
+  const Status timed_out =
+      engine.Serve(index, VerticalSegmentQuery{}, &out2,
+                   util::Deadline::After(milliseconds(30)));
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+  {
+    const ServingStats stats = engine.serving_stats();
+    EXPECT_EQ(stats.queued, 1u);
+    EXPECT_EQ(stats.deadline_exceeded, 1u);
+    EXPECT_EQ(stats.queue_depth, 0u);  // the waiter withdrew
+    EXPECT_EQ(stats.max_queue_depth, 1u);
+  }
+  index.Open();
+  holder.join();
+  EXPECT_TRUE(held.ok());
+}
+
+TEST(ServingTest, QueuedRequestIsAdmittedWhenSlotFrees) {
+  GateIndex index;
+  QueryEngine engine(ServingOptions(/*max_concurrent=*/1, /*max_queue=*/4));
+  Status first = Status::OK();
+  Status second = Status::OK();
+  std::vector<geom::Segment> out1;
+  std::vector<geom::Segment> out2;
+  std::thread t1([&] {
+    first = engine.Serve(index, VerticalSegmentQuery{}, &out1);
+  });
+  index.AwaitEntered(1);
+  std::thread t2([&] {
+    second = engine.Serve(index, VerticalSegmentQuery{}, &out2);
+  });
+  // Wait until the second request is parked in the queue, then open the
+  // gate: the first completes, hands its slot over, the second runs.
+  while (engine.serving_stats().queue_depth == 0) {
+    std::this_thread::yield();
+  }
+  index.Open();
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(first.ok());
+  EXPECT_TRUE(second.ok());
+  const ServingStats stats = engine.serving_stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// Many clients against a small engine: whatever interleaving the
+// scheduler produces, the accounting identities must hold and the engine
+// must end quiescent. Named for the TSan job's suite filter.
+TEST(ServingConcurrencyTest, HammeredEngineKeepsAccountingIdentities) {
+  io::SimDiskManager disk(4096);
+  io::BufferPool pool(&disk, 1 << 12);
+  Rng rng(23);
+  auto segs = workload::GenMapLayer(rng, 4096, 1 << 20);
+  TwoLevelIntervalIndex index(&pool);
+  ASSERT_TRUE(index.BulkLoad(segs).ok());
+  auto box = workload::ComputeBoundingBox(segs);
+
+  QueryEngine engine(ServingOptions(/*max_concurrent=*/3, /*max_queue=*/2));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> deadline_count{0};
+  std::atomic<uint64_t> other_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng qrng(1000 + t);
+      auto queries = workload::GenVsQueries(qrng, kPerThread, box, 0.01);
+      std::vector<geom::Segment> out;
+      for (const auto& q : queries) {
+        out.clear();
+        // A mix of undeadlined and tightly-deadlined requests.
+        const util::Deadline deadline =
+            (qrng.Uniform(4) == 0) ? util::Deadline::After(milliseconds(2))
+                                   : util::Deadline::Infinite();
+        const Status s = engine.Serve(
+            index, VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out, deadline);
+        if (s.ok()) {
+          ++ok_count;
+        } else if (s.code() == StatusCode::kOverloaded) {
+          ++shed_count;
+        } else if (s.code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_count;
+        } else {
+          ++other_count;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(other_count.load(), 0u);
+  const uint64_t total = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(ok_count + shed_count + deadline_count, total);
+  EXPECT_GT(ok_count.load(), 0u);
+
+  const ServingStats stats = engine.serving_stats();
+  // Every admission completed; the engine is quiescent.
+  EXPECT_EQ(stats.admitted, stats.completed);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Every request is accounted exactly once at the serving layer: it ran,
+  // was shed, or missed its deadline (pre-admission, queued, or post-run —
+  // the post-run misses also appear in `completed`, hence >=).
+  EXPECT_EQ(stats.shed_overload, shed_count.load());
+  EXPECT_EQ(stats.deadline_exceeded, deadline_count.load());
+  EXPECT_GE(stats.completed, ok_count.load());
+  EXPECT_LE(stats.max_queue_depth, engine.max_queue());
+
+  ASSERT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(ServingTest, ResetServingStatsClearsCounters) {
+  GateIndex index;
+  index.Open();  // queries pass straight through
+  QueryEngine engine(ServingOptions(2, 2));
+  std::vector<geom::Segment> out;
+  ASSERT_TRUE(engine.Serve(index, VerticalSegmentQuery{}, &out).ok());
+  EXPECT_EQ(engine.serving_stats().admitted, 1u);
+  engine.ResetServingStats();
+  const ServingStats stats = engine.serving_stats();
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+}  // namespace
+}  // namespace segdb::core

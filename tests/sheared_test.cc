@@ -47,7 +47,7 @@ struct Direction {
 class ShearedTest : public ::testing::TestWithParam<Direction> {
  protected:
   ShearedTest() : disk_(1024), pool_(&disk_, 2048) {}
-  io::DiskManager disk_;
+  io::SimDiskManager disk_;
   io::BufferPool pool_;
 };
 
@@ -116,7 +116,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ShearedBoundsTest, RejectsOversizedInput) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 64);
   ShearedIndex index(std::make_unique<baseline::OracleIndex>(), 3, 5);
   const int64_t big = geom::kMaxCoord / 4;

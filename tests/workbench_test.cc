@@ -41,7 +41,7 @@ std::vector<uint64_t> Ids(const std::vector<Segment>& segs) {
 class WorkbenchTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(WorkbenchTest, LockStepOperations) {
-  io::DiskManager disk(1024);
+  io::SimDiskManager disk(1024);
   io::BufferPool pool(&disk, 4096);
   Rng rng(GetParam());
 

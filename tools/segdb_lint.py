@@ -22,6 +22,13 @@ io-bypass       DiskManager::ReadPage / WritePage are called only from
                 src/io/ (the BufferPool). Index code that talked to the
                 disk directly would silently corrupt the paper's I/O
                 accounting (pool misses == charged block reads).
+raw-io          raw device syscalls (pread/pwrite/open families) and
+                liburing calls (io_uring_*) appear only in the two I/O
+                engine translation units (src/io/async_io_engine.cc,
+                src/io/file_disk_manager.cc). Anything else doing its own
+                syscalls dodges the AsyncIoEngine seam — EINTR and
+                short-transfer retries, O_DIRECT alignment, the fault
+                story — and the golden I/O accounting.
 naked-suppression
                 Every NO_THREAD_SAFETY_ANALYSIS use carries a
                 `// SAFETY:` justification on the same or one of the two
@@ -94,6 +101,16 @@ RAW_SYNC_RE = re.compile(
     r"shared_lock|condition_variable|condition_variable_any"
     r")\b")
 IO_BYPASS_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
+# The only translation units allowed to issue raw device syscalls or
+# liburing calls; everything else goes through FileDiskManager or the
+# ReadFullAt/WriteFullAt helpers.
+RAW_IO_OWNERS = (
+    "src/io/async_io_engine.cc",
+    "src/io/file_disk_manager.cc",
+)
+RAW_IO_RE = re.compile(
+    r"\b(io_uring_\w+|pread(?:64|v2?)?|pwrite(?:64|v2?)?|open(?:at)?)"
+    r"\s*\(")
 # Matched on stripped lines (so commented-out includes don't count); the
 # path itself is re-extracted from the raw line because the stripper
 # blanks string-literal contents, include paths included.
@@ -320,6 +337,20 @@ def check_io_bypass(rel, _raw_lines, code_lines):
                 "through io::BufferPool")
 
 
+def check_raw_io(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel in RAW_IO_OWNERS:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = RAW_IO_RE.search(line)
+        if m:
+            yield Violation(
+                rel, lineno, "raw-io",
+                f"{m.group(1)}() outside the I/O engine files "
+                f"({', '.join(RAW_IO_OWNERS)}) bypasses the AsyncIoEngine "
+                "retry/alignment seam; go through io::FileDiskManager or "
+                "io::ReadFullAt/WriteFullAt")
+
+
 def check_naked_suppression(rel, raw_lines, code_lines):
     for lineno, line in enumerate(code_lines, 1):
         if SUPPRESSION_TOKEN not in line:
@@ -385,7 +416,7 @@ def check_strip_access(rel, _raw_lines, code_lines):
                 "ConstColumnarPageView")
 
 
-RULES = (check_layering, check_raw_sync, check_io_bypass,
+RULES = (check_layering, check_raw_sync, check_io_bypass, check_raw_io,
          check_naked_suppression, check_thread_local,
          check_header_self_containment, check_strip_access)
 

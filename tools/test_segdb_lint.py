@@ -144,6 +144,49 @@ class IoBypassTest(unittest.TestCase):
             [])
 
 
+class RawIoTest(unittest.TestCase):
+    def test_pread_outside_engine_files_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/io/buffer_pool.cc",
+            "const long n = ::pread(fd, buf, len, off);\n")
+        self.assertEqual(rules_hit(violations), ["raw-io"])
+
+    def test_io_uring_call_outside_engine_files_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/core/query_engine.cc",
+            "io_uring_submit(&ring_);\n")
+        self.assertEqual(rules_hit(violations), ["raw-io"])
+
+    def test_open_and_vectored_variants_rejected(self):
+        for snippet in ("int fd = open(path, O_RDONLY);\n",
+                        "int fd = openat(dirfd, rel, O_RDONLY);\n",
+                        "pwritev(fd, iov, 2, off);\n",
+                        "pread64(fd, buf, len, off);\n"):
+            violations = segdb_lint.lint_text("src/util/dump.cc", snippet)
+            self.assertEqual(rules_hit(violations), ["raw-io"], snippet)
+
+    def test_engine_files_allowed(self):
+        for rel in segdb_lint.RAW_IO_OWNERS:
+            self.assertEqual(
+                segdb_lint.lint_text(
+                    rel, "const long n = ::pread(fd, buf, len, off);\n"),
+                [], rel)
+
+    def test_pread_fn_seam_type_not_matched(self):
+        # The PreadFn/PwriteFn typedef names must not trip the rule.
+        self.assertEqual(
+            segdb_lint.lint_text("src/io/async_io_engine.h",
+                                 "PreadFn pread_fn(nullptr);\n"),
+            [])
+
+    def test_tests_exempt(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "tests/file_disk_manager_test.cc",
+                "const long n = ::pread(fd, buf, len, off);\n"),
+            [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_naked_suppression_rejected(self):
         violations = segdb_lint.lint_text(
