@@ -7,6 +7,7 @@
 namespace segdb::baseline {
 
 Status EndpointPstIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   std::vector<pst::PointRecord> points;
   points.reserve(segments.size());
   // Build the payload map aside: a BulkLoad that fails (bad input or a
@@ -31,6 +32,7 @@ Status EndpointPstIndex::BulkLoad(std::span<const geom::Segment> segments) {
 Status EndpointPstIndex::QueryViaEndpoints(
     int64_t qx, int64_t ylo, int64_t yhi,
     std::vector<geom::Segment>* out) const {
+  SEGDB_IO_BOUND("log", "t/B");
   std::vector<pst::PointRecord> hits;
   SEGDB_RETURN_IF_ERROR(pst_.Query3Sided(ylo, yhi, qx, &hits));
   out->reserve(out->size() + hits.size());

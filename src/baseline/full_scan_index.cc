@@ -5,6 +5,7 @@
 #include "geom/filter_kernel.h"
 #include "geom/predicates.h"
 #include "io/columnar_page_view.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
@@ -26,6 +27,7 @@ Status FullScanIndex::Clear() {
 }
 
 Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   // Build the new page list aside, then swap: a failed allocation
   // mid-build must leave the previous contents intact.
   std::vector<io::PageId> fresh;
@@ -55,6 +57,7 @@ Status FullScanIndex::BulkLoad(std::span<const geom::Segment> segments) {
 }
 
 Status FullScanIndex::Insert(const geom::Segment& segment) {
+  SEGDB_IO_BOUND("1");  // append to the last page, or allocate one
   if (!pages_.empty()) {
     auto ref = pool_->Fetch(pages_.back());
     if (!ref.ok()) return ref.status();
@@ -80,6 +83,7 @@ Status FullScanIndex::Insert(const geom::Segment& segment) {
 }
 
 Status FullScanIndex::Erase(const geom::Segment& segment) {
+  SEGDB_IO_BOUND("scan");
   for (io::PageId id : pages_) {
     auto ref = pool_->Fetch(id);
     if (!ref.ok()) return ref.status();
@@ -105,6 +109,7 @@ Status FullScanIndex::Erase(const geom::Segment& segment) {
 
 Status FullScanIndex::Query(const core::VerticalSegmentQuery& q,
                             std::vector<geom::Segment>* out) const {
+  SEGDB_IO_BOUND("scan");  // the baseline the paper's structures beat
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   for (io::PageId id : pages_) {
     auto ref = pool_->Fetch(id);

@@ -1,11 +1,15 @@
 #include "baseline/interval_stab_index.h"
 
 #include "geom/predicates.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
 Status IntervalStabIndex::Query(const core::VerticalSegmentQuery& q,
                                 std::vector<geom::Segment>* out) const {
+  // t here is the *stabbing* output, which can dominate the VS output —
+  // exactly the gap experiment E8 measures (see the file comment).
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   std::vector<geom::Segment> stabbed;
   SEGDB_RETURN_IF_ERROR(tree_.Stab(q.x0, &stabbed));

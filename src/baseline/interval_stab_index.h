@@ -15,6 +15,7 @@
 #include "core/segment_index.h"
 #include "io/buffer_pool.h"
 #include "itree/interval_tree.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
@@ -25,12 +26,15 @@ class IntervalStabIndex final : public core::SegmentIndex {
       : tree_(pool, options) {}
 
   Status BulkLoad(std::span<const geom::Segment> segments) override {
+    SEGDB_IO_BOUND("scan");
     return tree_.BulkLoad(segments);
   }
   Status Insert(const geom::Segment& segment) override {
+    SEGDB_IO_BOUND("scan");  // amortized O(log_B n); rebuilds scan
     return tree_.Insert(segment);
   }
   Status Erase(const geom::Segment& segment) override {
+    SEGDB_IO_BOUND("log", "t/B");
     return tree_.Erase(segment);
   }
   Status Query(const core::VerticalSegmentQuery& query,

@@ -1,20 +1,24 @@
 #include "baseline/oracle.h"
 
 #include "geom/predicates.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
 Status OracleIndex::BulkLoad(std::span<const geom::Segment> segments) {
+  SEGDB_IO_BOUND("1");  // purely in-memory; the oracle does no page I/O
   segments_.assign(segments.begin(), segments.end());
   return Status::OK();
 }
 
 Status OracleIndex::Insert(const geom::Segment& segment) {
+  SEGDB_IO_BOUND("1");
   segments_.push_back(segment);
   return Status::OK();
 }
 
 Status OracleIndex::Erase(const geom::Segment& segment) {
+  SEGDB_IO_BOUND("1");
   for (auto it = segments_.begin(); it != segments_.end(); ++it) {
     if (*it == segment) {
       segments_.erase(it);
@@ -26,6 +30,7 @@ Status OracleIndex::Erase(const geom::Segment& segment) {
 
 Status OracleIndex::Query(const core::VerticalSegmentQuery& q,
                           std::vector<geom::Segment>* out) const {
+  SEGDB_IO_BOUND("1");
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   for (const geom::Segment& s : segments_) {
     if (geom::IntersectsVerticalSegment(s, q.x0, q.ylo, q.yhi)) {
@@ -37,6 +42,7 @@ Status OracleIndex::Query(const core::VerticalSegmentQuery& q,
 
 Status StabFilterIndex::Query(const core::VerticalSegmentQuery& q,
                               std::vector<geom::Segment>* out) const {
+  SEGDB_IO_BOUND("scan");  // cost of the wrapped index's line query
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   std::vector<geom::Segment> stabbed;
   SEGDB_RETURN_IF_ERROR(

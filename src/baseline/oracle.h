@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/segment_index.h"
+#include "util/check.h"
 
 namespace segdb::baseline {
 
@@ -43,9 +44,11 @@ class StabFilterIndex final : public core::SegmentIndex {
       : inner_(std::move(inner)) {}
 
   Status BulkLoad(std::span<const geom::Segment> segments) override {
+    SEGDB_IO_BOUND("scan");
     return inner_->BulkLoad(segments);
   }
   Status Insert(const geom::Segment& segment) override {
+    SEGDB_IO_BOUND("scan");  // cost of the wrapped index's insert
     return inner_->Insert(segment);
   }
   Status Query(const core::VerticalSegmentQuery& query,

@@ -145,6 +145,7 @@ Status RTreeIndex::FreeSubtree(io::PageId id) {
 }
 
 Status RTreeIndex::BulkLoad(std::span<const Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   // Pack the replacement tree aside, then swap: a failed allocation
   // mid-pack must leave the previous contents intact and queryable.
   io::PageId fresh_root = io::kInvalidPageId;
@@ -371,6 +372,7 @@ Result<RTreeIndex::SplitResult> RTreeIndex::InsertRecursive(
 }
 
 Status RTreeIndex::Insert(const Segment& segment) {
+  SEGDB_IO_BOUND("log");  // one descent plus a split cascade
   Entry entry{};
   entry.rect = BoundsOf(segment);
   entry.child = io::kInvalidPageId;
@@ -398,6 +400,7 @@ Status RTreeIndex::Insert(const Segment& segment) {
   for (uint32_t i = 0; i < height_ + 1; ++i) {
     auto ref = pool_->NewPage();
     if (!ref.ok()) {
+      // SEMA-LOOP: height (rolls back at most height_+1 reserved pages)
       for (io::PageId id : reserve) pool_->FreePage(id).IgnoreError();
       return ref.status();
     }
@@ -407,6 +410,7 @@ Status RTreeIndex::Insert(const Segment& segment) {
   Result<SplitResult> result =
       InsertRecursive(root_, height_, entry, &new_rect, &reserve);
   if (!result.ok()) {
+    // SEMA-LOOP: height (rolls back at most height_+1 reserved pages)
     for (io::PageId id : reserve) pool_->FreePage(id).IgnoreError();
     return result.status();
   }
@@ -431,8 +435,9 @@ Status RTreeIndex::Insert(const Segment& segment) {
     root_ = new_root;
     ++height_;
   }
+  // SEMA-LOOP: height (at most height_+1 unused cascade reserves)
   for (io::PageId id : reserve) {
-    pool_->FreePage(id).IgnoreError();  // unused cascade reserves
+    pool_->FreePage(id).IgnoreError();
   }
   ++size_;
   return Status::OK();
@@ -470,6 +475,9 @@ Status RTreeIndex::QueryRecursive(io::PageId node, const Rect& qrect,
 
 Status RTreeIndex::Query(const core::VerticalSegmentQuery& q,
                          std::vector<Segment>* out) const {
+  // R-trees give no worst-case output-sensitive bound: overlapping MBRs
+  // can force the recursion through the whole tree (experiment E8).
+  SEGDB_IO_BOUND("scan");
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   if (root_ == io::kInvalidPageId) return Status::OK();
   const Rect qrect{q.x0, q.ylo, q.x0, q.yhi};

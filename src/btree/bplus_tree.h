@@ -310,12 +310,14 @@ Status BPlusTree<Record, Compare>::FreeSubtree(io::PageId id) {
 
 template <typename Record, typename Compare>
 Status BPlusTree<Record, Compare>::BulkLoad(std::span<const Record> sorted) {
+  SEGDB_IO_BOUND("scan");
   return BulkLoadWithPositions(sorted, nullptr);
 }
 
 template <typename Record, typename Compare>
 Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
     std::span<const Record> sorted, std::vector<Position>* positions) {
+  SEGDB_IO_BOUND("scan");
   SEGDB_RETURN_IF_ERROR(Clear());
   if (positions != nullptr) {
     positions->clear();
@@ -414,6 +416,7 @@ Status BPlusTree<Record, Compare>::BulkLoadWithPositions(
 
 template <typename Record, typename Compare>
 Status BPlusTree<Record, Compare>::Insert(const Record& record) {
+  SEGDB_IO_BOUND("log");  // descent + split cascade, both height-bounded
   if (root_ == io::kInvalidPageId) {
     auto ref = pool_->NewPage();
     if (!ref.ok()) return ref.status();
@@ -439,7 +442,7 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
   };
   std::vector<PathEntry> path;
   io::PageId cur = root_;
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: height (root-to-leaf descent)
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
@@ -504,6 +507,7 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
     need += static_cast<uint32_t>(full_suffix);
     if (full_suffix == path.size()) ++need;  // the root splits too
     spare.reserve(need);
+    // SEMA-LOOP: height (need <= height+2: one page per full ancestor)
     for (uint32_t k = 0; k < need; ++k) {
       auto sref = pool_->NewPage();
       if (!sref.ok()) {
@@ -511,6 +515,7 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
         ids.reserve(spare.size());
         for (const io::PageRef& r : spare) ids.push_back(r.page_id());
         spare.clear();  // destroys every spare PageRef, dropping its pin
+        // SEMA-LOOP: height (rolls back the height-bounded reservation)
         for (io::PageId id : ids) pool_->FreePage(id).IgnoreError();
         return sref.status();
       }
@@ -623,9 +628,12 @@ Status BPlusTree<Record, Compare>::Insert(const Record& record) {
 
 template <typename Record, typename Compare>
 Status BPlusTree<Record, Compare>::Erase(const Record& record) {
+  // "t/B" covers the walk over a cmp-equal duplicate group, which may
+  // span leaves before the bitwise match is found.
+  SEGDB_IO_BOUND("log", "t/B");
   if (root_ == io::kInvalidPageId) return Status::NotFound("empty tree");
   io::PageId cur = root_;
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: height (root-to-leaf descent)
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
     io::Page& p = ref.value().page();
@@ -637,7 +645,7 @@ Status BPlusTree<Record, Compare>::Erase(const Record& record) {
     // bitwise match.
     uint32_t slot = LeafLowerBound(p, record);
     io::PageRef leaf_ref = std::move(ref.value());
-    for (;;) {
+    for (;;) {  // SEMA-LOOP: record (cmp-equal duplicate group)
       io::Page& lp = leaf_ref.page();
       const uint32_t count = Count(lp);
       if (slot >= count) {
@@ -672,7 +680,7 @@ BPlusTree<Record, Compare>::LowerBoundPosition(const Record& key) const {
   Position pos;
   if (root_ == io::kInvalidPageId) return pos;
   io::PageId cur = root_;
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: height (root-to-leaf descent)
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
@@ -705,7 +713,7 @@ Status BPlusTree<Record, Compare>::FindFirstWhere(Pred pred, Position* pos,
   *pred_valid = false;
   if (root_ == io::kInvalidPageId) return Status::OK();
   io::PageId cur = root_;
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: height (root-to-leaf descent)
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();
@@ -847,7 +855,7 @@ template <typename Fn>
 Status BPlusTree<Record, Compare>::ScanAll(Fn fn) const {
   if (root_ == io::kInvalidPageId) return Status::OK();
   io::PageId cur = root_;
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: height (leftmost root-to-leaf descent)
     auto ref = pool_->Fetch(cur);
     if (!ref.ok()) return ref.status();
     const io::Page& p = ref.value().page();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geom/segment.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace segdb::core {
@@ -56,6 +57,7 @@ class SegmentIndex {
   // paper's Theorem 1 supports full updates; structures without a
   // deletion path keep the default.
   virtual Status Erase(const geom::Segment& /*segment*/) {
+    SEGDB_IO_BOUND("1");  // the default does no I/O at all
     return Status::Unimplemented(name() + " does not support deletion");
   }
 

@@ -46,6 +46,7 @@ Status ShearedIndex::ValidateInput(const Segment& s) const {
 }
 
 Status ShearedIndex::BulkLoad(std::span<const Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   std::vector<Segment> transformed;
   transformed.reserve(segments.size());
   for (const Segment& s : segments) {
@@ -57,17 +58,25 @@ Status ShearedIndex::BulkLoad(std::span<const Segment> segments) {
 }
 
 Status ShearedIndex::Insert(const Segment& s) {
+  SEGDB_IO_BOUND("scan");  // cost class of the wrapped index's insert
   SEGDB_RETURN_IF_ERROR(ValidateInput(s));
   return inner_->Insert(Segment::Make(Forward(s.lo()), Forward(s.hi()), s.id));
 }
 
 Status ShearedIndex::Erase(const Segment& s) {
+  SEGDB_IO_BOUND("scan");  // cost class of the wrapped index's erase
   SEGDB_RETURN_IF_ERROR(ValidateInput(s));
   return inner_->Erase(Segment::Make(Forward(s.lo()), Forward(s.hi()), s.id));
 }
 
 Status ShearedIndex::RunQuery(const VerticalSegmentQuery& q,
                               std::vector<Segment>* out) const {
+  // The shear only re-labels coordinates, so the wrapped index's query
+  // bound carries over unchanged. `inner_` is one of the paper's
+  // structures (Theorem 1 or 2 class); the checker's virtual-dispatch
+  // union over every SegmentIndex::Query over-approximates to scan.
+  // SEMA-OK: virtual inner index; bound matches the wrapped structure
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");
   std::vector<Segment> transformed;
   SEGDB_RETURN_IF_ERROR(inner_->Query(q, &transformed));
   out->reserve(out->size() + transformed.size());
@@ -79,6 +88,7 @@ Status ShearedIndex::RunQuery(const VerticalSegmentQuery& q,
 
 Status ShearedIndex::QuerySegment(Point anchor, int64_t steps,
                                   std::vector<Segment>* out) const {
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");  // RunQuery's class (footnote 1)
   if (steps < 0) return Status::InvalidArgument("steps must be >= 0");
   const Point a = Forward(anchor);
   // In the transformed plane the query runs vertically from a.y by
@@ -91,6 +101,7 @@ Status ShearedIndex::QuerySegment(Point anchor, int64_t steps,
 
 Status ShearedIndex::QueryLine(Point anchor,
                                std::vector<Segment>* out) const {
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");  // RunQuery's class (footnote 1)
   const Point a = Forward(anchor);
   return RunQuery(VerticalSegmentQuery::Line(a.x), out);
 }

@@ -246,6 +246,7 @@ Status TwoLevelBinaryIndex::CollectSubtree(int32_t idx,
 }
 
 Status TwoLevelBinaryIndex::BulkLoad(std::span<const Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   // Build the replacement tree before freeing the old one: a load that
   // faults mid-build leaves the previous contents fully intact (the
   // partial build unwinds itself), so a failed BulkLoad is a no-op.
@@ -302,6 +303,9 @@ Status TwoLevelBinaryIndex::InsertAtNode(int32_t idx, const Segment& s) {
 }
 
 Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
+  // Amortized O(log_B n) (Theorem 1's update bound): height-bounded
+  // descent into per-node PSTs, plus an occasional subtree rebuild.
+  SEGDB_IO_BOUND("scan");
   // Bookkeeping is deferred: size_ and the per-node subtree_size /
   // updates_since_rebuild counters along the descent path are committed
   // only once the structural work has succeeded. A faulted insert thus
@@ -426,6 +430,7 @@ Status TwoLevelBinaryIndex::Insert(const Segment& segment) {
 }
 
 Status TwoLevelBinaryIndex::Erase(const Segment& segment) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); the PSTs may repack
   // Pass 1: locate and remove from the owning structure (no bookkeeping
   // yet, so a NotFound leaves the index untouched).
   std::vector<int32_t> path;
@@ -533,6 +538,9 @@ Status TwoLevelBinaryIndex::QueryNode(const Node& node,
 
 Status TwoLevelBinaryIndex::Query(const VerticalSegmentQuery& q,
                                   std::vector<Segment>* out) const {
+  // Theorem 1: O(log_B n + t/B) I/Os — a height-bounded descent with
+  // O(1 + t_v/B) PST queries per visited node.
+  SEGDB_IO_BOUND("log", "t/B");
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   int32_t cur = root_;
   std::vector<io::PageId> ahead;  // read-ahead hint for the next descent step

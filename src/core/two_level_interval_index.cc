@@ -283,6 +283,7 @@ Status TwoLevelIntervalIndex::CollectSubtree(
 }
 
 Status TwoLevelIntervalIndex::BulkLoad(std::span<const Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   if (segments.empty()) {
     if (root_ >= 0) {
       SEGDB_RETURN_IF_ERROR(FreeSubtree(root_));
@@ -371,6 +372,9 @@ Status TwoLevelIntervalIndex::InsertAtNode(int32_t idx, const Segment& s) {
 }
 
 Status TwoLevelIntervalIndex::Insert(const Segment& segment) {
+  // Amortized O(log_B n) (Theorem 2's update bound): height-bounded
+  // descent, plus an occasional subtree rebuild.
+  SEGDB_IO_BOUND("scan");
   if (root_ < 0) {
     Result<int32_t> root = BuildSubtree({segment});
     if (!root.ok()) return root.status();
@@ -487,6 +491,7 @@ Status TwoLevelIntervalIndex::Insert(const Segment& segment) {
 }
 
 Status TwoLevelIntervalIndex::Erase(const Segment& segment) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); substructures repack
   std::vector<int32_t> path;
   int32_t cur = root_;
   Status removed = Status::NotFound("segment not stored");
@@ -578,6 +583,9 @@ Status TwoLevelIntervalIndex::Erase(const Segment& segment) {
 
 Status TwoLevelIntervalIndex::Query(const VerticalSegmentQuery& q,
                                     std::vector<Segment>* out) const {
+  // Theorem 2: O(log_B n + sqrt(n/B) + t/B) I/Os — the sqrt term is the
+  // multislab sweep at each visited interval-tree node.
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");
   if (q.ylo > q.yhi) return Status::InvalidArgument("ylo > yhi");
   int32_t cur = root_;
   std::vector<io::PageId> ahead;  // read-ahead hint for the next descent step

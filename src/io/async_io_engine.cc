@@ -174,6 +174,9 @@ class ThreadPoolIoEngine final : public AsyncIoEngine {
     size_t drained;
     {
       util::MutexLock lock(&mu_);
+      // Deadline polling lives above the engine (the scheduler times out
+      // submissions, not completions), so this wait is exempt.
+      // SEMA-OK: device-completion wait; blocks until an in-flight op ends
       while (done_.empty()) cv_.Wait(mu_);
       drained = done_.size();
       completed->insert(completed->end(), done_.begin(), done_.end());
@@ -254,6 +257,9 @@ class UringIoEngine final : public AsyncIoEngine {
       return Status::FailedPrecondition("WaitOne with no ops in flight");
     }
     size_t before = completed->size();
+    // Deadline polling lives above the engine (the scheduler times out
+    // submissions, not completions), so this wait is exempt.
+    // SEMA-OK: device-completion wait; blocks in io_uring_enter until done
     while (completed->size() == before) {
       int rc = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
       if (rc < 0) {
@@ -368,7 +374,7 @@ class UringIoEngine final : public AsyncIoEngine {
     unsigned resubmits = 0;
     uint32_t head = std::atomic_ref<uint32_t>(*cq_head_).load(
         std::memory_order_relaxed);
-    for (;;) {
+    for (;;) {  // SEMA-LOOP: bounded (drains at most cq-ring-size entries)
       uint32_t tail = std::atomic_ref<uint32_t>(*cq_tail_).load(
           std::memory_order_acquire);
       if (head == tail) break;

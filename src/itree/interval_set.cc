@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/check.h"
+
 namespace segdb::itree {
 
 Status IntervalSet::Validate(const Interval& iv) {
@@ -13,6 +15,7 @@ Status IntervalSet::Validate(const Interval& iv) {
 }
 
 Status IntervalSet::BulkLoad(std::span<const Interval> intervals) {
+  SEGDB_IO_BOUND("scan");
   std::vector<pst::PointRecord> points;
   points.reserve(intervals.size());
   for (const Interval& iv : intervals) {
@@ -23,21 +26,25 @@ Status IntervalSet::BulkLoad(std::span<const Interval> intervals) {
 }
 
 Status IntervalSet::Insert(const Interval& interval) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); see LinePst::Insert
   SEGDB_RETURN_IF_ERROR(Validate(interval));
   return impl_.Insert(Encode(interval));
 }
 
 Status IntervalSet::Erase(const Interval& interval) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); see LinePst::Erase
   SEGDB_RETURN_IF_ERROR(Validate(interval));
   return impl_.Erase(Encode(interval));
 }
 
 Status IntervalSet::Stab(int64_t q, std::vector<Interval>* out) const {
+  SEGDB_IO_BOUND("log", "t/B");
   return Intersect(q, q, out);
 }
 
 Status IntervalSet::Intersect(int64_t a, int64_t b,
                               std::vector<Interval>* out) const {
+  SEGDB_IO_BOUND("log", "t/B");
   if (a > b) return Status::InvalidArgument("a > b");
   std::vector<pst::PointRecord> hits;
   // lo <= b and hi >= a.

@@ -182,6 +182,7 @@ Status IntervalTree::EraseAtNode(Node* node, const Segment& s) {
   if (last > first && node->mroot >= 0) {
     std::vector<int32_t> alloc;
     AllocateMultislab(*node, node->mroot, first + 1, last, &alloc);
+    // SEMA-LOOP: height (alloc holds the O(log #slabs) allocation nodes)
     for (int32_t mi : alloc) {
       const Status st = node->mtree[mi].list->Erase(s);
       if (!st.ok()) {
@@ -337,6 +338,7 @@ Status IntervalTree::CollectSubtree(int32_t idx,
 }
 
 Status IntervalTree::BulkLoad(std::span<const Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   // Build the replacement tree aside, then swap: a failed allocation
   // mid-build must leave the previous contents intact and queryable.
   int32_t fresh = -1;
@@ -355,6 +357,9 @@ Status IntervalTree::BulkLoad(std::span<const Segment> segments) {
 }
 
 Status IntervalTree::Insert(const Segment& segment) {
+  // Amortized O(log_B n): the descent is height-bounded, but an insert
+  // that trips the rebuild trigger rescans the overgrown subtree.
+  SEGDB_IO_BOUND("scan");
   if (root_ < 0) {
     Result<int32_t> root = BuildSubtree({segment});
     if (!root.ok()) return root.status();
@@ -461,6 +466,7 @@ Status IntervalTree::Insert(const Segment& segment) {
 }
 
 Status IntervalTree::Erase(const Segment& segment) {
+  SEGDB_IO_BOUND("log", "t/B");
   std::vector<int32_t> path;
   int32_t cur = root_;
   Status removed = Status::NotFound("segment not stored");
@@ -509,6 +515,9 @@ Status IntervalTree::Erase(const Segment& segment) {
 }
 
 Status IntervalTree::Stab(int64_t x0, std::vector<Segment>* out) const {
+  // O(log_B n + sqrt(n/B) + t/B): each node on the stabbing path scans
+  // its multislab lists, the Section-4 bound (Theorem 2's inner tree).
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");
   int32_t cur = root_;
   while (cur >= 0) {
     const Node& node = nodes_[cur];

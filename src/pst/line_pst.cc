@@ -243,6 +243,7 @@ Result<io::PageId> LinePst::BuildSubtree(std::vector<geom::Segment> segs,
 }
 
 Status LinePst::BulkLoad(std::span<const geom::Segment> segments) {
+  SEGDB_IO_BOUND("scan");
   // Validate and build the replacement tree before freeing the old one: a
   // faulted load unwinds its partial build and leaves the previous
   // contents untouched, so a failed BulkLoad is a no-op.
@@ -275,6 +276,9 @@ Status LinePst::BulkLoad(std::span<const geom::Segment> segments) {
 }
 
 Status LinePst::Insert(const geom::Segment& segment) {
+  // Amortized O(log_B n): the descent is height-bounded, but an insert
+  // that trips the density trigger rebuilds the overgrown subtree.
+  SEGDB_IO_BOUND("scan");
   geom::Segment g = Canonical(segment);
   SEGDB_RETURN_IF_ERROR(ValidateInput(g));
   return InsertCanonical(g);
@@ -310,6 +314,9 @@ Status LinePst::RebuildAll() {
 }
 
 Status LinePst::Erase(const geom::Segment& segment) {
+  // Amortized O(log_B n): the locate/rewrite passes are height-bounded,
+  // but the half-empty density trigger repacks the whole tree.
+  SEGDB_IO_BOUND("scan");
   const geom::Segment g = Canonical(segment);
   SEGDB_RETURN_IF_ERROR(ValidateInput(g));
   if (root_ == io::kInvalidPageId) return Status::NotFound("empty PST");
@@ -653,6 +660,7 @@ struct QueryState {
 
 Status LinePst::Query(int64_t qx, int64_t ylo, int64_t yhi,
                       std::vector<geom::Segment>* out) const {
+  SEGDB_IO_BOUND("log", "t/B");  // the external PST bound (Section 2)
   if (ylo > yhi) return Status::InvalidArgument("ylo > yhi");
   if (direction_ == Direction::kRight ? qx < base_x_ : qx > base_x_) {
     return Status::InvalidArgument(

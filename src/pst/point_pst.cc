@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/check.h"
+
 namespace segdb::pst {
 
 namespace {
@@ -26,6 +28,7 @@ PointRecord PointPst::Decode(const geom::Segment& s) {
 }
 
 Status PointPst::BulkLoad(std::span<const PointRecord> points) {
+  SEGDB_IO_BOUND("scan");
   std::vector<geom::Segment> encoded;
   encoded.reserve(points.size());
   for (const PointRecord& p : points) {
@@ -39,6 +42,7 @@ Status PointPst::BulkLoad(std::span<const PointRecord> points) {
 }
 
 Status PointPst::Insert(const PointRecord& point) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); see LinePst::Insert
   if (std::abs(point.x) > geom::kMaxCoord ||
       std::abs(point.y) > geom::kMaxCoord) {
     return Status::InvalidArgument("point " + std::to_string(point.id) +
@@ -48,6 +52,7 @@ Status PointPst::Insert(const PointRecord& point) {
 }
 
 Status PointPst::Erase(const PointRecord& point) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); see LinePst::Erase
   if (std::abs(point.x) > geom::kMaxCoord ||
       std::abs(point.y) > geom::kMaxCoord) {
     return Status::NotFound("point outside the coordinate bound");
@@ -65,6 +70,7 @@ Status PointPst::CollectAll(std::vector<PointRecord>* out) const {
 
 Status PointPst::Query3Sided(int64_t xlo, int64_t xhi, int64_t ylo,
                              std::vector<PointRecord>* out) const {
+  SEGDB_IO_BOUND("log", "t/B");  // the external PST bound (Section 2)
   if (xlo > xhi) return Status::InvalidArgument("xlo > xhi");
   // Stored keys satisfy y >= -kMaxCoord, so clamping an unbounded ylo to
   // the base line preserves the answer while keeping the transposed query

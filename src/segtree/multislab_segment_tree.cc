@@ -351,6 +351,7 @@ Status MultislabSegmentTree::BuildLists(
 }
 
 Status MultislabSegmentTree::Insert(const Segment& segment) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); lists may repack
   uint32_t first, last;
   if (!CrossedRange(boundaries_, segment, &first, &last)) {
     return Status::InvalidArgument(
@@ -388,6 +389,7 @@ Status MultislabSegmentTree::Insert(const Segment& segment) {
 }
 
 Status MultislabSegmentTree::Erase(const Segment& segment) {
+  SEGDB_IO_BOUND("scan");  // amortized O(log_B n); lists may repack
   uint32_t first, last;
   if (!CrossedRange(boundaries_, segment, &first, &last)) {
     return Status::NotFound("segment has no long part here");
@@ -627,7 +629,7 @@ Status MultislabSegmentTree::ScanNodeList(const GNode& node, int64_t x0,
     }
     return Status::OK();
   }
-  for (;;) {
+  for (;;) {  // SEMA-LOOP: record (backward walk over one tie group)
     Cursor back = cur;
     SEGDB_RETURN_IF_ERROR(back.Prev());
     if (!back.valid()) break;
@@ -695,6 +697,9 @@ Status MultislabSegmentTree::ScanNodeList(const GNode& node, int64_t x0,
 
 Status MultislabSegmentTree::Query(int64_t x0, int64_t ylo, int64_t yhi,
                                    std::vector<Segment>* out) const {
+  // O(log_B n + sqrt(n/B) + t/B): one multislab-list probe per crossing
+  // slab along the stabbing path (Section 4's long-segment structure).
+  SEGDB_IO_BOUND("log", "sqrt", "t/B");
   if (ylo > yhi) return Status::InvalidArgument("ylo > yhi");
   bool on_boundary = false;
   const uint32_t k = LocateSlab(x0, &on_boundary);

@@ -78,4 +78,24 @@ class CheckFailure {
   do {                       \
   } while (false)
 
+// Declares the worst-case I/O-cost class of a query/mutation entry point as
+// a set of additive terms, written as the first statement of the function
+// body:
+//
+//   SEGDB_IO_BOUND("log", "t/B");          // O(log_B n + t/B)      Theorem 1
+//   SEGDB_IO_BOUND("log", "sqrt", "t/B");  // O(log_B n + sqrt(n/B) + t/B)
+//                                          //                       Theorem 2
+//   SEGDB_IO_BOUND("scan");                // O(n/B) rebuild/bulk path
+//
+// Term vocabulary: "1" (constant), "log" (height-bounded descent),
+// "sqrt" (slab sweep, sqrt(n/B)), "t/B" (output-sensitive reporting),
+// "scan" (linear in index size). Purely declarative — expands to nothing —
+// but tools/segdb_sema derives a symbolic Fetch-count class for every
+// function over the call graph and fails the build if a derived term
+// exceeds the annotation (DESIGN.md section 17). This is how Theorems 1-2
+// of the paper stay CI-enforced invariants instead of comments.
+#define SEGDB_IO_BOUND(...) \
+  do {                      \
+  } while (false)
+
 #endif  // SEGDB_UTIL_CHECK_H_

@@ -44,12 +44,17 @@ fi
 echo "lint.sh: segdb_lint.py (architecture rules)"
 python3 tools/segdb_lint.py || status=1
 
-echo "lint.sh: segdb_sema (pin / status / atomicity rules)"
+echo "lint.sh: segdb_sema (pin / status / atomicity / blocking / deadline / io-cost rules)"
 if [ -n "${compile_db}" ]; then
   python3 tools/segdb_sema --compile-db "${compile_db}" || status=1
 else
   python3 tools/segdb_sema || status=1
 fi
+
+echo "lint.sh: check_bench_json.py (tracked BENCH_*.json schemas)"
+for bench in BENCH_micro.json BENCH_e3.json BENCH_e4.json BENCH_e14.json; do
+  python3 tools/check_bench_json.py "${bench}" || status=1
+done
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found on PATH; skipping clang-tidy." >&2

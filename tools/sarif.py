@@ -1,0 +1,67 @@
+"""Shared SARIF 2.1.0 emitter for segdb_lint and segdb_sema.
+
+Both tools produce findings shaped (path, line, rule, message); this
+module turns a list of them into the minimal SARIF document GitHub's
+code-scanning upload accepts, so findings render as inline annotations
+on pull requests. One run per tool, one reportingDescriptor per distinct
+rule, one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(tool_name: str, findings, info_uri: str = "") -> dict:
+    """SARIF document (as a plain dict) for findings with .path/.line/
+    .rule/.message attributes; paths are repo-relative."""
+    rules = sorted({f.rule for f in findings})
+    rule_index = {r: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(f.line))},
+                },
+            }],
+        })
+    driver = {
+        "name": tool_name,
+        "rules": [{"id": r, "name": r} for r in rules],
+    }
+    if info_uri:
+        driver["informationUri"] = info_uri
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def dump(tool_name: str, findings, stream, info_uri: str = "") -> None:
+    json.dump(to_sarif(tool_name, findings, info_uri), stream, indent=2,
+              sort_keys=True)
+    stream.write("\n")
+
+
+def write_file(tool_name: str, findings, path: str,
+               info_uri: str = "") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        dump(tool_name, findings, fh, info_uri)

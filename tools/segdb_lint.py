@@ -100,6 +100,13 @@ RAW_SYNC_RE = re.compile(
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock|condition_variable|condition_variable_any"
     r")\b")
+# Raw time machinery outside src/util/: sleeps and hand-rolled
+# std::chrono deadline math bypass util::Deadline (monotonic clock,
+# remaining-budget propagation) and CondVar::WaitUntil. util/ itself
+# implements those wrappers, so it is the one place allowed to name
+# std::chrono / std::this_thread.
+RAW_TIME_RE = re.compile(
+    r"\bstd\s*::\s*(this_thread\s*::\s*sleep_(?:for|until)|chrono)\b")
 IO_BYPASS_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
 # The only translation units allowed to issue raw device syscalls or
 # liburing calls; everything else goes through FileDiskManager or the
@@ -324,6 +331,20 @@ def check_raw_sync(rel, _raw_lines, code_lines):
                 "annotated util::Mutex / util::MutexLock / util::CondVar")
 
 
+def check_raw_time(rel, _raw_lines, code_lines):
+    if not rel.startswith("src/") or rel.startswith("src/util/"):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        m = RAW_TIME_RE.search(line)
+        if m:
+            what = "std::" + re.sub(r"\s+", "", m.group(1))
+            yield Violation(
+                rel, lineno, "raw-time",
+                f"{what} outside src/util/; express timeouts through "
+                "util::Deadline and waits through util::CondVar::WaitUntil "
+                "so budgets propagate and clocks stay monotonic")
+
+
 def check_io_bypass(rel, _raw_lines, code_lines):
     if not rel.startswith("src/") or rel.startswith("src/io/"):
         return
@@ -416,8 +437,8 @@ def check_strip_access(rel, _raw_lines, code_lines):
                 "ConstColumnarPageView")
 
 
-RULES = (check_layering, check_raw_sync, check_io_bypass, check_raw_io,
-         check_naked_suppression, check_thread_local,
+RULES = (check_layering, check_raw_sync, check_raw_time, check_io_bypass,
+         check_raw_io, check_naked_suppression, check_thread_local,
          check_header_self_containment, check_strip_access)
 
 
@@ -481,18 +502,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--root", default=default_root,
                         help="repository root (default: the checkout "
                              "containing this script)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (sarif: SARIF 2.1.0 for GitHub "
+                             "code scanning)")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout "
+                             "(the exit code is unchanged)")
     parser.add_argument("files", nargs="*",
                         help="repo-relative files to lint (default: all "
                              "sources under src/ tests/ bench/ examples/)")
     args = parser.parse_args(argv)
 
     violations = run(args.root, args.files or None)
-    for v in violations:
-        print(v)
+    if args.fmt == "sarif":
+        import sarif
+        if args.output:
+            sarif.write_file("segdb_lint", violations, args.output)
+        else:
+            sarif.dump("segdb_lint", violations, sys.stdout)
+    else:
+        out = sys.stdout
+        if args.output:
+            out = open(args.output, "w", encoding="utf-8")
+        for v in violations:
+            print(v, file=out)
+        if args.output:
+            out.close()
     if violations:
         print(f"segdb_lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
-    print("segdb_lint: OK")
+    print("segdb_lint: OK",
+          file=sys.stderr if args.fmt == "sarif" else sys.stdout)
     return 0
 
 

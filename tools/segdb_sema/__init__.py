@@ -1,7 +1,7 @@
 """segdb_sema: AST-accurate semantic checker suite for segdb.
 
-Three check families, enforcing the invariants the paper's I/O bounds and
-PR 5's fault-atomicity contract rest on (DESIGN.md section 14):
+Six check families, enforcing the invariants the paper's I/O bounds and
+the fault-atomicity contract rest on (DESIGN.md sections 14 and 17):
 
   pin discipline       every BufferPool::Fetch/NewPage result flows into an
                        RAII PageRef; no use after move/Release; no raw
@@ -16,6 +16,22 @@ PR 5's fault-atomicity contract rest on (DESIGN.md section 14):
                        baseline}) write member state only after the last
                        allocation-fallible call, after SEGDB_COMMIT_POINT(),
                        or under a `// SEMA-OK:` documented rollback.
+  blocking-under-lock  no call that transitively reaches device I/O, a
+                       CondVar wait, or Serve admission while a util::Mutex
+                       capability is held; lock-order graph from
+                       SEGDB_ACQUIRED_BEFORE declarations plus observed
+                       nested acquires, with cycle detection.
+  deadline propagation every loop in Serve-reachable code is classifiable
+                       as bounded (height/record/... from the condition
+                       shape, or an asserted `// SEMA-LOOP: <class>`) or
+                       polls util::Deadline.
+  I/O-cost bounds      every public query/mutation entry point declares its
+                       page-access class with SEGDB_IO_BOUND("1"|"log"|
+                       "sqrt"|"t/B"|"scan", ...); the checker derives each
+                       function's class over the call graph (loop classes
+                       lift callee terms) and flags annotations the derived
+                       class exceeds — Theorems 1-2 of the paper are
+                       thereby CI-enforced.
 
 Two interchangeable frontends produce the same micro-AST:
 
@@ -31,7 +47,9 @@ lines suppresses a finding; a SEMA-OK without a reason is itself reported
 Run: python3 tools/segdb_sema [--frontend auto|pycpp|cindex] [files...]
 """
 
-from __future__ import annotations
+# No `from __future__ import annotations` here: it would bind a package
+# attribute named `annotations` that shadows the annotations.py submodule
+# in `from segdb_sema import annotations` resolution.
 
 import os
 import sys

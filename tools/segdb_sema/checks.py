@@ -17,17 +17,30 @@ pin family:       pin-raw-release, pin-use-after-invalid, pin-escape,
 status family:    status-unchecked-value, status-swallowed,
                   status-use-after-move, status-ioerror-to-ok
 atomicity family: atomicity-early-mutation, atomicity-fallible-after-commit
+blocking family:  blocking-under-lock, lock-order-cycle
+deadline family:  deadline-unpolled-loop
+(The I/O-cost family — io-bound-missing / io-bound-exceeded — is a
+whole-tree pass and lives in iocost.py; it shares classify_loop below.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from segdb_sema import cppast, model
+from segdb_sema import annotations, cppast, model
 
 # The buffer pool implements PageRef; the pin rules would flag its own
 # internals. Everything else in src/ is checked.
 PIN_EXEMPT_FILES = ("src/io/buffer_pool.h", "src/io/buffer_pool.cc")
+
+# Files that hold a util::Mutex across device I/O *by design*: the buffer
+# pool serializes frame state transitions around faults, and the file
+# disk manager serializes the single backing file descriptor. Everything
+# above them must release locks before touching either.
+BLOCKING_EXEMPT_FILES = (
+    "src/io/buffer_pool.h", "src/io/buffer_pool.cc",
+    "src/io/file_disk_manager.cc",
+)
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
 _MUTATORS = {
@@ -90,10 +103,13 @@ def _merge_env(a, b):
 # ---------------------------------------------------------------------------
 
 class Checker:
-    def __init__(self, rel: str, registry: model.Registry):
+    def __init__(self, rel: str, registry: model.Registry, facts=None):
         self.rel = rel
         self.reg = registry
+        self.facts = facts if facts is not None else annotations.Facts()
         self.findings: list[RawFinding] = []
+        # Observed nested-acquire lock-order edges: (before, after, line).
+        self.lock_edges: list[tuple[str, str, int]] = []
         self._seen = set()
         self.pin_rules = rel.startswith("src/") and rel not in PIN_EXEMPT_FILES
         self.in_ioerror_if = 0
@@ -114,10 +130,17 @@ class Checker:
         mutation_names = self.reg.mutation_names()
         in_mutation_dir = any(self.rel.startswith(d)
                               for d in model.MUTATION_DIRS)
+        blocking_on = (self.rel.startswith("src/")
+                       and self.rel not in BLOCKING_EXEMPT_FILES)
+        serve_set = self.reg.serve_reachable()
         for fn in ast.functions:
             self._check_function(fn)
             if in_mutation_dir and fn.name in mutation_names:
                 self._check_atomicity(fn)
+            if blocking_on:
+                self._check_blocking(fn)
+            if self.rel.startswith("src/") and fn.name in serve_set:
+                self._check_deadline(fn)
 
     def _check_member_decls(self, ast):
         if not self.pin_rules:
@@ -536,6 +559,33 @@ class Checker:
                         "mark the region with SEGDB_COMMIT_POINT(), or "
                         "document the rollback with // SEMA-OK:")
 
+    # -- blocking-under-lock family (walker below) --------------------------
+
+    def _check_blocking(self, fn):
+        qual = annotations.func_qual(fn)
+        caps = (self.facts.requires.get(qual)
+                or self.facts.requires.get(fn.name) or set())
+        _LockWalker(self, caps).walk_function(fn)
+
+    # -- deadline-propagation family ----------------------------------------
+
+    def _check_deadline(self, fn):
+        ff = self.facts.files.get(self.rel)
+        overrides = ff.loop_overrides if ff is not None else {}
+        for stmt in cppast.iter_stmts(fn.body):
+            if stmt.kind != "loop":
+                continue
+            if classify_loop(stmt, overrides) != "unbounded":
+                continue
+            if _mentions_deadline(stmt):
+                continue
+            self.report(
+                stmt.line, "deadline-unpolled-loop",
+                f"unbounded loop in Serve-reachable {fn.name}() neither "
+                "polls util::Deadline nor has a classifiable bound; poll "
+                "the deadline, bound the loop, or assert a class with "
+                "// SEMA-LOOP: (DESIGN.md section 17)")
+
 
 # ---------------------------------------------------------------------------
 # Token-pattern helpers
@@ -853,7 +903,319 @@ def _has_break(stmt):
     return False
 
 
-def check_file(rel, ast, registry):
-    checker = Checker(rel, registry)
+# ---------------------------------------------------------------------------
+# Loop classification (shared by the deadline and I/O-cost families)
+# ---------------------------------------------------------------------------
+
+# Identifier fragments -> loop class, checked in order: the most specific
+# semantic hint wins over the generic container-size fallback. DESIGN.md
+# section 17 documents each class and its cost-lifting behavior.
+_LOOP_NAME_RULES = (
+    ("slab", ("slab",)),
+    ("page", ("page", "leaf_pages", "frame")),
+    ("record", ("record", "segment", "point", "result", "match", "hit",
+                "frag", "entry", "run")),
+    ("bounded", ("boundar", "child", "fanout")),
+    ("height", ("path", "level", "height", "depth")),
+    ("frontier", ("stack", "queue", "frontier", "pending", "todo", "work",
+                  "heap")),
+)
+
+_CMP_OPS = {"<", ">", "<=", ">=", "!="}
+
+
+def _ids_lower(toks):
+    return [t.text.lower() for t in toks if t.kind == "id"]
+
+
+def _name_class(toks):
+    ids = _ids_lower(toks)
+    for cls, frags in _LOOP_NAME_RULES:
+        for name in ids:
+            if any(f in name for f in frags):
+                return cls
+    return None
+
+
+def classify_loop(stmt, overrides=None):
+    """Best-effort loop-bound class from the header shape. Classes:
+    const, bounded, height, page, record, slab, frontier, capacity,
+    unbounded. `overrides` maps raw lines to `// SEMA-LOOP:` assertions
+    (checked on the loop's line and the line above)."""
+    if overrides:
+        for ln in (stmt.line, stmt.line - 1):
+            if ln in overrides:
+                return overrides[ln]
+    if _is_infinite(stmt):
+        return "unbounded"
+    toks = stmt.tokens
+    texts = [t.text for t in toks]
+    if stmt.loop_kind == "for":
+        parts = _split_top(toks, ";")
+        if len(parts) == 3:
+            cond = parts[1]
+        else:
+            # Range-for: classify the iterated expression.
+            colon = _split_top(toks, ":")
+            iterable = colon[1] if len(colon) == 2 else toks
+            cls = _name_class(iterable)
+            # A range-for is always bounded by its container.
+            return cls or "capacity"
+    else:
+        cond = toks
+    cond_texts = [t.text for t in cond]
+    # Descent shapes: chasing a page/node id to a sentinel.
+    if "kInvalidPageId" in cond_texts or "kInvalidNode" in cond_texts:
+        return "height"
+    if (len(cond) == 3 and cond[0].kind == "id"
+            and cond_texts[1] == ">=" and cond_texts[2] == "0"):
+        return "height"
+    # Cursor iteration: `while (cur.valid() && ...)`.
+    if "valid" in cond_texts:
+        return "record"
+    cls = _name_class(cond)
+    if cls is not None:
+        return cls
+    if any(t in _CMP_OPS for t in cond_texts):
+        return "capacity"
+    # Literal retry counts: `while (--retries)` style.
+    if any(t.kind == "num" for t in cond):
+        return "const"
+    del texts
+    return "unbounded"
+
+
+# ---------------------------------------------------------------------------
+# Blocking-under-lock family
+# ---------------------------------------------------------------------------
+
+_CONDVAR_WAITS = {"Wait", "WaitUntil"}
+
+
+def _called_sites(toks):
+    """(index, name) for every `name (` call in a token list."""
+    out = []
+    for k in range(len(toks) - 1):
+        if toks[k].kind == "id" and toks[k + 1].text == "(":
+            out.append((k, toks[k].text))
+    return out
+
+
+def _mutexlock_cap(toks):
+    """`util::MutexLock name(&expr);` -> normalized capability, else None."""
+    for k, t in enumerate(toks):
+        if t.text != "MutexLock":
+            continue
+        if k + 2 < len(toks) and toks[k + 1].kind == "id" and \
+                toks[k + 2].text in ("(", "{"):
+            close = _match_paren(toks, k + 2) if toks[k + 2].text == "(" \
+                else len(toks)
+            arg_ids = [x.text for x in toks[k + 3:close] if x.kind == "id"]
+            if arg_ids:
+                return arg_ids[-1]
+    return None
+
+
+def _manual_lock_ops(toks):
+    """(op, cap) for `expr.Lock()` / `expr->Unlock()` calls."""
+    ops = []
+    for k, name in _called_sites(toks):
+        if name not in ("Lock", "Unlock"):
+            continue
+        if k >= 2 and toks[k - 1].text in (".", "->") and \
+                toks[k - 2].kind == "id":
+            ops.append((name, toks[k - 2].text))
+    return ops
+
+
+def _first_arg_ids(toks, lparen):
+    """Identifier texts of the first top-level argument of the call whose
+    '(' sits at lparen."""
+    close = _match_paren(toks, lparen)
+    args = _split_top(toks[lparen + 1:close], ",")
+    if not args or not args[0]:
+        return []
+    return [t.text for t in args[0] if t.kind == "id"]
+
+
+def blocking_quals(facts) -> frozenset:
+    """Qualified function names whose definitions transitively reach a
+    blocking seed, computed over receiver-resolved call edges (so an
+    RNG's Next() never inherits Cursor::Next()'s page fetch). Cached on
+    the Facts object."""
+    if facts._blocking_quals is not None:
+        return facts._blocking_quals
+    index = annotations.call_index(facts)
+    edges: dict[str, set[str]] = {}
+    blocking: set[str] = set()
+    for qual, defs in index.defs_by_qual.items():
+        owner = qual.rsplit("::", 1)[0] if "::" in qual else ""
+        for rel, fn in defs:
+            for stmt in cppast.iter_stmts(fn.body):
+                for _, name, recv in annotations.call_sites(
+                        facts, stmt.tokens, rel):
+                    if name in model.BLOCKING_SEEDS:
+                        blocking.add(qual)
+                    else:
+                        edges.setdefault(qual, set()).update(
+                            index.resolve_quals(name, recv, owner))
+    changed = True
+    while changed:
+        changed = False
+        for qual, callees in edges.items():
+            if qual not in blocking and callees & blocking:
+                blocking.add(qual)
+                changed = True
+    facts._blocking_quals = frozenset(blocking)
+    return facts._blocking_quals
+
+
+class _LockWalker:
+    """Scoped capability tracking: MutexLock RAII scopes, manual
+    Lock/Unlock, SEGDB_REQUIRES entry capabilities. Reports any call that
+    transitively reaches a blocking seed while a capability is held, and
+    records nested-acquire edges for the lock-order graph."""
+
+    def __init__(self, checker: Checker, entry_caps):
+        self.c = checker
+        self.index = annotations.call_index(checker.facts)
+        self.blocking = blocking_quals(checker.facts)
+        self.entry_caps = set(entry_caps)
+        self.owner = ""
+
+    def walk_function(self, fn):
+        qual = annotations.func_qual(fn)
+        self.owner = qual.rsplit("::", 1)[0] if "::" in qual else ""
+        self._walk(fn.body, [set(self.entry_caps)])
+
+    def _walk(self, stmt, scopes):
+        # Lambda bodies run later, under whatever locks their caller holds
+        # then — analyze them as independent contexts (entry caps empty; a
+        # lambda that must run locked should be a SEGDB_REQUIRES helper).
+        for sub in stmt.sub:
+            self._walk(sub, [set()])
+        if stmt.kind == "block":
+            scopes.append(set())
+            for child in stmt.children:
+                self._walk(child, scopes)
+            scopes.pop()
+            return
+        held = set().union(*scopes)
+        if stmt.tokens:
+            if held:
+                self._scan_calls(stmt, held)
+            self._apply_lock_ops(stmt, scopes, held)
+        for child in stmt.children:
+            scopes.append(set())
+            self._walk(child, scopes)
+            scopes.pop()
+
+    def _apply_lock_ops(self, stmt, scopes, held):
+        cap = _mutexlock_cap(stmt.tokens)
+        ops = _manual_lock_ops(stmt.tokens)
+        for op, name in ops:
+            if op == "Lock":
+                self._acquire(name, scopes, held, stmt.line)
+            else:
+                for scope in reversed(scopes):
+                    if name in scope:
+                        scope.discard(name)
+                        break
+        if cap is not None:
+            self._acquire(cap, scopes, held, stmt.line)
+
+    def _acquire(self, cap, scopes, held, line):
+        for prior in held:
+            if prior != cap:
+                self.c.lock_edges.append((prior, cap, line))
+        scopes[-1].add(cap)
+
+    def _scan_calls(self, stmt, held):
+        toks = stmt.tokens
+        for k, name, recv in annotations.call_sites(
+                self.c.facts, toks, self.c.rel):
+            if name in _CONDVAR_WAITS:
+                waited = _first_arg_ids(toks, k + 1)
+                waited_cap = annotations.normalize_cap(
+                    " ".join(waited)) if waited else ""
+                others = held - {waited_cap}
+                if others:
+                    self.c.report(
+                        stmt.line, "blocking-under-lock",
+                        f"CondVar::{name}({waited_cap}) while also holding "
+                        f"{_fmt_caps(others)}; a wait may only hold the "
+                        "mutex it releases")
+                continue
+            if name in model.BLOCKING_SEEDS:
+                self.c.report(
+                    stmt.line, "blocking-under-lock",
+                    f"call to {name}() can block on device I/O or a "
+                    f"condition variable while holding {_fmt_caps(held)}; "
+                    "release the lock first (DESIGN.md section 17)")
+            elif self.index.resolve_quals(name, recv, self.owner) \
+                    & self.blocking:
+                self.c.report(
+                    stmt.line, "blocking-under-lock",
+                    f"call to {name}() transitively reaches device I/O or "
+                    f"a condition-variable wait while holding "
+                    f"{_fmt_caps(held)}; release the lock first "
+                    "(DESIGN.md section 17)")
+
+
+def _fmt_caps(caps):
+    return "lock(s) " + ", ".join(sorted(caps))
+
+
+# ---------------------------------------------------------------------------
+# Deadline-propagation family
+# ---------------------------------------------------------------------------
+
+_DEADLINE_HINTS = ("deadline", "expired", "remaining", "WaitUntil")
+
+
+def _mentions_deadline(stmt):
+    for s in cppast.iter_stmts(stmt):
+        for t in s.tokens:
+            low = t.text.lower()
+            if any(h.lower() in low for h in _DEADLINE_HINTS):
+                return True
+    return False
+
+
+def lock_order_cycles(edges):
+    """Cycle detection over lock-order edges [(before, after, where)].
+    Returns one (cycle_path, where) per distinct cycle found; `where` is
+    the location attached to the first edge that closes the cycle."""
+    graph: dict[str, dict[str, object]] = {}
+    for before, after, where in edges:
+        graph.setdefault(before, {}).setdefault(after, where)
+    cycles = []
+    seen_cycles = set()
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+    path: list[str] = []
+
+    def visit(node):
+        state[node] = 0
+        path.append(node)
+        for nxt, where in graph.get(node, {}).items():
+            if state.get(nxt) == 0:
+                cyc = tuple(path[path.index(nxt):]) + (nxt,)
+                key = frozenset(cyc)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append((cyc, where))
+            elif nxt not in state:
+                visit(nxt)
+        path.pop()
+        state[node] = 1
+
+    for node in list(graph):
+        if node not in state:
+            visit(node)
+    return cycles
+
+
+def check_file(rel, ast, registry, facts=None):
+    checker = Checker(rel, registry, facts)
     checker.check_file(ast)
-    return checker.findings
+    return checker.findings, checker.lock_edges

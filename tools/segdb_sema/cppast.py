@@ -403,6 +403,15 @@ def _parse_decls(toks, i, ctx, out, in_class):
     head: list[Tok] = []
     while i < len(toks):
         t = toks[i]
+        # Access labels are separators, not declaration prefixes: without
+        # this, `private: struct Node {` leaves "private :" glued to the
+        # head, _head_is_class misses the nested struct, and its member
+        # declarations are swallowed as a brace initializer.
+        if t.text == ":" and len(head) == 1 and \
+                head[0].text in ("public", "private", "protected"):
+            head = []
+            i += 1
+            continue
         if t.text == ";":
             if head:
                 out.decls.append(Decl(ctx, head, head[0].line, in_class))

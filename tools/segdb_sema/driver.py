@@ -21,8 +21,9 @@ import re
 import sys
 from dataclasses import dataclass
 
+import sarif
 import segdb_lint
-from segdb_sema import checks, cppast, model
+from segdb_sema import annotations, checks, cppast, iocost, model
 
 SEMA_OK_RE = re.compile(r"//.*\bSEMA-OK\b:?(?P<reason>.*)$")
 
@@ -74,14 +75,37 @@ def _finalize(rel: str, raw_findings, raw_lines) -> list[Finding]:
     return out
 
 
+def _cycle_findings(edges):
+    """Lock-order findings from declared + observed edges:
+    [(rel, line, rule, message)]."""
+    out = []
+    for cycle, where in checks.lock_order_cycles(
+            [(a, b, w) for a, b, w in edges]):
+        rel, line = where
+        out.append((rel, line, "lock-order-cycle",
+                    "lock-order cycle: " + " -> ".join(cycle) + "; break "
+                    "the cycle or fix the SEGDB_ACQUIRED_BEFORE "
+                    "declarations (DESIGN.md section 17)"))
+    return out
+
+
 def analyze_text(rel: str, text: str) -> list[Finding]:
     """Single-text entry point used by the fixture suite: builds a
-    registry from the text itself plus the builtin pool/disk signatures,
-    so fixtures are self-contained."""
+    registry and annotation facts from the text itself plus the builtin
+    pool/disk signatures, so fixtures are self-contained."""
     stripped = segdb_lint.strip_comments_and_strings(text)
-    ast = cppast.parse_file(stripped)
+    facts = annotations.Facts()
+    ff = annotations.harvest_file(facts, rel, text, stripped)
+    ast = ff.ast
     registry = model.build_registry([ast])
-    raw = checks.check_file(rel, ast, registry)
+    raw, lock_edges = checks.check_file(rel, ast, registry, facts)
+    raw = list(raw)
+    edges = [(a, b, (rel, line)) for a, b, line in lock_edges]
+    edges += [(a, b, (r, line)) for a, b, r, line in facts.acquired_edges]
+    extras = _cycle_findings(edges) + iocost.run(facts)
+    for frel, line, rule, message in extras:
+        if frel == rel:
+            raw.append(checks.RawFinding(line, rule, message))
     return _finalize(rel, raw, text.splitlines())
 
 
@@ -149,11 +173,30 @@ def run(root: str, files: list[str] | None = None, frontend: str = "auto",
         compile_db = find_compile_db(root)
     asts, _ = _parse_all(root, rels, frontend, compile_db)
     registry = model.build_registry([ast for ast, _ in asts.values()])
+    # Annotation facts are harvested from a pycpp parse of the stripped
+    # text regardless of the active frontend (annotations.py rationale),
+    # so both frontends see identical facts.
+    facts = annotations.Facts()
+    for rel in rels:
+        _, text = asts[rel]
+        annotations.harvest_file(
+            facts, rel, text, segdb_lint.strip_comments_and_strings(text))
+
+    per_file: dict[str, list[checks.RawFinding]] = {rel: [] for rel in rels}
+    edges = [(a, b, (r, line)) for a, b, r, line in facts.acquired_edges]
+    for rel in rels:
+        ast, _ = asts[rel]
+        raw, lock_edges = checks.check_file(rel, ast, registry, facts)
+        per_file[rel].extend(raw)
+        edges += [(a, b, (rel, line)) for a, b, line in lock_edges]
+    for frel, line, rule, message in _cycle_findings(edges) + iocost.run(facts):
+        per_file.setdefault(frel, []).append(
+            checks.RawFinding(line, rule, message))
+
     findings: list[Finding] = []
     for rel in rels:
-        ast, text = asts[rel]
-        raw = checks.check_file(rel, ast, registry)
-        findings.extend(_finalize(rel, raw, text.splitlines()))
+        _, text = asts[rel]
+        findings.extend(_finalize(rel, per_file[rel], text.splitlines()))
     return findings
 
 
@@ -184,6 +227,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compile-db", default=None,
                         help="compile_commands.json for the cindex frontend "
                              "(default: newest one under build*/)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (sarif: SARIF 2.1.0 for GitHub "
+                             "code scanning)")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout "
+                             "(the exit code is unchanged)")
     parser.add_argument("files", nargs="*",
                         help="repo-relative files (default: all of src/)")
     args = parser.parse_args(argv)
@@ -194,10 +244,22 @@ def main(argv: list[str] | None = None) -> int:
     except Exception as exc:
         print(f"segdb_sema: error: {exc}", file=sys.stderr)
         return 2
-    for f in findings:
-        print(f)
+    if args.fmt == "sarif":
+        if args.output:
+            sarif.write_file("segdb_sema", findings, args.output)
+        else:
+            sarif.dump("segdb_sema", findings, sys.stdout)
+    else:
+        out = sys.stdout
+        if args.output:
+            out = open(args.output, "w", encoding="utf-8")
+        for f in findings:
+            print(f, file=out)
+        if args.output:
+            out.close()
     if findings:
         print(f"segdb_sema: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("segdb_sema: OK")
+    print("segdb_sema: OK", file=sys.stderr if args.fmt == "sarif" else
+          sys.stdout)
     return 0

@@ -41,6 +41,29 @@ BUILTIN_RESULT = {
     "AllocatePage": "PageId",
 }
 
+# Seeds for the blocking closure (DESIGN.md section 17): calls that can
+# suspend on device I/O, a condition variable, or admission control.
+# Anything that transitively reaches one of these must not run while a
+# util::Mutex capability is held (outside the documented exempt files).
+BLOCKING_SEEDS = {
+    # DiskManager surface (device I/O, possibly through the scheduler).
+    "ReadPage", "WritePage", "PeekPage", "PeekPagesBatch",
+    "WritePagePrefix", "AllocatePage", "FreePage",
+    # AsyncIoEngine submission/completion and the raw pread/pwrite loops.
+    "Start", "WaitOne", "ReadFullAt", "WriteFullAt",
+    # BufferPool entry points (may fault in a page from the device).
+    "Fetch", "Prefetch", "NewPage", "FlushAll", "EvictAll",
+    # CondVar waits (allowed only on the mutex being waited on).
+    "Wait", "WaitUntil",
+    # Admission control parks the calling thread.
+    "Serve",
+}
+
+# Direct page-I/O seeds for the I/O-cost family: one device page access
+# per call (Prefetch batches are still O(batch) accesses).
+IO_SEEDS = {"Fetch", "Prefetch", "NewPage", "ReadPage", "WritePage",
+            "PeekPage", "AllocatePage", "FreePage"}
+
 
 class Registry:
     def __init__(self):
@@ -48,6 +71,8 @@ class Registry:
         self.result_fns: dict[str, str] = dict(BUILTIN_RESULT)
         self.calls: dict[str, set[str]] = {}   # definition name -> callees
         self.alloc_fns: set[str] = set(ALLOC_SEEDS)
+        self._blocking: set[str] | None = None
+        self._serve: set[str] | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -97,6 +122,45 @@ class Registry:
 
     def is_alloc(self, name: str) -> bool:
         return name in self.alloc_fns and name not in ALLOC_EXEMPT
+
+    def closure(self, seeds: set[str]) -> set[str]:
+        """Names that transitively *reach* a seed through the call graph
+        (callers of callers, by name). Includes the seeds."""
+        reached = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in self.calls.items():
+                if name not in reached and callees & reached:
+                    reached.add(name)
+                    changed = True
+        return reached
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Names transitively *called from* the roots (callees of
+        callees). Includes the roots."""
+        names = set(roots)
+        frontier = list(roots)
+        while frontier:
+            name = frontier.pop()
+            for callee in self.calls.get(name, ()):
+                if callee not in names:
+                    names.add(callee)
+                    frontier.append(callee)
+        return names
+
+    def blocking_names(self) -> set[str]:
+        """BLOCKING_SEEDS plus everything that transitively reaches one."""
+        if self._blocking is None:
+            self._blocking = self.closure(set(BLOCKING_SEEDS))
+        return self._blocking
+
+    def serve_reachable(self) -> set[str]:
+        """Function names on any call path from QueryEngine::Serve — the
+        code the deadline-propagation family polices."""
+        if self._serve is None:
+            self._serve = self.reachable_from({"Serve"})
+        return self._serve
 
     def mutation_names(self) -> set[str]:
         """MUTATION_ROOTS plus everything they transitively call that has

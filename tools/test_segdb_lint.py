@@ -120,6 +120,48 @@ class RawSyncTest(unittest.TestCase):
             [])
 
 
+class RawTimeTest(unittest.TestCase):
+    def test_sleep_for_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/core/engine.cc",
+            "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n")
+        self.assertEqual(rules_hit(violations), ["raw-time"])
+
+    def test_sleep_until_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/io/scheduler.cc",
+            "std::this_thread::sleep_until(wake);\n")
+        self.assertEqual(rules_hit(violations), ["raw-time"])
+
+    def test_raw_chrono_deadline_math_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/core/engine.cc",
+            "auto end = std::chrono::steady_clock::now() + budget;\n")
+        self.assertEqual(rules_hit(violations), ["raw-time"])
+
+    def test_util_itself_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/util/clock.h",
+                "auto now = std::chrono::steady_clock::now();\n"),
+            [])
+
+    def test_deadline_wrapper_usage_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/core/engine.cc",
+                "if (deadline.Expired()) return Status::DeadlineExceeded"
+                "(\"budget\");\n"),
+            [])
+
+    def test_comment_mention_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/core/engine.cc",
+                "// never std::this_thread::sleep_for here; see util/clock.h\n"),
+            [])
+
+
 class IoBypassTest(unittest.TestCase):
     def test_read_page_outside_io_rejected(self):
         violations = segdb_lint.lint_text(

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Tests for tools/segdb_sema (the semantic checker suite).
 
-Every rule in each of the three check families is exercised with
-seeded-bug fixtures that must fail and clean fixtures that must pass,
-mirroring tools/test_segdb_lint.py. A meta-test runs the analyzer over
-the real repository and requires it to be clean. Run directly or via
-ctest (SegdbSemaSelftest / SegdbSemaTree).
+Every rule in each of the six check families (pin discipline, Status
+flow, fault atomicity, blocking-under-lock + lock order, deadline
+propagation, I/O-cost bounds) is exercised with seeded-bug fixtures
+that must fail and clean fixtures that must pass, mirroring
+tools/test_segdb_lint.py. A meta-test runs the analyzer over the real
+repository and requires it to be clean. Run directly or via ctest
+(SegdbSemaSelftest / SegdbSemaTree).
 """
 
 import os
@@ -270,7 +272,9 @@ class StatusFlowTest(unittest.TestCase):
 # ---------------------------------------------------------------------------
 
 def mutation(body, name="Insert"):
-    """A mutation-root method in a mutation directory."""
+    """A mutation-root method in a mutation directory. The fixture carries
+    a (maximal) I/O-cost annotation so the atomicity tests stay isolated
+    from the io-bound-missing entry-point rule."""
     return (
         "namespace segdb {\n"
         "class Tree {\n"
@@ -281,6 +285,7 @@ def mutation(body, name="Insert"):
         "  io::BufferPool* pool_ = nullptr;\n"
         "};\n"
         f"Status Tree::{name}(const Record& r) {{\n"
+        "  SEGDB_IO_BOUND(\"scan\");\n"
         f"{body}"
         "}\n"
         "}\n"
@@ -375,6 +380,260 @@ class AtomicityTest(unittest.TestCase):
         )
         findings = analyze_text("src/btree/f.cc", text)
         self.assertIn("atomicity-early-mutation", rules_hit(findings))
+
+
+# ---------------------------------------------------------------------------
+# Family 4: blocking-under-lock + lock order
+# ---------------------------------------------------------------------------
+
+class BlockingUnderLockTest(unittest.TestCase):
+    def test_direct_blocking_call_under_lock(self):
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  util::MutexLock lock(&mu_);\n"
+            "  auto ref = pool.Fetch(1);\n"
+            "  if (!ref.ok()) return ref.status();\n"
+            "  return Status::OK();\n"))
+        self.assertIn("blocking-under-lock", rules_hit(findings))
+
+    def test_transitive_blocking_call_under_lock(self):
+        # Touch() never names a seed; it reaches WritePage through
+        # Persist(), and the closure must carry that through.
+        findings = analyze_text(
+            "src/core/f.cc",
+            "namespace segdb {\n"
+            "class Store {\n"
+            " public:\n"
+            "  Status Touch();\n"
+            " private:\n"
+            "  Status Persist();\n"
+            "  util::Mutex mu_;\n"
+            "  io::DiskManager* disk_ = nullptr;\n"
+            "};\n"
+            "Status Store::Persist() {\n"
+            "  return disk_->WritePage(1, nullptr);\n"
+            "}\n"
+            "Status Store::Touch() {\n"
+            "  util::MutexLock lock(&mu_);\n"
+            "  return Persist();\n"
+            "}\n"
+            "}\n")
+        self.assertIn("blocking-under-lock", rules_hit(findings))
+
+    def test_condvar_wait_holding_second_lock(self):
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  util::MutexLock a(&mu_);\n"
+            "  util::MutexLock b(&other_mu_);\n"
+            "  cv_.Wait(&mu_);\n"
+            "  return Status::OK();\n"))
+        self.assertIn("blocking-under-lock", rules_hit(findings))
+
+    def test_observed_lock_order_cycle(self):
+        # F acquires mu_a_ then mu_b_; G the reverse: the observed-edge
+        # graph has a two-node cycle.
+        findings = analyze_text(
+            "src/core/f.cc",
+            "namespace segdb {\n"
+            "void F() {\n"
+            "  util::MutexLock a(&mu_a_);\n"
+            "  util::MutexLock b(&mu_b_);\n"
+            "}\n"
+            "void G() {\n"
+            "  util::MutexLock b(&mu_b_);\n"
+            "  util::MutexLock a(&mu_a_);\n"
+            "}\n"
+            "}\n")
+        self.assertIn("lock-order-cycle", rules_hit(findings))
+
+    def test_declared_order_contradicted_by_acquire(self):
+        # The header declares mu_a_ before mu_b_; the code nests them the
+        # other way around.
+        findings = analyze_text(
+            "src/core/f.cc",
+            "namespace segdb {\n"
+            "util::Mutex mu_a_ SEGDB_ACQUIRED_BEFORE(mu_b_);\n"
+            "util::Mutex mu_b_;\n"
+            "void G() {\n"
+            "  util::MutexLock b(&mu_b_);\n"
+            "  util::MutexLock a(&mu_a_);\n"
+            "}\n"
+            "}\n")
+        self.assertIn("lock-order-cycle", rules_hit(findings))
+
+    def test_scoped_release_before_io_is_clean(self):
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  {\n"
+            "    util::MutexLock lock(&mu_);\n"
+            "    ++hits_;\n"
+            "  }\n"
+            "  auto ref = pool.Fetch(1);\n"
+            "  if (!ref.ok()) return ref.status();\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
+    def test_condvar_wait_on_own_mutex_is_clean(self):
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  util::MutexLock lock(&mu_);\n"
+            "  cv_.Wait(&mu_);\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
+
+# ---------------------------------------------------------------------------
+# Family 5: deadline propagation
+# ---------------------------------------------------------------------------
+
+def serve_reaching(body):
+    """A helper on a call path from QueryEngine-style Serve()."""
+    return (
+        "namespace segdb {\n"
+        "class Engine {\n"
+        " public:\n"
+        "  Status Serve(Request& q);\n"
+        " private:\n"
+        "  Status Drain(Request& q);\n"
+        "};\n"
+        "Status Engine::Serve(Request& q) { return Drain(q); }\n"
+        "Status Engine::Drain(Request& q) {\n"
+        f"{body}"
+        "}\n"
+        "}\n"
+    )
+
+
+class DeadlineTest(unittest.TestCase):
+    def test_unbounded_while_without_poll(self):
+        findings = analyze_text("src/core/f.cc", serve_reaching(
+            "  while (q.More()) {\n"
+            "    q.Step();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(rules_hit(findings), ["deadline-unpolled-loop"])
+
+    def test_infinite_for_without_poll(self):
+        findings = analyze_text("src/core/f.cc", serve_reaching(
+            "  for (;;) {\n"
+            "    q.Step();\n"
+            "  }\n"))
+        self.assertIn("deadline-unpolled-loop", rules_hit(findings))
+
+    def test_deadline_poll_is_clean(self):
+        findings = analyze_text("src/core/f.cc", serve_reaching(
+            "  while (q.More()) {\n"
+            "    if (q.deadline().Expired()) {\n"
+            "      return Status::DeadlineExceeded(\"serve budget\");\n"
+            "    }\n"
+            "    q.Step();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
+    def test_sema_loop_class_is_clean(self):
+        findings = analyze_text("src/core/f.cc", serve_reaching(
+            "  // SEMA-LOOP: record (drains one bounded result batch)\n"
+            "  while (q.More()) {\n"
+            "    q.Step();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
+    def test_same_loop_outside_serve_path_is_clean(self):
+        findings = analyze_text(
+            "src/core/f.cc",
+            "namespace segdb {\n"
+            "Status Drain(Request& q) {\n"
+            "  while (q.More()) {\n"
+            "    q.Step();\n"
+            "  }\n"
+            "  return Status::OK();\n"
+            "}\n"
+            "}\n")
+        self.assertEqual(findings, [])
+
+
+# ---------------------------------------------------------------------------
+# Family 6: I/O-cost bounds
+# ---------------------------------------------------------------------------
+
+def query_entry(body):
+    """A public Query entry point in an entry directory."""
+    return (
+        "namespace segdb {\n"
+        "class Index {\n"
+        " public:\n"
+        "  Status Query(const Segment& q, std::vector<Segment>* out);\n"
+        " private:\n"
+        "  io::BufferPool* pool_ = nullptr;\n"
+        "  io::PageId root_ = 0;\n"
+        "};\n"
+        "Status Index::Query(const Segment& q, std::vector<Segment>* out) {\n"
+        f"{body}"
+        "}\n"
+        "}\n"
+    )
+
+
+class IoCostTest(unittest.TestCase):
+    def test_over_budget_record_loop(self):
+        # A Fetch inside a record-bounded loop derives t/B, which the
+        # declared O(1) budget does not cover.
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  SEGDB_IO_BOUND(\"1\");\n"
+            "  for (uint32_t rec = 0; rec < q.record_count; ++rec) {\n"
+            "    auto ref = pool_->Fetch(root_);\n"
+            "    if (!ref.ok()) return ref.status();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertIn("io-bound-exceeded", rules_hit(findings))
+
+    def test_unbounded_loop_derives_scan(self):
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  SEGDB_IO_BOUND(\"log\", \"t/B\");\n"
+            "  while (q.More()) {\n"
+            "    auto ref = pool_->Fetch(root_);\n"
+            "    if (!ref.ok()) return ref.status();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertIn("io-bound-exceeded", rules_hit(findings))
+
+    def test_missing_annotation_on_entry_point(self):
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  return Status::OK();\n"))
+        self.assertEqual(rules_hit(findings), ["io-bound-missing"])
+
+    def test_unknown_term_is_invalid(self):
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  SEGDB_IO_BOUND(\"n^2\");\n"
+            "  return Status::OK();\n"))
+        self.assertIn("io-bound-invalid", rules_hit(findings))
+
+    def test_theorem_shaped_descent_is_clean(self):
+        # A height-bounded descent (log) plus a record-bounded report loop
+        # (t/B) matches the Theorem 1 annotation exactly.
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  SEGDB_IO_BOUND(\"log\", \"t/B\");\n"
+            "  io::PageId cur = root_;\n"
+            "  while (cur != kInvalidPageId) {\n"
+            "    auto ref = pool_->Fetch(cur);\n"
+            "    if (!ref.ok()) return ref.status();\n"
+            "    cur = ChildOf(ref.value());\n"
+            "  }\n"
+            "  for (uint32_t rec = 0; rec < q.record_count; ++rec) {\n"
+            "    auto leaf = pool_->Fetch(root_);\n"
+            "    if (!leaf.ok()) return leaf.status();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
+    def test_sema_ok_suppresses_exceeded(self):
+        findings = analyze_text("src/core/f.cc", query_entry(
+            "  // SEMA-OK: rebuild path; amortized O(log_B n) per update.\n"
+            "  SEGDB_IO_BOUND(\"1\");\n"
+            "  for (uint32_t rec = 0; rec < q.record_count; ++rec) {\n"
+            "    auto ref = pool_->Fetch(root_);\n"
+            "    if (!ref.ok()) return ref.status();\n"
+            "  }\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
 
 
 # ---------------------------------------------------------------------------
