@@ -1,0 +1,19 @@
+#include "core/epoch.h"
+
+namespace segdb::core {
+
+void EpochManager::AdvanceAndWait() {
+  util::MutexLock lock(&mu_);
+  const uint64_t retired = epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::atomic<uint64_t>& slot = slots_[retired % kSlots];
+  // Readers racing Pin() against the advance may transiently bump the
+  // retired slot before their recheck sends them to the new epoch, so the
+  // count can wiggle — but every increment is followed by a decrement
+  // (either the recheck-retry or the guard release), so the drain
+  // terminates. Pure spin: drains are bounded by in-flight queries, which
+  // never block, and src/core stays out of the raw-time business.
+  while (slot.load(std::memory_order_acquire) != 0) {
+  }
+}
+
+}  // namespace segdb::core

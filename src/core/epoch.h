@@ -1,0 +1,109 @@
+// Epoch-based reclamation for build-aside-then-swap index publication
+// (DESIGN.md section 18). A rebuild constructs the replacement structure
+// off to the side, publishes it with one atomic pointer swap, then must
+// not destroy the retired structure while a reader is still inside it.
+//
+// Readers Pin() an epoch around each traversal — a single fetch_add on the
+// current epoch's reader slot, never a lock, so a pinned read storm keeps
+// running at full speed THROUGH a swap. The publisher calls
+// AdvanceAndWait() after swapping: it moves the epoch forward and waits
+// for the retired epoch's slot to drain to zero, at which point no reader
+// can still hold a pre-swap root and the old structure is safe to destroy.
+// Readers never wait for the publisher; only the publisher waits, and only
+// for readers that began before the swap.
+//
+// The slot ring wraps at kSlots, so at most kSlots - 1 epochs may be "in
+// drain" at once; AdvanceAndWait's full drain before returning (publishers
+// are serialized on mu_) makes that bound self-maintaining.
+#ifndef SEGDB_CORE_EPOCH_H_
+#define SEGDB_CORE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace segdb::core {
+
+class EpochManager {
+ public:
+  static constexpr uint32_t kSlots = 4;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII pin: holds the owning epoch's reader count up for its lifetime.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept
+        : owner_(other.owner_), slot_(other.slot_) {
+      other.owner_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        slot_ = other.slot_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    void Release() {
+      if (owner_ == nullptr) return;
+      owner_->slots_[slot_].fetch_sub(1, std::memory_order_release);
+      owner_ = nullptr;
+    }
+
+   private:
+    friend class EpochManager;
+    Guard(EpochManager* owner, uint32_t slot) : owner_(owner), slot_(slot) {}
+    EpochManager* owner_ = nullptr;
+    uint32_t slot_ = 0;
+  };
+
+  // Pins the current epoch. Lock-free: one fetch_add plus a recheck (the
+  // rare retry happens only when an advance lands between the two).
+  Guard Pin() {
+    // SEMA-LOOP: bounded (one retry per concurrent epoch advance)
+    for (;;) {
+      const uint64_t e = epoch_.load(std::memory_order_acquire);
+      const uint32_t slot = static_cast<uint32_t>(e % kSlots);
+      slots_[slot].fetch_add(1, std::memory_order_acq_rel);
+      if (epoch_.load(std::memory_order_acquire) == e) {
+        return Guard(this, slot);
+      }
+      // The epoch moved under us: undo and pin the new one, so the
+      // publisher's drain of the old slot is never held up by a reader
+      // that hasn't actually read anything yet.
+      slots_[slot].fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Test hook: readers currently pinned to the given epoch's slot.
+  uint64_t pinned(uint64_t epoch) const {
+    return slots_[epoch % kSlots].load(std::memory_order_acquire);
+  }
+
+  // Publisher side: retires the current epoch and waits until every reader
+  // pinned to it has released. On return, anything unreachable since the
+  // pre-advance pointer swap can be destroyed. Publishers serialize on an
+  // internal mutex; readers are never blocked.
+  void AdvanceAndWait();
+
+ private:
+  util::Mutex mu_;  // serializes publishers only
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> slots_[kSlots] = {};
+};
+
+}  // namespace segdb::core
+
+#endif  // SEGDB_CORE_EPOCH_H_

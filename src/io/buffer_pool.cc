@@ -128,6 +128,19 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   }
   Frame& f = frames_[victim];
   if (f.dirty.load(std::memory_order_relaxed)) {
+    if (sink_ != nullptr) {
+      // NO-STEAL: an uncommitted dirty page never reaches the device. The
+      // sink keeps the bytes in RAM until commit-time writeback (a crash
+      // before then correctly discards them). No tier stash either — tier
+      // entries must equal disk, which this page does not.
+      sink_->CaptureEviction(f.id, f.page);
+      ++shard.stats.spills;
+      shard.page_table.erase(f.id);
+      f.id = kInvalidPageId;
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.prefetched = false;
+      return victim;
+    }
     SEGDB_RETURN_IF_ERROR(disk_->WritePage(f.id, f.page));
     ++shard.stats.writebacks;
   }
@@ -236,6 +249,19 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     return frame.status();
   }
   Frame& f = frames_[frame.value()];
+  if (sink_ != nullptr && sink_->TakeSpilled(id, &f.page)) {
+    // A spilled dirty page rejoins the pool. The miss above stays charged —
+    // without the sink these bytes would have been written back on eviction
+    // and demand-read here, so cold I/O counts are sink-invariant. The
+    // frame is dirty: the device copy is stale until commit writeback.
+    f.id = id;
+    f.pin_count.store(1, std::memory_order_relaxed);
+    f.dirty.store(true, std::memory_order_relaxed);
+    f.prefetched = false;
+    f.lru_tick.store(NextTick(), std::memory_order_relaxed);
+    it->second = frame.value();
+    return PageRef(this, frame.value(), id);
+  }
   Status read = disk_->ReadPage(id, &f.page);
   if (!read.ok()) {
     // Failed demand read: drop the placeholder and leave the grabbed frame
@@ -297,6 +323,14 @@ Status BufferPool::FreePage(PageId id) {
     // would then resurrect the old bytes on the first eviction/fetch cycle.
     DropCompressed(shard, id);
   }
+  if (sink_ != nullptr) {
+    // Defer the device-level free to the commit that owns this mutation:
+    // until it is applied, the device still counts the page as live, so the
+    // free list stays a function of committed state only (the recovery
+    // bit-identity argument leans on this).
+    sink_->DeferFree(id);
+    return Status::OK();
+  }
   return disk_->FreePage(id);
 }
 
@@ -322,6 +356,9 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
     // staging them from disk would duplicate the bytes and break the
     // tier/page-table disjointness invariant.
     if (shard.ctier.find(id) != shard.ctier.end()) continue;
+    // Spilled pages must not be staged either: the device bytes are stale
+    // (the fresh bytes live in the sink until commit-time writeback).
+    if (sink_ != nullptr && sink_->Contains(id)) continue;
     // Free frames only: read-ahead must never displace demand-resident
     // pages, or it would perturb the measured hit/miss pattern. A frame
     // claimed earlier in this batch has its id set, so it is not free and
@@ -430,6 +467,23 @@ Status BufferPool::EvictAll() {
   return Status::OK();
 }
 
+void BufferPool::CollectDirty(std::vector<PageImage>* out) const {
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(&shard.mu);
+    for (size_t idx : shard.frames) {
+      const Frame& f = frames_[idx];
+      if (f.id == kInvalidPageId || f.staging) continue;
+      if (!f.dirty.load(std::memory_order_relaxed)) continue;
+      PageImage image;
+      image.id = f.id;
+      image.bytes.assign(f.page.data(), f.page.data() + f.page.size());
+      out->push_back(std::move(image));
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const PageImage& a, const PageImage& b) { return a.id < b.id; });
+}
+
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats total;
   for (const Shard& shard : shards_) {
@@ -439,6 +493,7 @@ BufferPoolStats BufferPool::stats() const {
     total.misses += shard.stats.misses;
     total.writebacks += shard.stats.writebacks;
     total.prefetches += shard.stats.prefetches;
+    total.spills += shard.stats.spills;
     total.compressed_hits += shard.stats.compressed_hits;
     total.compressed_stores += shard.stats.compressed_stores;
     total.compressed_evictions += shard.stats.compressed_evictions;

@@ -93,12 +93,42 @@ class PageRef {
   PageId page_id_ = kInvalidPageId;
 };
 
+// Where dirty evictions go when a durability layer owns writeback ordering
+// (NO-STEAL): instead of writing an uncommitted page to the device, the pool
+// hands the bytes to the sink, re-fills later fetches from it, and defers
+// device frees to it. io::DirtyPageSpill (wal.h) is the implementation; the
+// pool sees only this interface so it does not depend on the WAL layer.
+// Methods are called under a shard mutex — implementations must be
+// internally synchronized and must not call back into the pool.
+class WritebackSink {
+ public:
+  virtual ~WritebackSink() = default;
+
+  // A dirty frame is being evicted: take ownership of the page's current
+  // bytes (replacing any earlier spill of the same id). Must not fail —
+  // the spill is RAM-to-RAM.
+  virtual void CaptureEviction(PageId id, const Page& page) = 0;
+
+  // If `id` was spilled, move its bytes into *out (removing the spill
+  // entry) and return true. The caller marks the frame dirty: the device
+  // copy is stale until commit-time writeback.
+  virtual bool TakeSpilled(PageId id, Page* out) = 0;
+
+  virtual bool Contains(PageId id) const = 0;
+
+  // The pool is freeing `id`: drop any spilled bytes and remember the id so
+  // the device-level free can be applied after the owning commit (keeping
+  // the device free list a function of committed state only).
+  virtual void DeferFree(PageId id) = 0;
+};
+
 struct BufferPoolStats {
   uint64_t fetches = 0;     // logical page requests
   uint64_t hits = 0;        // served from a resident frame
   uint64_t misses = 0;      // a demand read the paper's model charges
   uint64_t writebacks = 0;  // dirty evictions / flushes
   uint64_t prefetches = 0;  // pages staged by Prefetch (uncharged reads)
+  uint64_t spills = 0;      // dirty evictions diverted to a WritebackSink
   // Compressed-tier counters (zero when the tier is disabled). A fetch is
   // exactly one of hit / miss / compressed_hit — a tier promotion avoids
   // the disk read, so it is deliberately NOT a miss in the paper's cost
@@ -169,6 +199,20 @@ class BufferPool {
   // Writes back and drops every unpinned frame — simulates a cold cache.
   // Fails if any page is still pinned. Quiescent only.
   Status EvictAll();
+
+  // Attaches (or detaches, with nullptr) the dirty-writeback sink. While a
+  // sink is attached, dirty evictions spill to it instead of the device,
+  // misses re-fill from it, and FreePage defers the device free to it —
+  // the NO-STEAL discipline the WAL's recovery proof needs. FlushAll and
+  // EvictAll deliberately still write to the device: they ARE the commit-
+  // time writeback the sink exists to order. Quiescent only.
+  void set_writeback_sink(WritebackSink* sink) { sink_ = sink; }
+  WritebackSink* writeback_sink() const { return sink_; }
+
+  // Copies every dirty resident frame into *out, ascending by page id (a
+  // canonical order, so WAL byte streams are reproducible run-to-run).
+  // Quiescent only; spilled pages are the sink's to report.
+  void CollectDirty(std::vector<PageImage>* out) const;
 
   // Aggregates the per-shard counters. The sums reproduce exactly the
   // single-threaded counters for any serial trace.
@@ -259,6 +303,10 @@ class BufferPool {
   // Per-shard slice of BufferPoolOptions::compressed_tier_bytes (rounded
   // up); 0 disables the tier. Const after construction.
   size_t ctier_shard_budget_ = 0;
+  // Set/cleared only while quiescent; read by the concurrent fetch path.
+  // Not an atomic on purpose: attaching a sink mid-storm is outside the
+  // pool's contract, same as every other writer-path operation.
+  WritebackSink* sink_ = nullptr;
   std::atomic<uint64_t> tick_{0};
 };
 

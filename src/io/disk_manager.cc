@@ -18,7 +18,13 @@ DiskStats DiskManager::stats() const {
   s.frees = counters_.frees.load(std::memory_order_relaxed);
   s.prefetch_hints =
       counters_.prefetch_hints.load(std::memory_order_relaxed);
+  s.syncs = counters_.syncs.load(std::memory_order_relaxed);
   return s;
+}
+
+Status DiskManager::Sync() {
+  counters_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 void DiskManager::ResetStats() {
@@ -27,45 +33,78 @@ void DiskManager::ResetStats() {
   counters_.allocations.store(0, std::memory_order_relaxed);
   counters_.frees.store(0, std::memory_order_relaxed);
   counters_.prefetch_hints.store(0, std::memory_order_relaxed);
+  counters_.syncs.store(0, std::memory_order_relaxed);
 }
 
 SimDiskManager::SimDiskManager(uint32_t page_size_bytes)
-    : DiskManager(page_size_bytes) {}
+    : DiskManager(page_size_bytes),
+      chunk_table_(std::make_unique<std::atomic<Chunk*>[]>(kMaxChunks)) {}
+
+SimDiskManager::~SimDiskManager() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunk_table_[i].load(std::memory_order_relaxed);
+  }
+}
+
+SimDiskManager::Slot& SimDiskManager::SlotRef(PageId id) const {
+  Chunk* chunk = chunk_table_[id >> kChunkShift].load(
+      std::memory_order_acquire);
+  return (*chunk)[id & (kChunkPages - 1)];
+}
 
 bool SimDiskManager::IsLive(PageId id) const {
-  return id < store_.size() && live_[id];
+  if (id >= extent_.load(std::memory_order_acquire)) return false;
+  return SlotRef(id).live.load(std::memory_order_acquire);
 }
 
 Result<PageId> SimDiskManager::AllocatePage() {
+  util::MutexLock lock(&mu_);
   PageId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
     free_list_.pop_back();
-    live_[id] = true;
-    std::memset(store_[id].get(), 0, page_size());
+    Slot& slot = SlotRef(id);
+    std::memset(slot.bytes.get(), 0, page_size());
+    // Release: a reader that observes live==true sees the zeroed bytes.
+    slot.live.store(true, std::memory_order_release);
   } else {
-    if (store_.size() >= kInvalidPageId) {
+    const uint64_t next = extent_.load(std::memory_order_relaxed);
+    if (next >= kMaxChunks * kChunkPages || next >= kInvalidPageId) {
       return Status::ResourceExhausted("disk page-id space exhausted");
     }
-    id = static_cast<PageId>(store_.size());
-    store_.push_back(std::make_unique<uint8_t[]>(page_size()));
-    std::memset(store_.back().get(), 0, page_size());
-    live_.push_back(true);
+    id = static_cast<PageId>(next);
+    const size_t chunk_index = id >> kChunkShift;
+    Chunk* chunk =
+        chunk_table_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      chunk_table_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    Slot& slot = (*chunk)[id & (kChunkPages - 1)];
+    slot.bytes = std::make_unique<uint8_t[]>(page_size());
+    slot.live.store(true, std::memory_order_release);
+    // Publish the new bound last: the read path bounds-checks against
+    // extent_ before touching the slot or its chunk.
+    extent_.store(next + 1, std::memory_order_release);
   }
   counters_.allocations.fetch_add(1, std::memory_order_relaxed);
-  ++pages_in_use_;
-  if (pages_in_use_ > high_water_) high_water_ = pages_in_use_;
+  const uint64_t in_use =
+      pages_in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (in_use > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(in_use, std::memory_order_relaxed);
+  }
   return id;
 }
 
 Status SimDiskManager::FreePage(PageId id) {
+  util::MutexLock lock(&mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("FreePage: page not allocated");
   }
-  live_[id] = false;
+  SlotRef(id).live.store(false, std::memory_order_release);
   free_list_.push_back(id);
   counters_.frees.fetch_add(1, std::memory_order_relaxed);
-  --pages_in_use_;
+  pages_in_use_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -76,7 +115,7 @@ Status SimDiskManager::ReadPage(PageId id, Page* out) {
   if (out->size() != page_size()) {
     return Status::InvalidArgument("ReadPage: page buffer size mismatch");
   }
-  std::memcpy(out->data(), store_[id].get(), page_size());
+  std::memcpy(out->data(), SlotRef(id).bytes.get(), page_size());
   counters_.reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -88,7 +127,7 @@ Status SimDiskManager::PeekPage(PageId id, Page* out) const {
   if (out->size() != page_size()) {
     return Status::InvalidArgument("PeekPage: page buffer size mismatch");
   }
-  std::memcpy(out->data(), store_[id].get(), page_size());
+  std::memcpy(out->data(), SlotRef(id).bytes.get(), page_size());
   return Status::OK();
 }
 
@@ -99,7 +138,7 @@ Status SimDiskManager::WritePage(PageId id, const Page& page) {
   if (page.size() != page_size()) {
     return Status::InvalidArgument("WritePage: page buffer size mismatch");
   }
-  std::memcpy(store_[id].get(), page.data(), page_size());
+  std::memcpy(SlotRef(id).bytes.get(), page.data(), page_size());
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -117,9 +156,21 @@ Status SimDiskManager::WritePagePrefix(PageId id, const Page& page,
     return Status::InvalidArgument(
         "WritePagePrefix: prefix must be a non-empty strict prefix");
   }
-  std::memcpy(store_[id].get(), page.data(), prefix_bytes);
+  std::memcpy(SlotRef(id).bytes.get(), page.data(), prefix_bytes);
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+std::vector<PageId> SimDiskManager::LivePages() const {
+  std::vector<PageId> out;
+  out.reserve(pages_in_use());
+  const uint64_t extent = extent_.load(std::memory_order_acquire);
+  for (uint64_t id = 0; id < extent; ++id) {
+    if (IsLive(static_cast<PageId>(id))) {
+      out.push_back(static_cast<PageId>(id));
+    }
+  }
+  return out;
 }
 
 void SimDiskManager::PrefetchPages(std::span<const PageId> ids) {

@@ -17,23 +17,31 @@
 //
 // Concurrency: the read path — ReadPage, PeekPage, PeekPagesBatch,
 // PrefetchPages, the stats snapshot — is safe from any number of threads
-// (counters are atomics; the page set is only ever read). Everything that
-// mutates the page set or page contents — AllocatePage, FreePage,
-// WritePage, ResetStats — requires external synchronization with no
-// concurrent readers; the BufferPool enforces this by funnelling writes
-// through its quiescent writer path.
+// (counters are atomics; page slots have stable addresses). The page-set
+// mutators — AllocatePage and FreePage — serialize against each other on
+// an internal mutex and may run CONCURRENTLY with the read path: the
+// epoch-swap engine (DESIGN.md section 18) builds a replacement index —
+// allocating and writing fresh pages — while readers drain through the
+// old one, so the device must tolerate a single mutator under a live
+// read storm. Per-page content races remain the layer above's problem:
+// WritePage/WritePagePrefix concurrent with ReadPage of the SAME page is
+// undefined, and the BufferPool's per-frame pins prevent it (a page is
+// only ever filled or written back by the thread holding its frame).
+// ResetStats still requires quiescence.
 //
-// Lock discipline (DESIGN.md section 12): DiskManager intentionally holds
-// NO capability of its own — there is no mutex here for the thread-safety
-// analysis to track, because the quiescence contract above is a phase
-// discipline (build vs. query), not a lock. The compile-time layer that
-// protects this class is tools/segdb_lint.py instead: ReadPage/WritePage
-// may only be called from src/io/ (the BufferPool), which keeps the
-// paper's I/O accounting — pool misses == charged block reads — from
-// being bypassed by an index structure talking to the disk directly.
+// Lock discipline (DESIGN.md section 12): SimDiskManager's mutex guards
+// only allocation metadata (the free list and chunk growth); page BYTES
+// are deliberately unguarded, because their single-writer discipline is
+// enforced by the BufferPool funnel, not by a lock here. The compile-time
+// layer that protects this class is tools/segdb_lint.py:
+// ReadPage/WritePage may only be called from src/io/ (the BufferPool),
+// which keeps the paper's I/O accounting — pool misses == charged block
+// reads — from being bypassed by an index structure talking to the disk
+// directly.
 #ifndef SEGDB_IO_DISK_MANAGER_H_
 #define SEGDB_IO_DISK_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -42,6 +50,7 @@
 
 #include "io/page.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace segdb::io {
 
@@ -51,6 +60,16 @@ struct DiskStats {
   uint64_t allocations = 0;
   uint64_t frees = 0;
   uint64_t prefetch_hints = 0;  // pages named in PrefetchPages calls
+  uint64_t syncs = 0;           // durability barriers (Sync calls)
+};
+
+// A page id paired with a full copy of its bytes: the unit the write-ahead
+// log captures (pre-writeback dirty page images) and the buffer pool emits
+// from CollectDirty. Lives here rather than in wal.h so the pool does not
+// depend on the WAL layer.
+struct PageImage {
+  PageId id = kInvalidPageId;
+  std::vector<uint8_t> bytes;
 };
 
 // One page of an uncounted bulk read (PeekPagesBatch): the device fills
@@ -117,6 +136,14 @@ class DiskManager {
   // ignored). Thread-safe.
   virtual void PrefetchPages(std::span<const PageId> ids) = 0;
 
+  // Durability barrier: on return, every previously acknowledged write has
+  // reached stable storage. The RAM-backed simulation is trivially durable,
+  // so the default just counts the barrier; FileDiskManager issues a real
+  // fdatasync, and the fault wrapper makes the barrier fallible (and models
+  // power loss by dropping unsynced writes). Counts one sync, never a read
+  // or write — barriers are priced separately from the paper's I/O model.
+  virtual Status Sync();
+
   // Number of pages currently allocated (space-usage experiments).
   virtual uint64_t pages_in_use() const = 0;
   virtual uint64_t high_water_pages() const = 0;
@@ -136,6 +163,7 @@ class DiskManager {
     std::atomic<uint64_t> allocations{0};
     std::atomic<uint64_t> frees{0};
     std::atomic<uint64_t> prefetch_hints{0};
+    std::atomic<uint64_t> syncs{0};
   };
   Counters counters_;
 
@@ -148,6 +176,7 @@ class DiskManager {
 class SimDiskManager : public DiskManager {
  public:
   explicit SimDiskManager(uint32_t page_size_bytes);
+  ~SimDiskManager() override;
 
   Result<PageId> AllocatePage() override;
   Status FreePage(PageId id) override;
@@ -157,17 +186,54 @@ class SimDiskManager : public DiskManager {
   Status WritePagePrefix(PageId id, const Page& page,
                          uint32_t prefix_bytes) override;
   void PrefetchPages(std::span<const PageId> ids) override;
-  uint64_t pages_in_use() const override { return pages_in_use_; }
-  uint64_t high_water_pages() const override { return high_water_; }
+  uint64_t pages_in_use() const override {
+    return pages_in_use_.load(std::memory_order_relaxed);
+  }
+  uint64_t high_water_pages() const override {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  // Every currently allocated page id, ascending. A test hook: the crash
+  // harness walks the reference device's live set to bit-compare recovered
+  // state page by page.
+  std::vector<PageId> LivePages() const;
 
  private:
-  bool IsLive(PageId id) const;
+  // Page slots live in fixed-size chunks with stable addresses so the
+  // read path can run lock-free while AllocatePage grows the page set
+  // (the epoch-swap build-aside path allocates under a live read storm).
+  // A slot's byte buffer is allocated once and recycled across
+  // free/re-allocate cycles; `live` is the atomic existence bit the read
+  // path checks. The two-level table is fixed-capacity: an atomic
+  // chunk-pointer array sized for kMaxChunks * kChunkPages pages (512 GiB
+  // of 4 KiB pages — far past any experiment; beyond it AllocatePage
+  // reports ResourceExhausted like page-id exhaustion).
+  static constexpr uint32_t kChunkShift = 12;
+  static constexpr size_t kChunkPages = size_t{1} << kChunkShift;
+  static constexpr size_t kMaxChunks = size_t{1} << 15;
 
-  std::vector<std::unique_ptr<uint8_t[]>> store_;
-  std::vector<bool> live_;
-  std::vector<PageId> free_list_;
-  uint64_t pages_in_use_ = 0;
-  uint64_t high_water_ = 0;
+  struct Slot {
+    std::unique_ptr<uint8_t[]> bytes;
+    std::atomic<bool> live{false};
+  };
+  using Chunk = std::array<Slot, kChunkPages>;
+
+  bool IsLive(PageId id) const;
+  // Requires id < extent_; the chunk pointer is non-null for every such
+  // id (published with release order before extent_ advances past it).
+  Slot& SlotRef(PageId id) const;
+
+  // Serializes the mutators (AllocatePage/FreePage) against each other.
+  // The read path takes no lock — see the concurrency contract above.
+  mutable util::Mutex mu_;
+  const std::unique_ptr<std::atomic<Chunk*>[]> chunk_table_;
+  // Number of page ids ever allocated (slots 0..extent_-1 exist). The
+  // read path's bounds check; advances with release order after the slot
+  // and its chunk are fully constructed.
+  std::atomic<uint64_t> extent_{0};
+  std::vector<PageId> free_list_ SEGDB_GUARDED_BY(mu_);
+  std::atomic<uint64_t> pages_in_use_{0};
+  std::atomic<uint64_t> high_water_{0};
 };
 
 }  // namespace segdb::io

@@ -1,6 +1,8 @@
 #include "io/fault_injection.h"
 
 #include <algorithm>
+#include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,14 @@ Status FaultInjectingDiskManager::Decide(Op op, PageId id,
     if (--*scheduled_countdown_ == 0) {
       scheduled_countdown_.reset();
       ++faults_injected_;
+      if (scheduled_torn_ && op == Op::kWrite) {
+        scheduled_torn_ = false;
+        *torn_prefix_bytes = static_cast<uint32_t>(
+            1 + rng_.Uniform(page_size() > 1 ? page_size() - 1 : 1));
+        return Status::IoError(
+            FaultMsg("scheduled torn write", id, ops_seen_));
+      }
+      scheduled_torn_ = false;
       return Status::IoError(FaultMsg("scheduled fault", id, ops_seen_));
     }
   }
@@ -70,6 +80,12 @@ Status FaultInjectingDiskManager::Decide(Op op, PageId id,
         return Status::IoError(FaultMsg("write fault", id, ops_seen_));
       }
       break;
+    case Op::kSync:
+      if (plan_.sync_fault_rate > 0 && rng_.Bernoulli(plan_.sync_fault_rate)) {
+        ++faults_injected_;
+        return Status::IoError(FaultMsg("sync fault", id, ops_seen_));
+      }
+      break;
   }
   return Status::OK();
 }
@@ -90,7 +106,48 @@ Result<PageId> FaultInjectingDiskManager::AllocatePage() {
 }
 
 Status FaultInjectingDiskManager::FreePage(PageId id) {
+  {
+    util::MutexLock lock(&mu_);
+    // A freed page cannot be rolled back (the device rejects writes to a
+    // dead id); the free itself is reliable metadata by contract.
+    unsynced_.erase(id);
+  }
   return base_->FreePage(id);
+}
+
+void FaultInjectingDiskManager::SnapshotPreImage(PageId id) {
+  Page pre(page_size());
+  if (!base_->PeekPage(id, &pre).ok()) return;  // dead page: write will fail
+  util::MutexLock lock(&mu_);
+  unsynced_.emplace(
+      id, std::vector<uint8_t>(pre.data(), pre.data() + pre.size()));
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  {
+    util::MutexLock lock(&mu_);
+    uint32_t unused = 0;
+    Status fate = Decide(Op::kSync, kInvalidPageId, &unused);
+    // A faulted barrier syncs nothing: the pre-write snapshots stay armed
+    // until a Sync actually succeeds.
+    if (!fate.ok()) return fate;
+    unsynced_.clear();
+  }
+  return base_->Sync();
+}
+
+void FaultInjectingDiskManager::CrashLoseUnsynced() {
+  std::map<PageId, std::vector<uint8_t>> pre;
+  {
+    util::MutexLock lock(&mu_);
+    pre.swap(unsynced_);
+  }
+  for (const auto& [id, bytes] : pre) {
+    Page page(page_size());
+    std::memcpy(page.data(), bytes.data(), bytes.size());
+    // Pages freed since their snapshot are dead on the device; skip them.
+    base_->WritePage(id, page).IgnoreError();
+  }
 }
 
 Status FaultInjectingDiskManager::ReadPage(PageId id, Page* out) {
@@ -114,10 +171,14 @@ Status FaultInjectingDiskManager::PeekPage(PageId id, Page* out) const {
 Status FaultInjectingDiskManager::WritePage(PageId id, const Page& page) {
   uint32_t torn_prefix = 0;
   Status fate;
+  bool snapshot = false;
   {
     util::MutexLock lock(&mu_);
     fate = Decide(Op::kWrite, id, &torn_prefix);
+    snapshot = track_unsynced_ && (fate.ok() || torn_prefix != 0) &&
+               unsynced_.find(id) == unsynced_.end();
   }
+  if (snapshot) SnapshotPreImage(id);
   if (fate.ok()) return base_->WritePage(id, page);
   if (torn_prefix == 0) return fate;  // clean failure: nothing stored
   // Torn write: a prefix of the new page reaches the store (on the file
@@ -132,10 +193,14 @@ Status FaultInjectingDiskManager::WritePagePrefix(PageId id, const Page& page,
                                                   uint32_t prefix_bytes) {
   uint32_t torn_prefix = 0;
   Status fate;
+  bool snapshot = false;
   {
     util::MutexLock lock(&mu_);
     fate = Decide(Op::kWrite, id, &torn_prefix);
+    snapshot = track_unsynced_ && (fate.ok() || torn_prefix != 0) &&
+               unsynced_.find(id) == unsynced_.end();
   }
+  if (snapshot) SnapshotPreImage(id);
   if (fate.ok()) return base_->WritePagePrefix(id, page, prefix_bytes);
   if (torn_prefix == 0) return fate;
   // Tearing a prefix write can only shorten it further.

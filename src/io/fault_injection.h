@@ -38,9 +38,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "io/disk_manager.h"
 #include "io/page.h"
@@ -65,6 +67,11 @@ struct FaultPlan {
   double torn_write_rate = 0.0;
   // AllocatePage fails with kIoError (transient; a retry may succeed).
   double alloc_fault_rate = 0.0;
+  // Sync fails with kIoError: the durability barrier did not happen, so
+  // writes issued since the last successful Sync stay vulnerable to
+  // CrashLoseUnsynced(). The base device is NOT synced on a faulted
+  // barrier.
+  double sync_fault_rate = 0.0;
   // Hard cap on successful allocations while injection is enabled; once
   // spent, AllocatePage returns kResourceExhausted until faults are
   // disabled or the budget is raised. Models a full device.
@@ -115,7 +122,37 @@ class FaultInjectingDiskManager : public DiskManager {
     SEGDB_CHECK(k >= 1) << "ScheduleFailAtOp is 1-based";
     util::MutexLock lock(&mu_);
     scheduled_countdown_ = k;
+    scheduled_torn_ = false;
   }
+
+  // Like ScheduleFailAtOp, but if the k-th faultable op is a page write it
+  // tears: a random non-empty strict prefix reaches the store before the
+  // kIoError. Non-write ops at k fail cleanly. The crash-recovery sweeps
+  // use this to land a torn write on whatever the device happens to be
+  // writing at op k (WAL tail pages included).
+  void ScheduleTornFailAtOp(uint64_t k) {
+    SEGDB_CHECK(k >= 1) << "ScheduleTornFailAtOp is 1-based";
+    util::MutexLock lock(&mu_);
+    scheduled_countdown_ = k;
+    scheduled_torn_ = true;
+  }
+
+  // Power-loss modeling. While tracking is on, the wrapper snapshots each
+  // page's pre-write bytes on the first write since the last successful
+  // Sync; CrashLoseUnsynced() rolls every such page back to its snapshot —
+  // i.e. drops ALL unsynced writes, the multi-page analogue of a torn
+  // single-page write. Snapshots bypass Decide (no ops counted, no Rng
+  // draws), so arming tracking does not perturb the fault stream.
+  void set_track_unsynced(bool on) {
+    util::MutexLock lock(&mu_);
+    track_unsynced_ = on;
+    if (!on) unsynced_.clear();
+  }
+  uint64_t unsynced_pages() const {
+    util::MutexLock lock(&mu_);
+    return unsynced_.size();
+  }
+  void CrashLoseUnsynced();
 
   // Faultable operations observed while enabled (alloc/read/peek/write;
   // FreePage is never counted).
@@ -144,6 +181,7 @@ class FaultInjectingDiskManager : public DiskManager {
   Status WritePage(PageId id, const Page& page) override;
   Status WritePagePrefix(PageId id, const Page& page,
                          uint32_t prefix_bytes) override;
+  Status Sync() override;
   void PeekPagesBatch(std::span<PageFill> fills) override;
   void PrefetchPages(std::span<const PageId> ids) override;
   uint64_t pages_in_use() const override { return base_->pages_in_use(); }
@@ -156,13 +194,18 @@ class FaultInjectingDiskManager : public DiskManager {
   void ResetStats() override { base_->ResetStats(); }
 
  private:
-  enum class Op { kAlloc, kRead, kPeek, kWrite };
+  enum class Op { kAlloc, kRead, kPeek, kWrite, kSync };
 
   // Decides the fate of one faultable op. Returns OK to pass through; a
   // non-OK status to inject. For writes, sets *torn_prefix_bytes > 0 when a
   // prefix of the page should reach the store before the failure.
   Status Decide(Op op, PageId id, uint32_t* torn_prefix_bytes) const
       SEGDB_REQUIRES(mu_);
+
+  // Records the page's current base-device bytes as its pre-write snapshot
+  // (first write since the last successful Sync). Reads the base without a
+  // Decide — tracking is invisible to the fault stream and the counters.
+  void SnapshotPreImage(PageId id);
 
   std::unique_ptr<DiskManager> owned_;
   DiskManager* const base_;
@@ -175,6 +218,11 @@ class FaultInjectingDiskManager : public DiskManager {
   mutable uint64_t faults_injected_ SEGDB_GUARDED_BY(mu_) = 0;
   uint64_t allocs_granted_ SEGDB_GUARDED_BY(mu_) = 0;
   mutable std::optional<uint64_t> scheduled_countdown_ SEGDB_GUARDED_BY(mu_);
+  mutable bool scheduled_torn_ SEGDB_GUARDED_BY(mu_) = false;
+  bool track_unsynced_ SEGDB_GUARDED_BY(mu_) = false;
+  // Pre-write snapshots of pages written since the last successful Sync
+  // (ordered map: CrashLoseUnsynced restores in deterministic id order).
+  std::map<PageId, std::vector<uint8_t>> unsynced_ SEGDB_GUARDED_BY(mu_);
 };
 
 }  // namespace segdb::io

@@ -247,6 +247,19 @@ Status FileDiskManager::Flush() {
   return WriteMeta();
 }
 
+Status FileDiskManager::Sync() {
+  util::MutexLock lock(&mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("Sync on a closed file");
+  // fdatasync suffices: page writes never change the file length (GrowTo
+  // ftruncates ahead of the data), so the inode metadata a full fsync
+  // would also flush carries nothing recovery depends on.
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(ErrnoMsg("fdatasync", errno));
+  }
+  counters_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 bool FileDiskManager::IsLive(PageId id) const {
   return id < live_.size() && live_[id];
 }

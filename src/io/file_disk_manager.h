@@ -81,6 +81,7 @@ class FileDiskManager final : public DiskManager {
   Status WritePage(PageId id, const Page& page) override;
   Status WritePagePrefix(PageId id, const Page& page,
                          uint32_t prefix_bytes) override;
+  Status Sync() override;
   void PeekPagesBatch(std::span<PageFill> fills) override;
   void PrefetchPages(std::span<const PageId> ids) override;
   uint64_t pages_in_use() const override;

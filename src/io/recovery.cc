@@ -1,0 +1,78 @@
+#include "io/recovery.h"
+
+#include <cstring>
+#include <utility>
+
+#include "io/wal.h"
+#include "util/status.h"
+
+namespace segdb::io {
+
+Result<RecoveryResult> Recover(DiskManager* disk, PageId anchor) {
+  Result<WriteAheadLog::ChainState> chain =
+      WriteAheadLog::ReadChain(disk, anchor);
+  if (!chain.ok()) return chain.status();
+  const WriteAheadLog::ChainState& state = chain.value();
+
+  RecoveryResult result;
+  result.records_scanned = state.records.size();
+  result.torn_tail_bytes = state.torn_tail_bytes;
+
+  // Forward redo pass. Images are buffered until their commit record
+  // lands: a transaction whose commit fell in the torn tail contributes
+  // nothing to the device.
+  std::vector<std::pair<PageId, const std::vector<uint8_t>*>> pending;
+  for (const WriteAheadLog::ParsedRecord& record : state.records) {
+    if (record.type == WriteAheadLog::kRecordPageImage) {
+      if (record.payload.size() < sizeof(PageId) ||
+          record.payload.size() != sizeof(PageId) + disk->page_size()) {
+        return Status::Corruption("WAL page-image record has a bad size");
+      }
+      PageId id = kInvalidPageId;
+      std::memcpy(&id, record.payload.data(), sizeof(id));
+      pending.emplace_back(id, &record.payload);
+      continue;
+    }
+    // Commit record: write every buffered image to its home location.
+    for (const auto& [id, payload] : pending) {
+      Page page(disk->page_size());
+      std::memcpy(page.data(), payload->data() + sizeof(PageId),
+                  disk->page_size());
+      Status s = disk->WritePage(id, page);
+      if (s.ok()) {
+        ++result.images_applied;
+      } else if (s.code() == StatusCode::kInvalidArgument) {
+        // Dead id: the page was freed after this commit's barrier (frees
+        // are reliable metadata and only applied post-commit), so the
+        // committed free supersedes the image.
+        ++result.images_skipped_dead;
+      } else {
+        return s;
+      }
+    }
+    pending.clear();
+    RecoveredCommit commit;
+    commit.lsn = record.lsn;
+    commit.payload = record.payload;
+    result.commits.push_back(std::move(commit));
+  }
+  result.discarded_uncommitted_images = pending.size();
+
+  // Barrier the replayed pages, then retire the chain under a fresh
+  // generation. Order matters: the anchor swap must not land before the
+  // redo writes are durable.
+  SEGDB_RETURN_IF_ERROR(disk->Sync());
+  Result<PageId> fresh_head = disk->AllocatePage();
+  if (!fresh_head.ok()) return fresh_head.status();
+  SEGDB_RETURN_IF_ERROR(WriteAheadLog::PublishAnchor(
+      disk, anchor, state.generation + 1, fresh_head.value()));
+  for (PageId id : state.pages) disk->FreePage(id).IgnoreError();
+  if (state.tail_next != kInvalidPageId) {
+    // The pre-allocated (possibly part-written) page past the valid tail.
+    disk->FreePage(state.tail_next).IgnoreError();
+  }
+  result.generation = state.generation + 1;
+  return result;
+}
+
+}  // namespace segdb::io

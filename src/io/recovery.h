@@ -1,0 +1,68 @@
+// Crash recovery for the write-ahead log (wal.h): replays the committed
+// prefix of the newest-generation chain and resets the log.
+//
+// The WAL is pure physical redo under NO-STEAL buffering, so recovery is a
+// single forward pass with no undo phase:
+//
+//   1. Walk the chain (WriteAheadLog::ReadChain) and discard the torn tail
+//      — everything past the last complete, CRC-clean record.
+//   2. Replay in record order: page-image records are BUFFERED until the
+//      commit record that owns them arrives, then written to their home
+//      locations. Images whose commit record fell in the torn tail are
+//      discarded — their transaction never happened. Images of pages freed
+//      after the commit was logged hit a dead id and are skipped (the free
+//      is post-barrier by protocol, so the committed free wins).
+//   3. Sync, then reset the chain: a fresh empty head is published under
+//      generation+1 and the replayed chain pages are freed. After Recover
+//      the device is exactly the committed-prefix state and
+//      WriteAheadLog::Open attaches cleanly.
+//
+// Replay is idempotent (page images overwrite absolutely), so a crash
+// DURING recovery — before the anchor swap lands — just recovers again
+// from the same chain.
+//
+// The commit records' payloads are returned in order: the engine replays
+// them against its in-memory index to rebuild the logical state that
+// matches the recovered pages (core::DurableEngine::ReplayCommits).
+#ifndef SEGDB_IO_RECOVERY_H_
+#define SEGDB_IO_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/disk_manager.h"
+#include "io/page.h"
+#include "util/status.h"
+
+namespace segdb::io {
+
+// One committed transaction, in commit order: the LSN of its commit record
+// and the engine-opaque logical op descriptor it carried.
+struct RecoveredCommit {
+  uint64_t lsn = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct RecoveryResult {
+  // Generation the log was reset to (the replayed generation + 1).
+  uint64_t generation = 0;
+  std::vector<RecoveredCommit> commits;
+  uint64_t records_scanned = 0;
+  uint64_t images_applied = 0;
+  // Committed images whose page was freed after the commit landed.
+  uint64_t images_skipped_dead = 0;
+  // Images buffered for a commit record that fell in the torn tail.
+  uint64_t discarded_uncommitted_images = 0;
+  uint64_t torn_tail_bytes = 0;
+};
+
+// Replays the log anchored at `anchor` onto `disk` and resets the chain.
+// The device must be reliable for the duration (harnesses disable fault
+// injection first — recovery after a crash runs on a healthy replacement
+// device by assumption). Corruption of the anchor itself is unrecoverable
+// and reported as kCorruption.
+Result<RecoveryResult> Recover(DiskManager* disk, PageId anchor);
+
+}  // namespace segdb::io
+
+#endif  // SEGDB_IO_RECOVERY_H_

@@ -10,6 +10,7 @@
 #define SEGDB_UTIL_CLOCK_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace segdb::util {
 
@@ -26,6 +27,13 @@ class Deadline {
   static Deadline After(std::chrono::duration<Rep, Period> budget) {
     return At(Clock::now() +
               std::chrono::duration_cast<Clock::duration>(budget));
+  }
+
+  // Integer-microsecond form for callers outside src/util, where the raw
+  // time-type lint keeps std::chrono out (options structs carry plain
+  // integer windows instead — e.g. io::WalOptions' group-commit window).
+  static Deadline AfterMicros(uint64_t us) {
+    return After(std::chrono::microseconds(us));
   }
 
   bool is_infinite() const { return !bounded_; }

@@ -1,0 +1,165 @@
+// Crash-recovery fuzzing (DESIGN.md section 18): recover-after-fail-at-op-K
+// sweeps over a core::DurableEngine. Every trial kills the device at a
+// chosen operation, tears the engine down like a process death, runs
+// io::Recover(), and proves the recovered device and the replayed logical
+// state match a reference execution of exactly the committed prefix — see
+// fuzz_harness.h (RunCrashRecoverySweep) for the full contract.
+//
+// Three crash models, each swept over every strided fail point:
+//   - fail-stop: the K-th device op fails, everything already written stays;
+//   - power-loss: additionally, every write since the last durability
+//     barrier rolls back to its pre-image (FaultInjectingDiskManager's
+//     fsync-barrier tear);
+//   - torn-write: the fatal op, if a write, lands a random strict prefix of
+//     the page — on top of the power-loss drop.
+//
+// The *Randomized* tests read SEGDB_RECOVERY_SEED / SEGDB_RECOVERY_OPS from
+// the environment (skipped when unset): CI's recovery job sets a fresh seed
+// per run and logs it; a failure replays locally with
+//   SEGDB_RECOVERY_SEED=<S> SEGDB_RECOVERY_OPS=<N> ctest -R Randomized
+
+#include "fuzz_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/two_level_interval_index.h"
+
+namespace segdb::fuzz {
+namespace {
+
+// The engine wraps the erase-capable paper structure; the sweep needs the
+// full insert/erase/bulk-load mix to exercise commit payload arity.
+IndexFactory TwoLevelIntervalFactory() {
+  return [](io::BufferPool* pool) {
+    return std::make_unique<core::TwoLevelIntervalIndex>(pool);
+  };
+}
+
+CrashFuzzOptions BaseOptions() {
+  CrashFuzzOptions options;
+  options.seed = 20260808;
+  options.ops = 48;
+  options.universe = 300;
+  options.pool_frames = 128;
+  options.checkpoint_every = 4;
+  options.max_crash_points = 96;
+  return options;
+}
+
+TEST(CrashRecoveryFuzzTest, FailStopSweep) {
+  CrashFuzzStats stats;
+  const Status s = RunCrashRecoverySweep("tli-failstop",
+                                         TwoLevelIntervalFactory(),
+                                         BaseOptions(), &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // The sweep must actually kill runs, recover commits, and bit-compare
+  // real data pages — a sweep that only saw clean runs proves nothing.
+  EXPECT_GT(stats.crashes, 0u);
+  EXPECT_GT(stats.commits_recovered, 0u);
+  EXPECT_GT(stats.images_applied, 0u);
+  EXPECT_GT(stats.pages_compared, 0u);
+  EXPECT_EQ(stats.trials, stats.crashes + stats.clean_runs);
+}
+
+TEST(CrashRecoveryFuzzTest, PowerLossSweep) {
+  CrashFuzzOptions options = BaseOptions();
+  options.lose_unsynced = true;
+  CrashFuzzStats stats;
+  const Status s = RunCrashRecoverySweep("tli-powerloss",
+                                         TwoLevelIntervalFactory(), options,
+                                         &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.crashes, 0u);
+  EXPECT_GT(stats.commits_recovered, 0u);
+  EXPECT_GT(stats.pages_compared, 0u);
+}
+
+TEST(CrashRecoveryFuzzTest, TornWriteSweep) {
+  CrashFuzzOptions options = BaseOptions();
+  options.torn_crash = true;
+  CrashFuzzStats stats;
+  const Status s = RunCrashRecoverySweep("tli-torn",
+                                         TwoLevelIntervalFactory(), options,
+                                         &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.crashes, 0u);
+  EXPECT_GT(stats.pages_compared, 0u);
+}
+
+// A tiny pool forces dirty evictions into the NO-STEAL spill mid-mutation,
+// so recovered commits must carry spilled images too. The stat proves the
+// path was actually on the table in at least one trial.
+TEST(CrashRecoveryFuzzTest, SpillPathIsCovered) {
+  CrashFuzzOptions options = BaseOptions();
+  options.pool_frames = 8;
+  options.ops = 32;
+  options.max_crash_points = 48;
+  CrashFuzzStats stats;
+  const Status s = RunCrashRecoverySweep("tli-spill",
+                                         TwoLevelIntervalFactory(), options,
+                                         &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.spill_trials, 0u);
+  EXPECT_GT(stats.crashes, 0u);
+}
+
+// Identical (seed, ops, mode) must reproduce the sweep bit-for-bit — the
+// reproducer line (--seed/--ops/--crash-at) depends on it.
+TEST(CrashRecoveryFuzzTest, SweepIsDeterministic) {
+  CrashFuzzOptions options = BaseOptions();
+  options.ops = 24;
+  options.max_crash_points = 24;
+  options.lose_unsynced = true;
+  CrashFuzzStats a, b;
+  ASSERT_TRUE(RunCrashRecoverySweep("replay-a", TwoLevelIntervalFactory(),
+                                    options, &a)
+                  .ok());
+  ASSERT_TRUE(RunCrashRecoverySweep("replay-b", TwoLevelIntervalFactory(),
+                                    options, &b)
+                  .ok());
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.clean_runs, b.clean_runs);
+  EXPECT_EQ(a.commits_recovered, b.commits_recovered);
+  EXPECT_EQ(a.images_applied, b.images_applied);
+  EXPECT_EQ(a.torn_tail_trials, b.torn_tail_trials);
+  EXPECT_EQ(a.pages_compared, b.pages_compared);
+}
+
+std::optional<uint64_t> EnvU64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::strtoull(value, nullptr, 10);
+}
+
+TEST(RandomizedCrashRecoveryTest, AllModesFreshSeed) {
+  const auto seed = EnvU64("SEGDB_RECOVERY_SEED");
+  if (!seed.has_value()) GTEST_SKIP() << "SEGDB_RECOVERY_SEED not set";
+  CrashFuzzOptions options = BaseOptions();
+  options.seed = *seed;
+  options.ops = EnvU64("SEGDB_RECOVERY_OPS").value_or(48);
+  std::printf("[crash-fuzz] randomized run: --seed=%llu --ops=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.ops));
+  for (const bool lose : {false, true}) {
+    options.lose_unsynced = lose;
+    options.torn_crash = false;
+    Status s = RunCrashRecoverySweep(lose ? "rand-powerloss" : "rand-failstop",
+                                     TwoLevelIntervalFactory(), options);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  options.torn_crash = true;
+  const Status s = RunCrashRecoverySweep("rand-torn",
+                                         TwoLevelIntervalFactory(), options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace segdb::fuzz

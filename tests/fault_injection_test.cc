@@ -161,6 +161,136 @@ TEST(FaultInjectionTest, AllocBudgetModelsDeviceExhaustion) {
 }
 
 // ---------------------------------------------------------------------------
+// Durability-barrier faults and power-loss modeling (DESIGN.md section 18):
+// Sync is a faultable op, and set_track_unsynced + CrashLoseUnsynced models
+// the fsync-barrier tear — a crash drops EVERY write since the last
+// successful barrier, the multi-page analogue of a torn single-page write.
+
+// Stamps every byte of page `id` with `value` through the wrapper.
+Status StampPage(FaultInjectingDiskManager& disk, io::PageId id,
+                 uint8_t value) {
+  io::Page page(disk.page_size());
+  std::fill(page.data(), page.data() + page.size(), value);
+  return disk.WritePage(id, page);
+}
+
+// Reads page `id` with injection paused and returns byte 0.
+uint8_t PeekByte(FaultInjectingDiskManager& disk, io::PageId id) {
+  const bool was = disk.enabled();
+  disk.set_enabled(false);
+  io::Page page(disk.page_size());
+  SEGDB_CHECK(disk.PeekPage(id, &page).ok());
+  disk.set_enabled(was);
+  return page.data()[0];
+}
+
+TEST(FaultInjectionTest, SyncIsFaultableAndCountsAsAnOp) {
+  FaultPlan plan;
+  plan.sync_fault_rate = 1.0;
+  FaultInjectingDiskManager disk(256, plan);
+  EXPECT_EQ(disk.Sync().code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.ops_seen(), 1u);
+  EXPECT_EQ(disk.faults_injected(), 1u);
+  // A scheduled one-shot hits a Sync like any other faultable op.
+  disk.ResetPlan(FaultPlan{});
+  disk.ScheduleFailAtOp(2);
+  EXPECT_TRUE(disk.Sync().ok());                            // op 1
+  EXPECT_EQ(disk.Sync().code(), StatusCode::kIoError);      // op 2
+  EXPECT_TRUE(disk.Sync().ok());                            // one-shot spent
+}
+
+TEST(FaultInjectionTest, CrashLoseUnsyncedDropsWritesSinceLastBarrier) {
+  FaultInjectingDiskManager disk(256, FaultPlan{});
+  disk.set_enabled(false);
+  const io::PageId a = disk.AllocatePage().value();
+  const io::PageId b = disk.AllocatePage().value();
+  disk.set_enabled(true);
+  disk.set_track_unsynced(true);
+
+  // Epoch 1: both pages stamped, then a successful barrier.
+  ASSERT_TRUE(StampPage(disk, a, 0x11).ok());
+  ASSERT_TRUE(StampPage(disk, b, 0x22).ok());
+  EXPECT_EQ(disk.unsynced_pages(), 2u);
+  ASSERT_TRUE(disk.Sync().ok());
+  EXPECT_EQ(disk.unsynced_pages(), 0u);
+
+  // Epoch 2: only `a` rewritten (twice — one snapshot per page), no barrier.
+  ASSERT_TRUE(StampPage(disk, a, 0x33).ok());
+  ASSERT_TRUE(StampPage(disk, a, 0x44).ok());
+  EXPECT_EQ(disk.unsynced_pages(), 1u);
+
+  disk.CrashLoseUnsynced();
+  // `a` rolls back to its barrier-time bytes; `b` was synced and survives.
+  EXPECT_EQ(PeekByte(disk, a), 0x11);
+  EXPECT_EQ(PeekByte(disk, b), 0x22);
+  EXPECT_EQ(disk.unsynced_pages(), 0u);
+}
+
+TEST(FaultInjectionTest, FaultedBarrierKeepsSnapshotsArmed) {
+  FaultInjectingDiskManager disk(256, FaultPlan{});
+  disk.set_enabled(false);
+  const io::PageId a = disk.AllocatePage().value();
+  disk.set_enabled(true);
+  disk.set_track_unsynced(true);
+
+  ASSERT_TRUE(StampPage(disk, a, 0x55).ok());
+  // The barrier FAILS: the durability point did not happen, so the write
+  // before it is just as vulnerable as the write after it.
+  disk.ScheduleFailAtOp(1);
+  ASSERT_EQ(disk.Sync().code(), StatusCode::kIoError);
+  ASSERT_TRUE(StampPage(disk, a, 0x66).ok());
+  EXPECT_EQ(disk.unsynced_pages(), 1u);
+
+  disk.CrashLoseUnsynced();
+  EXPECT_EQ(PeekByte(disk, a), 0x00);  // all the way back to pre-0x55 zeros
+}
+
+TEST(FaultInjectionTest, ScheduleTornFailAtOpTearsWritesAndFailsReadsClean) {
+  FaultInjectingDiskManager disk(256, FaultPlan{});
+  disk.set_enabled(false);
+  const io::PageId id = disk.AllocatePage().value();
+  disk.set_enabled(true);
+
+  // Scheduled at a write: a non-empty strict prefix lands, then kIoError.
+  disk.ScheduleTornFailAtOp(1);
+  EXPECT_EQ(StampPage(disk, id, 0xCD).code(), StatusCode::kIoError);
+  disk.set_enabled(false);
+  io::Page stored(disk.page_size());
+  ASSERT_TRUE(disk.PeekPage(id, &stored).ok());
+  EXPECT_EQ(stored.data()[0], 0xCD);
+  EXPECT_EQ(stored.data()[stored.size() - 1], 0x00);
+  disk.set_enabled(true);
+
+  // Scheduled at a read: fails cleanly, mutates nothing.
+  disk.ScheduleTornFailAtOp(1);
+  io::Page out(disk.page_size());
+  EXPECT_EQ(disk.ReadPage(id, &out).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.faults_injected(), 2u);
+  disk.set_enabled(false);
+  io::Page again(disk.page_size());
+  ASSERT_TRUE(disk.PeekPage(id, &again).ok());
+  EXPECT_EQ(again.data()[0], 0xCD);  // torn prefix from before, untouched
+}
+
+TEST(FaultInjectionTest, BarrierTearRestoresEvenTornPages) {
+  FaultInjectingDiskManager disk(256, FaultPlan{});
+  disk.set_enabled(false);
+  const io::PageId id = disk.AllocatePage().value();
+  disk.set_enabled(true);
+  disk.set_track_unsynced(true);
+
+  ASSERT_TRUE(StampPage(disk, id, 0x77).ok());
+  ASSERT_TRUE(disk.Sync().ok());
+  // A torn write after the barrier: the prefix lands on the platter, but
+  // the pre-image snapshot was taken first — power loss undoes the tear.
+  disk.ScheduleTornFailAtOp(1);
+  ASSERT_EQ(StampPage(disk, id, 0x88).code(), StatusCode::kIoError);
+  EXPECT_EQ(PeekByte(disk, id), 0x88);
+  disk.CrashLoseUnsynced();
+  EXPECT_EQ(PeekByte(disk, id), 0x77);
+}
+
+// ---------------------------------------------------------------------------
 // Buffer-pool failure paths (PR 5 regressions).
 
 class PoolFaultTest : public ::testing::Test {

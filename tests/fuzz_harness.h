@@ -97,6 +97,66 @@ Status RunDifferentialFuzz(const std::string& label,
                            const FuzzOptions& options,
                            FuzzStats* stats = nullptr);
 
+// --- Crash-recovery sweep (DESIGN.md section 18) ---
+//
+// RunCrashRecoverySweep wraps the index in a core::DurableEngine, runs a
+// seeded mutation/query stream, and kills the device at every K-th device
+// operation (strided above max_crash_points): the K-th op fails, the
+// process "dies" (the engine is torn down with no writeback), optionally
+// all writes since the last durability barrier are dropped (power loss)
+// or the fatal write is torn, and then io::Recover() replays the log.
+// Each trial then proves, against a reference execution of the committed
+// prefix on a reliable device:
+//   - the recovered WAL chain holds exactly the acknowledged commits
+//     since the last checkpoint (+1 when the in-flight commit's barrier
+//     landed before the crash), payload-for-payload;
+//   - the recovered device is BIT-IDENTICAL to the reference device on
+//     every reference-live data page (WAL-owned pages set aside);
+//   - the committed logical state, rebuilt via ReplayCommits, answers a
+//     seeded query battery exactly like an oracle replaying the same
+//     committed ops, and audits clean.
+// A scheduled fault that lands on an absorbed operation (post-commit
+// writeback or checkpoint) never surfaces: the run completes and is
+// verified end-to-end against the oracle instead.
+
+struct CrashFuzzOptions {
+  uint64_t seed = 1;
+  uint64_t ops = 48;  // mutation/query stream length per trial
+  uint64_t universe = 300;
+  uint32_t page_size = 1024;
+  // Deliberately tiny: forces dirty evictions into the NO-STEAL spill
+  // mid-mutation so recovery must cover spilled images too.
+  uint32_t pool_frames = 128;
+  uint32_t checkpoint_every = 4;
+  // Cap on crash points per mode; the K sweep strides to stay under it.
+  uint64_t max_crash_points = 96;
+  // Power loss: drop every write since the last successful barrier.
+  bool lose_unsynced = false;
+  // Tear the fatal write (random prefix lands) instead of failing clean;
+  // implies the power-loss drop as well.
+  bool torn_crash = false;
+};
+
+struct CrashFuzzStats {
+  uint64_t trials = 0;
+  uint64_t crashes = 0;        // trials where the fault surfaced as an error
+  uint64_t clean_runs = 0;     // fault absorbed (writeback/checkpoint) or k=0
+  uint64_t commits_recovered = 0;
+  uint64_t images_applied = 0;
+  uint64_t torn_tail_trials = 0;  // recoveries that discarded a torn tail
+  uint64_t pages_compared = 0;    // bit-identical data pages checked
+  uint64_t spill_trials = 0;      // trials whose commits carried spilled images
+};
+
+// Runs the fail-at-op-K sweep for `factory`'s index under a DurableEngine.
+// Returns OK when every crash point recovers to the committed prefix. On
+// divergence, prints a one-line reproducer (--seed/--ops/--crash-at) and
+// returns Corruption.
+Status RunCrashRecoverySweep(const std::string& label,
+                             const IndexFactory& factory,
+                             const CrashFuzzOptions& options,
+                             CrashFuzzStats* stats = nullptr);
+
 // SegmentIndex adapter over ShearedIndex (identity direction (0, 1)) so
 // the fuzzer can drive the sheared wrapper through the common interface.
 // Identity keeps the oracle comparable; non-identity directions are

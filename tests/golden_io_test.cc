@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/durable_engine.h"
 #include "core/two_level_binary_index.h"
 #include "core/two_level_interval_index.h"
 #include "gtest/gtest.h"
@@ -201,6 +202,63 @@ TEST(GoldenIoTest, SolutionBFileBackendCountsMatchSim) {
   const CostTrace trace =
       Measure<core::TwoLevelIntervalIndex>(1004, 13, Backend::kFile);
   CheckTrace(trace, "SolutionBFile", ToVec(kGoldenSolutionBMisses),
+             ToVec(kGoldenSolutionBOutput));
+}
+
+// Durability parity (DESIGN.md section 18): a structure built THROUGH the
+// write-ahead-logged DurableEngine must reproduce the same golden cold-miss
+// arrays as one built bare. WAL traffic lands in the device write/sync
+// counters, never in the pool's miss counter — logging moves durability
+// I/O, not query I/O. Page IDs shift (the WAL allocates its anchor and
+// chain first), so only the counts can be compared — which is exactly what
+// the paper's cost model measures.
+template <typename Index>
+CostTrace MeasureDurable(uint64_t data_seed, uint64_t query_seed) {
+  CostTrace trace;
+  io::SimDiskManager disk(kPageSize);
+  io::BufferPool pool(&disk, 1 << 15);
+  auto created = core::DurableEngine::Create(
+      &pool, &disk,
+      [](io::BufferPool* p) { return std::make_unique<Index>(p); });
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  if (!created.ok()) return {};
+  std::unique_ptr<core::DurableEngine> engine = std::move(created.value());
+
+  Rng rng(data_seed);
+  auto segs = workload::GenMapLayer(rng, kN, 1 << 22);
+  EXPECT_TRUE(engine->BulkLoad(segs).ok());
+
+  Rng qrng(query_seed);
+  auto box = workload::ComputeBoundingBox(segs);
+  auto queries = workload::GenVsQueries(qrng, kNumQueries, box, 0.01);
+
+  EXPECT_TRUE(pool.FlushAll().ok());
+  for (const workload::VsQuery& q : queries) {
+    EXPECT_TRUE(pool.EvictAll().ok());
+    pool.ResetStats();
+    const uint64_t device_writes_before = disk.stats().writes;
+    std::vector<geom::Segment> out;
+    EXPECT_TRUE(
+        engine->Query(core::VerticalSegmentQuery{q.x0, q.ylo, q.yhi}, &out)
+            .ok());
+    // Queries are not logged: zero WAL (or any) device writes per query.
+    EXPECT_EQ(disk.stats().writes, device_writes_before);
+    trace.misses.push_back(pool.stats().misses);
+    trace.output.push_back(out.size());
+  }
+  return trace;
+}
+
+TEST(GoldenIoTest, SolutionADurableEngineCountsMatchBare) {
+  const CostTrace trace = MeasureDurable<core::TwoLevelBinaryIndex>(1003, 11);
+  CheckTrace(trace, "SolutionADurable", ToVec(kGoldenSolutionAMisses),
+             ToVec(kGoldenSolutionAOutput));
+}
+
+TEST(GoldenIoTest, SolutionBDurableEngineCountsMatchBare) {
+  const CostTrace trace =
+      MeasureDurable<core::TwoLevelIntervalIndex>(1004, 13);
+  CheckTrace(trace, "SolutionBDurable", ToVec(kGoldenSolutionBMisses),
              ToVec(kGoldenSolutionBOutput));
 }
 

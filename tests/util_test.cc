@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <string>
 
+#include "util/crc32.h"
 #include "util/math.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -49,6 +52,43 @@ TEST(ResultTest, ErrorPropagates) {
   Result<int> r(Status::NotFound("missing"));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// The WAL stamps every chain page and record with this CRC; the vectors
+// below pin it to CRC-32/IEEE (reflected 0xEDB88320) so a table or
+// conditioning bug cannot silently re-derive a self-consistent checksum.
+TEST(Crc32Test, MatchesIeeeKnownAnswers) {
+  const char* check = "123456789";
+  EXPECT_EQ(util::Crc32(check, std::strlen(check)), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(util::Crc32("a", 1), 0xE8B7BE43u);
+  const char* abc = "abc";
+  EXPECT_EQ(util::Crc32(abc, 3), 0x352441C2u);
+}
+
+TEST(Crc32Test, IncrementalChainingEqualsOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  const uint32_t whole = util::Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = util::Crc32(data.data(), split);
+    const uint32_t chained =
+        util::Crc32(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipsAlwaysChangeTheChecksum) {
+  uint8_t buf[64];
+  for (size_t i = 0; i < sizeof(buf); ++i) buf[i] = static_cast<uint8_t>(i);
+  const uint32_t clean = util::Crc32(buf, sizeof(buf));
+  for (size_t byte = 0; byte < sizeof(buf); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(util::Crc32(buf, sizeof(buf)), clean)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
 }
 
 TEST(MathTest, FloorLog2) {

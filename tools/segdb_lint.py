@@ -107,7 +107,8 @@ RAW_SYNC_RE = re.compile(
 # std::chrono / std::this_thread.
 RAW_TIME_RE = re.compile(
     r"\bstd\s*::\s*(this_thread\s*::\s*sleep_(?:for|until)|chrono)\b")
-IO_BYPASS_RE = re.compile(r"\b(ReadPage|WritePage)\s*\(")
+IO_BYPASS_RE = re.compile(
+    r"\b(ReadPage|WritePage|WritePagePrefix|Sync)\s*\(")
 # The only translation units allowed to issue raw device syscalls or
 # liburing calls; everything else goes through FileDiskManager or the
 # ReadFullAt/WriteFullAt helpers.
@@ -116,7 +117,8 @@ RAW_IO_OWNERS = (
     "src/io/file_disk_manager.cc",
 )
 RAW_IO_RE = re.compile(
-    r"\b(io_uring_\w+|pread(?:64|v2?)?|pwrite(?:64|v2?)?|open(?:at)?)"
+    r"\b(io_uring_\w+|pread(?:64|v2?)?|pwrite(?:64|v2?)?|open(?:at)?"
+    r"|fsync|fdatasync)"
     r"\s*\(")
 # Matched on stripped lines (so commented-out includes don't count); the
 # path itself is re-extracted from the raw line because the stripper
@@ -355,7 +357,8 @@ def check_io_bypass(rel, _raw_lines, code_lines):
                 rel, lineno, "io-bypass",
                 f"{m.group(1)}() outside src/io/ bypasses the BufferPool "
                 "and breaks the paper's I/O accounting; fetch pages "
-                "through io::BufferPool")
+                "through io::BufferPool, and leave durability barriers "
+                "(Sync) to the WriteAheadLog commit/checkpoint protocol")
 
 
 def check_raw_io(rel, _raw_lines, code_lines):

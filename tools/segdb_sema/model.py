@@ -57,6 +57,11 @@ BLOCKING_SEEDS = {
     "Wait", "WaitUntil",
     # Admission control parks the calling thread.
     "Serve",
+    # WAL entry points: Commit group-commits (parks in the leader window,
+    # then device writes + a durability barrier), Sync/Checkpoint issue the
+    # barrier itself. Calling any of these while holding an unrelated lock
+    # serializes every committer behind the device.
+    "Sync", "Commit", "Checkpoint",
 }
 
 # Direct page-I/O seeds for the I/O-cost family: one device page access

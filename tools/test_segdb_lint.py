@@ -185,6 +185,25 @@ class IoBypassTest(unittest.TestCase):
                                  "disk.ReadPage(id.value(), &r);\n"),
             [])
 
+    def test_sync_outside_io_rejected(self):
+        # Durability barriers belong to the WAL commit/checkpoint protocol;
+        # an engine- or index-level disk->Sync() bypasses group commit.
+        violations = segdb_lint.lint_text(
+            "src/core/durable_engine.cc", "disk_->Sync();\n")
+        self.assertEqual(rules_hit(violations), ["io-bypass"])
+
+    def test_write_page_prefix_outside_io_rejected(self):
+        violations = segdb_lint.lint_text(
+            "src/core/engine.cc",
+            "disk->WritePagePrefix(id, page, torn_bytes);\n")
+        self.assertEqual(rules_hit(violations), ["io-bypass"])
+
+    def test_wal_tu_sync_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text("src/io/wal.cc",
+                                 "SEGDB_RETURN_IF_ERROR(disk_->Sync());\n"),
+            [])
+
 
 class RawIoTest(unittest.TestCase):
     def test_pread_outside_engine_files_rejected(self):
@@ -213,6 +232,22 @@ class RawIoTest(unittest.TestCase):
                 segdb_lint.lint_text(
                     rel, "const long n = ::pread(fd, buf, len, off);\n"),
                 [], rel)
+
+    def test_fsync_variants_outside_engine_files_rejected(self):
+        # fsync/fdatasync are raw barrier syscalls: only the file backend
+        # may issue them (FileDiskManager::Sync), everyone else goes
+        # through DiskManager::Sync via the WAL.
+        for snippet in ("::fdatasync(fd_);\n",
+                        "if (fsync(fd) != 0) return err;\n"):
+            violations = segdb_lint.lint_text("src/io/wal.cc", snippet)
+            self.assertEqual(rules_hit(violations), ["raw-io"], snippet)
+
+    def test_fdatasync_in_file_backend_allowed(self):
+        self.assertEqual(
+            segdb_lint.lint_text(
+                "src/io/file_disk_manager.cc",
+                "if (::fdatasync(fd_) != 0) {\n"),
+            [])
 
     def test_pread_fn_seam_type_not_matched(self):
         # The PreadFn/PwriteFn typedef names must not trip the rule.

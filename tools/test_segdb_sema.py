@@ -477,6 +477,36 @@ class BlockingUnderLockTest(unittest.TestCase):
             "  return Status::OK();\n"))
         self.assertEqual(findings, [])
 
+    def test_wal_commit_under_unrelated_lock(self):
+        # Commit group-commits: it parks in the leader window and issues a
+        # durability barrier. Holding an engine lock across it serializes
+        # every committer behind the device.
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  util::MutexLock lock(&engine_mu_);\n"
+            "  auto lsn = wal_->Commit(images, payload);\n"
+            "  if (!lsn.ok()) return lsn.status();\n"
+            "  return Status::OK();\n"))
+        self.assertIn("blocking-under-lock", rules_hit(findings))
+
+    def test_wal_sync_and_checkpoint_under_lock(self):
+        for call in ("wal_->Sync();\n", "wal_->Checkpoint();\n"):
+            findings = analyze_text("src/core/f.cc", wrap(
+                "  util::MutexLock lock(&mu_);\n"
+                f"  {call}"
+                "  return Status::OK();\n"))
+            self.assertIn("blocking-under-lock", rules_hit(findings), call)
+
+    def test_unlock_before_wal_commit_is_clean(self):
+        findings = analyze_text("src/core/f.cc", wrap(
+            "  {\n"
+            "    util::MutexLock lock(&mu_);\n"
+            "    ++pending_;\n"
+            "  }\n"
+            "  auto lsn = wal_->Commit(images, payload);\n"
+            "  if (!lsn.ok()) return lsn.status();\n"
+            "  return Status::OK();\n"))
+        self.assertEqual(findings, [])
+
 
 # ---------------------------------------------------------------------------
 # Family 5: deadline propagation
